@@ -1,0 +1,93 @@
+package meraligner
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// aggregation buffer size S (a tuning parameter, §III-A), the target
+// fragmentation length F (§IV-A), the per-node cache budgets (§III-B), and
+// the max-alignments-per-seed threshold (§IV-C). Each reports the simulated
+// end-to-end time as "sim_s" so parameter effects are visible in one
+// `go test -bench=Ablation` run.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/lbl-repro/meraligner/internal/core"
+	"github.com/lbl-repro/meraligner/internal/genome"
+)
+
+func ablationWorkload(b *testing.B) *genome.DataSet {
+	b.Helper()
+	p := genome.HumanLike(1_000_000)
+	p.Depth = 8
+	p.InsertMean = 0
+	ds, err := genome.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func runAblation(b *testing.B, ds *genome.DataSet, mutate func(*core.Options)) {
+	b.Helper()
+	mach := Edison(120)
+	opt := DefaultOptions(51)
+	mutate(&opt)
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		res, err := Align(mach, opt, ds.Contigs, ds.Reads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = res.TotalWall()
+	}
+	b.ReportMetric(sim*1000, "sim_ms")
+}
+
+// BenchmarkAblationAggS sweeps the aggregation buffer size S.
+func BenchmarkAblationAggS(b *testing.B) {
+	ds := ablationWorkload(b)
+	for _, s := range []int{1, 10, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("S=%d", s), func(b *testing.B) {
+			runAblation(b, ds, func(o *core.Options) { o.AggS = s })
+		})
+	}
+}
+
+// BenchmarkAblationFragmentLen sweeps the target fragmentation length F.
+func BenchmarkAblationFragmentLen(b *testing.B) {
+	ds := ablationWorkload(b)
+	for _, f := range []int{0, 500, 1000, 2000, 8000} {
+		b.Run(fmt.Sprintf("F=%d", f), func(b *testing.B) {
+			runAblation(b, ds, func(o *core.Options) { o.FragmentLen = f })
+		})
+	}
+}
+
+// BenchmarkAblationCacheBudget sweeps the per-node cache budgets together.
+func BenchmarkAblationCacheBudget(b *testing.B) {
+	ds := ablationWorkload(b)
+	for _, kb := range []int64{0, 64, 512, 4096, 32768} {
+		b.Run(fmt.Sprintf("cacheKB=%d", kb), func(b *testing.B) {
+			runAblation(b, ds, func(o *core.Options) {
+				o.SeedCacheBytes = kb << 10
+				o.TargetCacheBytes = kb << 10
+			})
+		})
+	}
+}
+
+// BenchmarkAblationMaxSeedHits sweeps the sensitivity threshold of §IV-C.
+func BenchmarkAblationMaxSeedHits(b *testing.B) {
+	p := genome.WheatLike(1_000_000) // repeats make the threshold matter
+	p.Depth = 6
+	p.InsertMean = 0
+	ds, err := genome.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mh := range []int{0, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("maxHits=%d", mh), func(b *testing.B) {
+			runAblation(b, ds, func(o *core.Options) { o.MaxSeedHits = mh })
+		})
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: generate a tiny workload in memory, align it with the public
+// API in threaded mode, and print the first few alignments.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/internal/genome"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 200 kbp genome sampled at depth 4 with 0.5% sequencing error.
+	profile := genome.HumanLike(200_000)
+	profile.Depth = 4
+	profile.InsertMean = 0
+	ds, err := genome.Generate(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d contigs, %d reads of %d bp\n",
+		len(ds.Contigs), len(ds.Reads), profile.ReadLen)
+
+	// Align with the paper's defaults for seed length 31.
+	opt := meraligner.DefaultOptions(31)
+	opt.CollectAlignments = true
+	res, err := meraligner.AlignThreaded(8, opt, ds.Contigs, ds.Reads)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("aligned %d/%d reads (%.1f%%), %d alignments, %d via the exact-match fast path\n",
+		res.AlignedReads, res.TotalReads,
+		100*float64(res.AlignedReads)/float64(res.TotalReads),
+		res.TotalAlignments, res.ExactPathReads)
+	for _, p := range res.Phases {
+		fmt.Printf("  %-24s %8.3fs\n", p.Name, p.RealWall)
+	}
+
+	fmt.Println("\nfirst alignments (query  target  strand  score  qspan  tspan  cigar):")
+	shown := res.Alignments
+	if len(shown) > 5 {
+		shown = shown[:5]
+	}
+	tmp := &meraligner.Results{Alignments: shown}
+	if err := meraligner.WriteAlignments(os.Stdout, tmp, ds.Contigs, ds.Reads); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,488 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lbl-repro/meraligner/internal/dna"
+)
+
+func codes(s string) []byte { return dna.MustPack(s).Codes() }
+
+func randCodes(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(4))
+	}
+	return out
+}
+
+func TestScoringValidate(t *testing.T) {
+	if err := DefaultScoring.Validate(); err != nil {
+		t.Errorf("default scoring invalid: %v", err)
+	}
+	if err := (Scoring{Match: 0, Mismatch: 1}).Validate(); err == nil {
+		t.Error("Match=0 accepted")
+	}
+	if err := (Scoring{Match: 1, Mismatch: -1}).Validate(); err == nil {
+		t.Error("negative mismatch accepted")
+	}
+}
+
+func TestScoreIdentical(t *testing.T) {
+	q := codes("ACGTACGTAC")
+	if got := Score(q, q, DefaultScoring); got != 10 {
+		t.Errorf("self-alignment score = %d, want 10", got)
+	}
+}
+
+func TestScoreDisjoint(t *testing.T) {
+	// Local alignment of unrelated short sequences can still pick up a
+	// 1-base match; all-A vs all-C shares nothing.
+	q := codes("AAAAAAAA")
+	tg := codes("CCCCCCCC")
+	if got := Score(q, tg, DefaultScoring); got != 0 {
+		t.Errorf("disjoint score = %d, want 0", got)
+	}
+}
+
+func TestScoreEmptyInputs(t *testing.T) {
+	if Score(nil, codes("ACGT"), DefaultScoring) != 0 {
+		t.Error("empty query score != 0")
+	}
+	if Score(codes("ACGT"), nil, DefaultScoring) != 0 {
+		t.Error("empty target score != 0")
+	}
+	r := Local(nil, nil, DefaultScoring)
+	if r.Score != 0 || len(r.Cigar) != 0 {
+		t.Error("Local on empty inputs not zero")
+	}
+}
+
+func TestScoreKnownMismatch(t *testing.T) {
+	// One substitution in the middle: best local alignment is the longer
+	// exact flank unless spanning pays. With match=1, mismatch=3:
+	// spanning scores 9*1-3=6, right flank alone = 5, left = 4 -> flank 5?
+	// Actually spanning: 10 bases, 9 match 1 mismatch = 9-3 = 6 > 5.
+	q := codes("ACGTAGGTAC") // vs ACGTACGTAC: position 5 differs (G vs C)
+	tg := codes("ACGTACGTAC")
+	if got := Score(q, tg, DefaultScoring); got != 6 {
+		t.Errorf("score = %d, want 6", got)
+	}
+}
+
+func TestScoreGap(t *testing.T) {
+	// Query = target with one base deleted. Spanning alignment:
+	// 12 matches - (open 5 + extend 2) = 12 - 7 = 5; best flank = 6 matches.
+	// With 13-base target: flanks are 6 and 6... spanning = 12-7=5 < 6.
+	q := codes("ACGTAC" + "GTACGT")        // 12 bases
+	tg := codes("ACGTAC" + "A" + "GTACGT") // 13 bases, insertion in middle
+	sc := Scoring{Match: 2, Mismatch: 3, GapOpen: 2, GapExtend: 1}
+	// Spanning: 12*2 - (2+1) = 21; flank alone: 6*2=12.
+	if got := Score(q, tg, sc); got != 21 {
+		t.Errorf("gapped score = %d, want 21", got)
+	}
+}
+
+func TestLocalTracebackExact(t *testing.T) {
+	q := codes("ACGTACGT")
+	res := Local(q, q, DefaultScoring)
+	if res.Score != 8 || res.QStart != 0 || res.QEnd != 8 || res.TStart != 0 || res.TEnd != 8 {
+		t.Errorf("unexpected result %+v", res)
+	}
+	if res.Cigar.String() != "8M" {
+		t.Errorf("cigar = %s, want 8M", res.Cigar)
+	}
+}
+
+func TestLocalTracebackSubstring(t *testing.T) {
+	tg := codes("TTTTTACGTACGTTTTTT")
+	q := codes("ACGTACGT")
+	res := Local(q, tg, DefaultScoring)
+	if res.Score != 8 {
+		t.Fatalf("score = %d, want 8", res.Score)
+	}
+	if res.TStart != 5 || res.TEnd != 13 {
+		t.Errorf("target span [%d,%d), want [5,13)", res.TStart, res.TEnd)
+	}
+	if res.Cigar.String() != "8M" {
+		t.Errorf("cigar = %s", res.Cigar)
+	}
+}
+
+func TestLocalTracebackWithGap(t *testing.T) {
+	sc := Scoring{Match: 2, Mismatch: 3, GapOpen: 2, GapExtend: 1}
+	q := codes("ACGTACGTACGT")
+	tg := codes("ACGTACAGTACGT") // one extra A at position 6
+	res := Local(q, tg, sc)
+	if res.Score != 21 {
+		t.Fatalf("score = %d, want 21", res.Score)
+	}
+	if res.Cigar.QuerySpan() != 12 {
+		t.Errorf("query span = %d, want 12", res.Cigar.QuerySpan())
+	}
+	if res.Cigar.TargetSpan() != 13 {
+		t.Errorf("target span = %d, want 13", res.Cigar.TargetSpan())
+	}
+}
+
+// Property: traceback result is internally consistent and its cigar rescores
+// to the reported score.
+func TestLocalCigarRescoresProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randCodes(rng, 5+rng.Intn(60))
+		tg := randCodes(rng, 5+rng.Intn(120))
+		sc := DefaultScoring
+		res := Local(q, tg, sc)
+		if res.Score != Score(q, tg, sc) {
+			return false
+		}
+		if res.Score == 0 {
+			return true
+		}
+		// Walk the cigar and recompute the score.
+		qi, ti, total := res.QStart, res.TStart, 0
+		for _, op := range res.Cigar {
+			switch op.Op {
+			case 'M':
+				for x := 0; x < op.Len; x++ {
+					total += sc.score(q[qi], tg[ti])
+					qi++
+					ti++
+				}
+			case 'I':
+				total -= sc.GapOpen + op.Len*sc.GapExtend
+				qi += op.Len
+			case 'D':
+				total -= sc.GapOpen + op.Len*sc.GapExtend
+				ti += op.Len
+			}
+		}
+		return total == res.Score && qi == res.QEnd && ti == res.TEnd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- SWAR primitive tests ---
+
+func TestSWARAddSat(t *testing.T) {
+	for _, s := range []laneSpec{spec8, spec16} {
+		rng := rand.New(rand.NewSource(int64(s.bits)))
+		for trial := 0; trial < 2000; trial++ {
+			x, y := rng.Uint64(), rng.Uint64()
+			got := s.addsat(x, y)
+			for l := 0; l < s.lanes; l++ {
+				sh := uint(l) * s.bits
+				a := (x >> sh) & s.max
+				b := (y >> sh) & s.max
+				want := a + b
+				if want > s.max {
+					want = s.max
+				}
+				if g := (got >> sh) & s.max; g != want {
+					t.Fatalf("bits=%d lane %d: addsat(%#x,%#x) lane = %#x, want %#x", s.bits, l, a, b, g, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSWARSubSat(t *testing.T) {
+	for _, s := range []laneSpec{spec8, spec16} {
+		rng := rand.New(rand.NewSource(int64(s.bits) + 1))
+		for trial := 0; trial < 2000; trial++ {
+			x, y := rng.Uint64(), rng.Uint64()
+			got := s.subsat(x, y)
+			for l := 0; l < s.lanes; l++ {
+				sh := uint(l) * s.bits
+				a := (x >> sh) & s.max
+				b := (y >> sh) & s.max
+				want := uint64(0)
+				if a > b {
+					want = a - b
+				}
+				if g := (got >> sh) & s.max; g != want {
+					t.Fatalf("bits=%d lane %d: subsat(%#x,%#x) = %#x, want %#x", s.bits, l, a, b, g, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSWARMaxAndGE(t *testing.T) {
+	for _, s := range []laneSpec{spec8, spec16} {
+		rng := rand.New(rand.NewSource(int64(s.bits) + 2))
+		for trial := 0; trial < 2000; trial++ {
+			x, y := rng.Uint64(), rng.Uint64()
+			gotMax := s.maxu(x, y)
+			ge := s.geMask(x, y)
+			anyGT := s.anyGT(x, y)
+			wantAny := false
+			for l := 0; l < s.lanes; l++ {
+				sh := uint(l) * s.bits
+				a := (x >> sh) & s.max
+				b := (y >> sh) & s.max
+				want := max(a, b)
+				if g := (gotMax >> sh) & s.max; g != want {
+					t.Fatalf("bits=%d: maxu lane %d = %#x, want %#x", s.bits, l, g, want)
+				}
+				bit := (ge >> (sh + s.bits - 1)) & 1
+				if (a >= b) != (bit == 1) {
+					t.Fatalf("bits=%d: geMask lane %d wrong for %#x vs %#x", s.bits, l, a, b)
+				}
+				if a > b {
+					wantAny = true
+				}
+			}
+			if anyGT != wantAny {
+				t.Fatalf("bits=%d: anyGT = %v, want %v", s.bits, anyGT, wantAny)
+			}
+		}
+	}
+}
+
+func TestSWARFillExpandShift(t *testing.T) {
+	if spec8.fill(0xAB) != 0xABABABABABABABAB {
+		t.Error("fill8 broken")
+	}
+	if spec16.fill(0x1234) != 0x1234123412341234 {
+		t.Error("fill16 broken")
+	}
+	if spec8.expand(0x8080000000000080) != 0xFFFF0000000000FF {
+		t.Errorf("expand8 = %#x", spec8.expand(0x8080000000000080))
+	}
+	if spec8.shiftLanes(0x01020304050607FF) != 0x020304050607FF00 {
+		t.Error("shiftLanes8 broken")
+	}
+	if hiBitCount(spec8, 0x8080808080808080) != 8 {
+		t.Error("hiBitCount broken")
+	}
+}
+
+// --- Striped vs reference equivalence ---
+
+func TestStripedMatchesReferenceRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randCodes(rng, 1+rng.Intn(150))
+		tg := randCodes(rng, 1+rng.Intn(300))
+		want := Score(q, tg, DefaultScoring)
+		got := StripedScore(q, tg, DefaultScoring)
+		return got.Score == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStripedMatchesReferenceSimilarSequences(t *testing.T) {
+	// The realistic case: query is a mutated substring of the target.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		tg := randCodes(rng, 300+rng.Intn(300))
+		start := rng.Intn(len(tg) - 120)
+		q := append([]byte(nil), tg[start:start+100+rng.Intn(20)]...)
+		for i := range q {
+			if rng.Float64() < 0.03 {
+				q[i] = byte(rng.Intn(4))
+			}
+		}
+		want := Score(q, tg, DefaultScoring)
+		got := StripedScore(q, tg, DefaultScoring)
+		if got.Score != want {
+			t.Fatalf("trial %d: striped %d != reference %d", trial, got.Score, want)
+		}
+	}
+}
+
+func TestStripedMatchesReferenceVariedScoring(t *testing.T) {
+	scorings := []Scoring{
+		{Match: 1, Mismatch: 3, GapOpen: 5, GapExtend: 2},
+		{Match: 2, Mismatch: 1, GapOpen: 1, GapExtend: 1},
+		{Match: 5, Mismatch: 4, GapOpen: 10, GapExtend: 1},
+		{Match: 1, Mismatch: 1, GapOpen: 0, GapExtend: 1},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, sc := range scorings {
+		for trial := 0; trial < 60; trial++ {
+			q := randCodes(rng, 1+rng.Intn(90))
+			tg := randCodes(rng, 1+rng.Intn(150))
+			want := Score(q, tg, sc)
+			got := StripedScore(q, tg, sc)
+			if got.Score != want {
+				t.Fatalf("scoring %+v: striped %d != reference %d (q=%v t=%v)", sc, got.Score, want, q, tg)
+			}
+		}
+	}
+}
+
+func TestStriped16BitRescue(t *testing.T) {
+	// A long perfect match with Match=2 exceeds 255 and must overflow into
+	// the 16-bit kernel with a correct score.
+	rng := rand.New(rand.NewSource(8))
+	q := randCodes(rng, 400)
+	sc := Scoring{Match: 2, Mismatch: 3, GapOpen: 5, GapExtend: 2}
+	res := StripedScore(q, q, sc)
+	if !res.Overflow || res.UsedLanes != 16 {
+		t.Errorf("expected 8-bit overflow, got %+v", res)
+	}
+	if res.Score != 800 {
+		t.Errorf("score = %d, want 800", res.Score)
+	}
+}
+
+func TestStripedNearSaturationBoundary(t *testing.T) {
+	// Scores straddling the 8-bit boundary (255-bias) must stay exact.
+	rng := rand.New(rand.NewSource(9))
+	sc := DefaultScoring // bias = 3, boundary at 252
+	for n := 245; n <= 260; n++ {
+		q := randCodes(rng, n)
+		res := StripedScore(q, q, sc)
+		if res.Score != n {
+			t.Errorf("n=%d: score %d (overflow=%v)", n, res.Score, res.Overflow)
+		}
+	}
+}
+
+func TestStripedTEnd(t *testing.T) {
+	tg := codes("TTTTTACGTACGTTT")
+	q := codes("ACGTACG")
+	res := StripedScore(q, tg, DefaultScoring)
+	if res.Score != 7 {
+		t.Fatalf("score = %d, want 7", res.Score)
+	}
+	if res.TEnd != 12 {
+		t.Errorf("TEnd = %d, want 12", res.TEnd)
+	}
+}
+
+func TestStripedEmpty(t *testing.T) {
+	if r := StripedScore(nil, codes("ACGT"), DefaultScoring); r.Score != 0 {
+		t.Error("empty query")
+	}
+	if r := StripedScore(codes("ACGT"), nil, DefaultScoring); r.Score != 0 {
+		t.Error("empty target")
+	}
+}
+
+func TestProfileReuseAcrossTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	q := randCodes(rng, 100)
+	p := NewProfile(q, DefaultScoring)
+	for i := 0; i < 20; i++ {
+		tg := randCodes(rng, 200)
+		want := Score(q, tg, DefaultScoring)
+		if got := p.Align(tg); got.Score != want {
+			t.Fatalf("reused profile: %d != %d", got.Score, want)
+		}
+	}
+}
+
+// --- ExtendSeed ---
+
+func TestExtendSeedFindsEmbeddedMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tg := randCodes(rng, 1000)
+	q := append([]byte(nil), tg[400:500]...)
+	// Seed: query offset 10 matches target offset 410, length 21.
+	res := ExtendSeed(q, tg, 10, 410, 21, DefaultScoring, 16)
+	if res.Score != 100 {
+		t.Fatalf("score = %d, want 100", res.Score)
+	}
+	if res.TStart != 400 || res.TEnd != 500 {
+		t.Errorf("target span [%d,%d), want [400,500)", res.TStart, res.TEnd)
+	}
+	if res.Cigar.String() != "100M" {
+		t.Errorf("cigar = %s", res.Cigar)
+	}
+}
+
+func TestExtendSeedWindowClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tg := randCodes(rng, 50)
+	q := append([]byte(nil), tg[0:30]...)
+	res := ExtendSeed(q, tg, 0, 0, 21, DefaultScoring, 100)
+	if res.Score != 30 || res.TStart != 0 {
+		t.Errorf("clamped extension: %+v", res)
+	}
+	// Degenerate window.
+	if r := ExtendSeed(q, tg, 0, 50, 1, DefaultScoring, 0); r.Score != 0 {
+		t.Errorf("empty window should score 0, got %+v", r)
+	}
+	// Negative pad treated as zero.
+	if r := ExtendSeed(q, tg, 0, 0, 21, DefaultScoring, -5); r.Score != 30 {
+		t.Errorf("negative pad: %+v", r)
+	}
+}
+
+func TestExactResult(t *testing.T) {
+	r := ExactResult(101, 37, DefaultScoring)
+	if r.Score != 101 || r.TStart != 37 || r.TEnd != 138 || r.QEnd != 101 {
+		t.Errorf("ExactResult = %+v", r)
+	}
+	if r.Cigar.String() != "101M" {
+		t.Errorf("cigar = %s", r.Cigar)
+	}
+}
+
+func TestCells(t *testing.T) {
+	if Cells(100, 200) != 20000 {
+		t.Error("Cells broken")
+	}
+}
+
+// --- Benchmarks (the SW micro-benchmarks behind the cost model) ---
+
+func benchSeqs(qLen, tLen int) ([]byte, []byte) {
+	rng := rand.New(rand.NewSource(13))
+	tg := randCodes(rng, tLen)
+	q := append([]byte(nil), tg[tLen/4:tLen/4+qLen]...)
+	for i := range q {
+		if rng.Float64() < 0.01 {
+			q[i] = byte(rng.Intn(4))
+		}
+	}
+	return q, tg
+}
+
+func BenchmarkReferenceSW100x200(b *testing.B) {
+	q, tg := benchSeqs(100, 200)
+	b.SetBytes(int64(len(q) * len(tg)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Score(q, tg, DefaultScoring)
+	}
+}
+
+func BenchmarkStripedSW100x200(b *testing.B) {
+	q, tg := benchSeqs(100, 200)
+	p := NewProfile(q, DefaultScoring)
+	b.SetBytes(int64(len(q) * len(tg)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Align(tg)
+	}
+}
+
+func BenchmarkStripedSW250x500(b *testing.B) {
+	q, tg := benchSeqs(250, 500)
+	p := NewProfile(q, DefaultScoring)
+	b.SetBytes(int64(len(q) * len(tg)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Align(tg)
+	}
+}
+
+func BenchmarkLocalWithTraceback100x200(b *testing.B) {
+	q, tg := benchSeqs(100, 200)
+	b.SetBytes(int64(len(q) * len(tg)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Local(q, tg, DefaultScoring)
+	}
+}

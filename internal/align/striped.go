@@ -1,0 +1,260 @@
+package align
+
+import "math/bits"
+
+// This file implements Farrar's striped Smith-Waterman — the algorithm
+// behind the SSW library of §V-B — with SIMD registers emulated by SWAR
+// (SIMD-within-a-register) arithmetic on uint64 words. The 8-bit kernel
+// packs eight unsigned lanes per word and biases scores to stay unsigned,
+// and a 16-bit kernel (four lanes) re-runs queries whose score saturates,
+// mirroring SSW's 8-bit-then-16-bit overflow protocol.
+
+// laneSpec parameterizes the SWAR primitives for a lane width.
+type laneSpec struct {
+	bits  uint   // lane width in bits (8 or 16)
+	lanes int    // 64 / bits
+	hi    uint64 // high bit of every lane
+	lo    uint64 // ^hi
+	max   uint64 // saturation value of one lane (0xFF / 0xFFFF)
+}
+
+var (
+	spec8  = laneSpec{bits: 8, lanes: 8, hi: 0x8080808080808080, lo: ^uint64(0x8080808080808080), max: 0xFF}
+	spec16 = laneSpec{bits: 16, lanes: 4, hi: 0x8000800080008000, lo: ^uint64(0x8000800080008000), max: 0xFFFF}
+)
+
+// fill replicates a lane value into all lanes.
+func (s laneSpec) fill(v uint64) uint64 {
+	out := uint64(0)
+	for i := 0; i < s.lanes; i++ {
+		out |= v << (uint(i) * s.bits)
+	}
+	return out
+}
+
+// expand turns a lane-position bit mask (high bit per lane) into full-lane
+// 0xFF.. masks: m*(2^bits-1)/2^(bits-1), computed carry-free.
+func (s laneSpec) expand(hiMask uint64) uint64 {
+	ones := hiMask >> (s.bits - 1) // 1 in bit 0 of each selected lane
+	return (ones << s.bits) - ones // (2^bits - 1) per selected lane
+}
+
+// geMask returns the high-bit-per-lane mask of lanes where x >= y
+// (unsigned). Derivation: when the lanes' sign bits are equal the comparison
+// reduces to the biased difference's sign bit; when they differ, x's sign
+// bit decides.
+func (s laneSpec) geMask(x, y uint64) uint64 {
+	d := (x | s.hi) - (y &^ s.hi)
+	sdiff := x ^ y
+	return ((d &^ sdiff) | (x & sdiff)) & s.hi
+}
+
+// maxu returns the lane-wise unsigned maximum.
+func (s laneSpec) maxu(x, y uint64) uint64 {
+	m := s.expand(s.geMask(x, y))
+	return (x & m) | (y &^ m)
+}
+
+// subsat returns the lane-wise unsigned saturating subtraction max(x-y, 0).
+func (s laneSpec) subsat(x, y uint64) uint64 {
+	// min(x,y) per lane, then x - min is borrow-free lane-wise.
+	m := s.expand(s.geMask(x, y))
+	minv := (y & m) | (x &^ m)
+	return x - minv
+}
+
+// addsat returns the lane-wise unsigned saturating addition min(x+y, max).
+func (s laneSpec) addsat(x, y uint64) uint64 {
+	t0 := (x ^ y) & s.hi
+	t1 := (x & y) & s.hi
+	sum := (x &^ s.hi) + (y &^ s.hi)
+	t1 |= t0 & sum      // carry into the sign bit with one sign set
+	sat := s.expand(t1) // saturated lanes -> all ones
+	return (sum ^ t0) | sat
+}
+
+// anyGT reports whether any lane of x exceeds the corresponding lane of y.
+func (s laneSpec) anyGT(x, y uint64) bool {
+	// x > y  <=>  NOT (y >= x)
+	return s.geMask(y, x) != s.hi
+}
+
+// laneMax extracts the maximum lane value of x.
+func (s laneSpec) laneMax(x uint64) uint64 {
+	best := uint64(0)
+	mask := s.max
+	for i := 0; i < s.lanes; i++ {
+		v := (x >> (uint(i) * s.bits)) & mask
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// shiftLanes shifts lanes up by one (lane i receives lane i-1; lane 0 gets
+// zero) — the _mm_slli_si128 of the SSE original.
+func (s laneSpec) shiftLanes(x uint64) uint64 { return x << s.bits }
+
+// StripedResult reports a score-only striped alignment.
+type StripedResult struct {
+	Score     int
+	TEnd      int  // past-the-end target index of the best cell
+	Overflow  bool // true when the 8-bit kernel saturated (16-bit was used)
+	UsedLanes uint // lane width of the kernel that produced the score
+}
+
+// Profile is a striped query profile reusable across targets — SSW builds
+// it once per read and aligns the read against many candidates.
+type Profile struct {
+	query []byte
+	sc    Scoring
+	bias  uint64
+	// prof8[c] holds segLen8 words of 8 lanes for base code c.
+	segLen8 int
+	prof8   [4][]uint64
+	// 16-bit profile built lazily on first overflow.
+	segLen16 int
+	prof16   [4][]uint64
+}
+
+// NewProfile builds the striped query profile.
+func NewProfile(query []byte, sc Scoring) *Profile {
+	p := &Profile{query: query, sc: sc, bias: uint64(sc.Mismatch)}
+	n := len(query)
+	if n == 0 {
+		return p
+	}
+	p.segLen8 = (n + spec8.lanes - 1) / spec8.lanes
+	for c := 0; c < 4; c++ {
+		p.prof8[c] = make([]uint64, p.segLen8)
+		for j := 0; j < p.segLen8; j++ {
+			var w uint64
+			for l := 0; l < spec8.lanes; l++ {
+				qi := j + l*p.segLen8
+				v := uint64(0)
+				if qi < n {
+					v = uint64(int64(p.sc.score(byte(c), p.query[qi])) + int64(p.bias))
+				}
+				w |= v << (uint(l) * spec8.bits)
+			}
+			p.prof8[c][j] = w
+		}
+	}
+	return p
+}
+
+func (p *Profile) build16() {
+	n := len(p.query)
+	p.segLen16 = (n + spec16.lanes - 1) / spec16.lanes
+	for c := 0; c < 4; c++ {
+		p.prof16[c] = make([]uint64, p.segLen16)
+		for j := 0; j < p.segLen16; j++ {
+			var w uint64
+			for l := 0; l < spec16.lanes; l++ {
+				qi := j + l*p.segLen16
+				v := uint64(0)
+				if qi < n {
+					v = uint64(int64(p.sc.score(byte(c), p.query[qi])) + int64(p.bias))
+				}
+				w |= v << (uint(l) * spec16.bits)
+			}
+			p.prof16[c][j] = w
+		}
+	}
+}
+
+// Align computes the local alignment score of the profile's query against
+// target, using the 8-bit kernel and rescuing with 16-bit on saturation.
+func (p *Profile) Align(target []byte) StripedResult {
+	if len(p.query) == 0 || len(target) == 0 {
+		return StripedResult{}
+	}
+	score, tEnd, overflow := p.kernel(spec8, p.segLen8, &p.prof8, target)
+	if !overflow {
+		return StripedResult{Score: score, TEnd: tEnd, UsedLanes: 8}
+	}
+	if p.prof16[0] == nil {
+		p.build16()
+	}
+	score, tEnd, _ = p.kernel(spec16, p.segLen16, &p.prof16, target)
+	return StripedResult{Score: score, TEnd: tEnd, Overflow: true, UsedLanes: 16}
+}
+
+// kernel is Farrar's striped inner loop for one lane spec.
+func (p *Profile) kernel(s laneSpec, segLen int, prof *[4][]uint64, target []byte) (score, tEnd int, overflow bool) {
+	vBias := s.fill(p.bias)
+	vGapO := s.fill(uint64(p.sc.GapOpen + p.sc.GapExtend))
+	vGapE := s.fill(uint64(p.sc.GapExtend))
+
+	hStore := make([]uint64, segLen)
+	hLoad := make([]uint64, segLen)
+	e := make([]uint64, segLen)
+
+	var vMaxAll uint64 // running lane-wise max of H over all columns
+	best := uint64(0)
+	bestT := 0
+
+	for i := 0; i < len(target); i++ {
+		vp := prof[target[i]]
+		vF := uint64(0)
+		// vH = hStore[segLen-1] shifted by one lane (H of the previous
+		// column, previous query row in striped order).
+		vH := s.shiftLanes(hStore[segLen-1])
+		hLoad, hStore = hStore, hLoad
+
+		var vColMax uint64
+		for j := 0; j < segLen; j++ {
+			vH = s.addsat(vH, vp[j])
+			vH = s.subsat(vH, vBias)
+			vH = s.maxu(vH, e[j])
+			vH = s.maxu(vH, vF)
+			vColMax = s.maxu(vColMax, vH)
+			hStore[j] = vH
+
+			vH2 := s.subsat(vH, vGapO)
+			e[j] = s.maxu(s.subsat(e[j], vGapE), vH2)
+			vF = s.maxu(s.subsat(vF, vGapE), vH2)
+			vH = hLoad[j]
+		}
+
+		// Lazy-F loop: propagate F across segment boundaries.
+		vF = s.shiftLanes(vF)
+		j := 0
+		for s.anyGT(vF, s.subsat(hStore[j], vGapO)) {
+			hStore[j] = s.maxu(hStore[j], vF)
+			vColMax = s.maxu(vColMax, hStore[j])
+			vF = s.subsat(vF, vGapE)
+			j++
+			if j >= segLen {
+				j = 0
+				vF = s.shiftLanes(vF)
+				if vF == 0 {
+					break
+				}
+			}
+		}
+
+		vMaxAll = s.maxu(vMaxAll, vColMax)
+		if cm := s.laneMax(vColMax); cm > best {
+			best = cm
+			bestT = i + 1
+		}
+	}
+
+	// Saturation is detected conservatively: once best + bias reaches the
+	// lane ceiling, intermediate addsat results may have clamped, so the
+	// scores are untrustworthy and the caller rescues with wider lanes.
+	if best+p.bias >= s.max {
+		return 0, 0, true
+	}
+	return int(best), bestT, false
+}
+
+// StripedScore is a convenience wrapper building a one-shot profile.
+func StripedScore(query, target []byte, sc Scoring) StripedResult {
+	return NewProfile(query, sc).Align(target)
+}
+
+// popcount of lane-presence masks, exposed for white-box tests.
+func hiBitCount(s laneSpec, m uint64) int { return bits.OnesCount64(m & s.hi) }

@@ -1,0 +1,309 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lbl-repro/meraligner/internal/dna"
+	"github.com/lbl-repro/meraligner/internal/fmindex"
+	"github.com/lbl-repro/meraligner/internal/genome"
+	"github.com/lbl-repro/meraligner/internal/seqio"
+	"github.com/lbl-repro/meraligner/internal/upc"
+)
+
+func testData(t testing.TB, genomeLen int, depth float64) *genome.DataSet {
+	p := genome.EColiLike()
+	p.GenomeLen = genomeLen
+	p.Depth = depth
+	p.ContigMean = max(2000, genomeLen/20) // keep contigs much smaller than the test genome
+	p.ContigMin = 500
+	ds, err := genome.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Contigs) == 0 {
+		t.Fatal("test workload produced no contigs")
+	}
+	return ds
+}
+
+func TestBuildIndex(t *testing.T) {
+	ds := testData(t, 50_000, 1)
+	ref, err := BuildIndex(ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range ds.Contigs {
+		total += c.Seq.Len()
+	}
+	if ref.TextLen() != total {
+		t.Errorf("text length %d, want %d", ref.TextLen(), total)
+	}
+	if ref.BuildWall <= 0 {
+		t.Error("build wall not measured")
+	}
+	if ref.FM.IndexBytes() <= int64(total) {
+		t.Error("index bytes implausibly small")
+	}
+	if _, err := BuildIndex(nil); err == nil {
+		t.Error("empty target set accepted")
+	}
+}
+
+func TestContigOf(t *testing.T) {
+	targets := []seqio.Seq{
+		{Name: "a", Seq: dna.MustPack("ACGTACGTAC")}, // [0,10)
+		{Name: "b", Seq: dna.MustPack("TTTTT")},      // [10,15)
+		{Name: "c", Seq: dna.MustPack("GGGGGGG")},    // [15,22)
+	}
+	ref, err := BuildIndex(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ pos, tgt, off int32 }{
+		{0, 0, 0}, {9, 0, 9}, {10, 1, 0}, {14, 1, 4}, {15, 2, 0}, {21, 2, 6},
+	}
+	for _, c := range cases {
+		tgt, off := ref.contigOf(c.pos)
+		if tgt != c.tgt || off != c.off {
+			t.Errorf("contigOf(%d) = (%d,%d), want (%d,%d)", c.pos, tgt, off, c.tgt, c.off)
+		}
+	}
+}
+
+func TestMapReadFindsOrigin(t *testing.T) {
+	p := genome.EColiLike()
+	p.GenomeLen = 80_000
+	p.Depth = 2
+	p.ErrorRate = 0
+	ds, err := genome.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := BuildIndex(ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Bowtie2Options()
+	var st MapStats
+
+	type iv struct{ start, end, idx int }
+	var ivs []iv
+	for i, pos := range ds.ContigPos {
+		ivs = append(ivs, iv{pos, pos + ds.Contigs[i].Seq.Len(), i})
+	}
+	L := p.ReadLen
+	checked, missed := 0, 0
+	for qi, org := range ds.Origins {
+		var tgt, tOff int
+		inside := false
+		for _, v := range ivs {
+			if org.Pos >= v.start && org.Pos+L <= v.end {
+				tgt, tOff, inside = v.idx, org.Pos-v.start, true
+				break
+			}
+		}
+		if !inside {
+			continue
+		}
+		checked++
+		found := false
+		for _, a := range ref.MapRead(int32(qi), ds.Reads[qi].Seq, opt, &st) {
+			if int(a.Target) == tgt && a.RC == org.RC && int(a.TStart) == tOff && int(a.Score) == L {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missed++
+		}
+		if checked >= 300 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no reads inside contigs")
+	}
+	if missed > 0 {
+		t.Errorf("baseline missed %d/%d error-free reads", missed, checked)
+	}
+}
+
+func TestMapReadShortRead(t *testing.T) {
+	ds := testData(t, 30_000, 0.2)
+	ref, err := BuildIndex(ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st MapStats
+	if out := ref.MapRead(0, dna.MustPack("ACGT"), BWAMemOptions(), &st); out != nil {
+		t.Error("short read aligned")
+	}
+}
+
+func TestMaxOccSkipsRepetitiveSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	unit := dna.Random(rng, 300)
+	var parts []dna.Packed
+	for i := 0; i < 40; i++ {
+		parts = append(parts, unit)
+	}
+	targets := []seqio.Seq{{Name: "rep", Seq: dna.Concat(parts...)}}
+	ref, err := BuildIndex(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := seqio.Seq{Name: "q", Seq: unit.Slice(0, 100)}
+
+	run := func(maxOcc int) MapStats {
+		var st MapStats
+		opt := Bowtie2Options()
+		opt.MaxOcc = maxOcc
+		ref.MapRead(0, read.Seq, opt, &st)
+		return st
+	}
+	unlimited := run(0)
+	capped := run(5)
+	if capped.SWCalls >= unlimited.SWCalls {
+		t.Errorf("MaxOcc did not reduce SW calls: %d vs %d", capped.SWCalls, unlimited.SWCalls)
+	}
+}
+
+func TestRunSingleNodeScales(t *testing.T) {
+	ds := testData(t, 120_000, 3)
+	opt := Bowtie2Options()
+	r1, err := RunSingleNode(1, ds.Contigs, ds.Reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunSingleNode(4, ds.Contigs, ds.Reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Aligned != r4.Stats.Aligned {
+		t.Errorf("thread count changed results: %d vs %d", r1.Stats.Aligned, r4.Stats.Aligned)
+	}
+	if r1.Stats.Aligned == 0 {
+		t.Error("nothing aligned")
+	}
+	// 4 threads should map meaningfully faster than 1 (generous bound for
+	// noisy CI machines).
+	if r4.MapWall > r1.MapWall {
+		t.Logf("warning: 4-thread map (%v) not faster than 1-thread (%v)", r4.MapWall, r1.MapWall)
+	}
+	if r1.TotalWall() <= 0 || r1.SearchOps.FMProbes == 0 {
+		t.Error("missing measurements")
+	}
+	if _, err := RunSingleNode(0, ds.Contigs, ds.Reads, opt); err == nil {
+		t.Error("threads=0 accepted")
+	}
+}
+
+func TestAlignedFractionReasonable(t *testing.T) {
+	p := genome.EColiLike()
+	p.GenomeLen = 150_000
+	p.Depth = 3
+	ds, err := genome.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSingleNode(4, ds.Contigs, ds.Reads, Bowtie2Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.Stats.Aligned) / float64(len(ds.Reads))
+	// The paper's Bowtie2 aligned 95.8% on E. coli; with ~96% contig
+	// coverage expect >= 0.85 here.
+	if frac < 0.80 {
+		t.Errorf("aligned fraction %.3f too low", frac)
+	}
+}
+
+func TestPMapProjectionShape(t *testing.T) {
+	ds := testData(t, 100_000, 2)
+	res, err := RunSingleNode(2, ds.Contigs, ds.Reads, BWAMemOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := BuildIndex(ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mach := upc.Edison(7680)
+	m := DefaultPMapModel(mach)
+	var readBytes int64
+	for _, r := range ds.Reads {
+		readBytes += int64(r.Seq.Len()*2 + 40) // FASTQ-ish
+	}
+	proj := m.Project(BWAMemLike, res.BuildOps, res.SearchOps, res.Stats,
+		ref.FM.IndexBytes(), len(ds.Reads), readBytes)
+
+	if proj.IndexBuildWall <= 0 || proj.MapWall <= 0 || proj.ReplicationWall <= 0 {
+		t.Fatalf("projection has zero components: %+v", proj)
+	}
+	// The structural property of Table II: at high concurrency the SERIAL
+	// index construction dominates the parallel mapping phase.
+	if proj.IndexBuildWall < 5*proj.MapWall {
+		t.Errorf("serial construction (%v) should dwarf parallel mapping (%v) at 7680 cores",
+			proj.IndexBuildWall, proj.MapWall)
+	}
+	if proj.Total() <= proj.IndexBuildWall {
+		t.Error("Total misses components")
+	}
+	// More cores shrink mapping but not construction.
+	m2 := DefaultPMapModel(upc.Edison(480))
+	proj480 := m2.Project(BWAMemLike, res.BuildOps, res.SearchOps, res.Stats,
+		ref.FM.IndexBytes(), len(ds.Reads), readBytes)
+	if proj480.MapWall <= proj.MapWall {
+		t.Error("mapping should be slower on fewer cores")
+	}
+	if proj480.IndexBuildWall != proj.IndexBuildWall {
+		t.Error("serial construction should not depend on core count")
+	}
+}
+
+func TestToolString(t *testing.T) {
+	if BWAMemLike.String() != "bwamem-like" || Bowtie2Like.String() != "bowtie2-like" {
+		t.Error("Tool.String broken")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	if BWAMemOptions().SeedLen != 51 {
+		t.Error("BWA-mem seed length should be 51 (paper §VI-D)")
+	}
+	if Bowtie2Options().SeedLen != 31 {
+		t.Error("Bowtie2 seed length should be 31 (paper §VI-D)")
+	}
+	if BWAMemOptions().minScore() != 51 {
+		t.Error("minScore default broken")
+	}
+}
+
+var _ = fmindex.Ops{} // keep import for doc reference
+
+func BenchmarkMapRead(b *testing.B) {
+	ds := testData(b, 200_000, 0.5)
+	ref, err := BuildIndex(ds.Contigs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Bowtie2Options()
+	var st MapStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref.MapRead(int32(i%len(ds.Reads)), ds.Reads[i%len(ds.Reads)].Seq, opt, &st)
+	}
+}
+
+func BenchmarkBuildIndex200k(b *testing.B) {
+	ds := testData(b, 200_000, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildIndex(ds.Contigs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

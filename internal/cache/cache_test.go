@@ -1,0 +1,359 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lbl-repro/meraligner/internal/dht"
+	"github.com/lbl-repro/meraligner/internal/dna"
+	"github.com/lbl-repro/meraligner/internal/kmer"
+	"github.com/lbl-repro/meraligner/internal/upc"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := NewLRU[string, int](100)
+	if _, ok := c.Get("a"); ok {
+		t.Error("hit on empty cache")
+	}
+	c.Put("a", 1, 10)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %v,%v want 1,true", v, ok)
+	}
+	c.Put("a", 2, 10) // refresh
+	if v, _ := c.Get("a"); v != 2 {
+		t.Errorf("refresh failed, got %v", v)
+	}
+	if c.Len() != 1 || c.UsedBytes() != 10 {
+		t.Errorf("Len=%d Used=%d, want 1,10", c.Len(), c.UsedBytes())
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	c := NewLRU[int, int](30)
+	c.Put(1, 1, 10)
+	c.Put(2, 2, 10)
+	c.Put(3, 3, 10)
+	c.Get(1)        // 1 now most recent; 2 is LRU
+	c.Put(4, 4, 10) // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Error("LRU entry 2 not evicted")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %d wrongly evicted", k)
+		}
+	}
+	if c.Counters().Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", c.Counters().Evictions)
+	}
+}
+
+func TestLRUCapacityInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(capRaw uint16, ops uint8) bool {
+		capBytes := int64(capRaw%500) + 1
+		c := NewLRU[int, int](capBytes)
+		for i := 0; i < int(ops); i++ {
+			c.Put(rng.Intn(50), i, int64(rng.Intn(60)))
+			if c.UsedBytes() > capBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRURejectsOversized(t *testing.T) {
+	c := NewLRU[int, int](10)
+	c.Put(1, 1, 11)
+	if c.Len() != 0 {
+		t.Error("oversized entry cached")
+	}
+	c.Put(2, 2, -1)
+	if c.Len() != 0 {
+		t.Error("negative-size entry cached")
+	}
+}
+
+func TestLRUZeroCapacityAlwaysMisses(t *testing.T) {
+	c := NewLRU[int, int](0)
+	c.Put(1, 1, 1)
+	if _, ok := c.Get(1); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+	if c.Counters().HitRate() != 0 {
+		t.Error("HitRate != 0 on always-miss cache")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := NewLRU[int, int](100)
+	c.Put(1, 1, 1)
+	c.Get(1)
+	c.Get(1)
+	c.Get(2)
+	if hr := c.Counters().HitRate(); math.Abs(hr-2.0/3.0) > 1e-12 {
+		t.Errorf("HitRate = %v, want 2/3", hr)
+	}
+	if (CounterSnapshot{}).HitRate() != 0 {
+		t.Error("empty snapshot HitRate != 0")
+	}
+}
+
+func TestReuseProbabilityProperties(t *testing.T) {
+	// f=1: no reuse possible. Monotone decreasing in cores at fixed f.
+	if p := ReuseProbability(1, 480, 24); p != 0 {
+		t.Errorf("f=1 gives %v, want 0", p)
+	}
+	prev := 2.0
+	for _, cores := range []int{480, 960, 1920, 3840, 7680, 15360} {
+		p := ReuseProbability(50, cores, 24)
+		if p <= 0 || p >= 1 {
+			t.Errorf("cores=%d: p=%v out of (0,1)", cores, p)
+		}
+		if p >= prev {
+			t.Errorf("reuse probability not decreasing: %v at %d cores", p, cores)
+		}
+		prev = p
+	}
+	// Single-node machine: reuse certain.
+	if p := ReuseProbability(50, 24, 24); p != 1 {
+		t.Errorf("single node gives %v, want 1", p)
+	}
+}
+
+func TestReuseProbabilityMatchesPaperAnchors(t *testing.T) {
+	// Fig 7 with d=100, L=100, k=51, f=50, ppn=24: at small core counts the
+	// probability is near 1; it decays towards ~0.07 at 15360 cores
+	// (m=640 nodes: 1-(1-1/640)^49 ≈ 0.074).
+	p480 := ReuseProbability(50, 480, 24)
+	if p480 < 0.9 {
+		t.Errorf("P(reuse) at 480 cores = %v, want > 0.9", p480)
+	}
+	p15360 := ReuseProbability(50, 15360, 24)
+	if math.Abs(p15360-0.0737) > 0.01 {
+		t.Errorf("P(reuse) at 15360 cores = %v, want ~0.074", p15360)
+	}
+}
+
+func TestSimulateReuseAgreesWithClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, cores := range []int{480, 1920, 7680} {
+		analytic := ReuseProbability(50, cores, 24)
+		mc := SimulateReuse(rng, 50, cores, 24, 20000)
+		if math.Abs(analytic-mc) > 0.02 {
+			t.Errorf("cores=%d: analytic %v vs MC %v", cores, analytic, mc)
+		}
+	}
+}
+
+// buildIndex constructs a small index for Group tests.
+func buildIndex(t testing.TB, mach upc.MachineConfig, k int, frags []dna.Packed) *dht.Index {
+	ix, err := dht.New(mach, dht.Config{K: k, Mode: dht.Aggregating, S: 64}, len(frags))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := upc.MustNewMachine(mach)
+	m.RunPhase("stage", func(th *upc.Thread) {
+		b := ix.NewBuilder(th)
+		lo, hi := mach.PartitionRange(len(frags), th.ID)
+		for f := lo; f < hi; f++ {
+			for off, s := range kmer.Extract(frags[f], k, nil) {
+				b.Add(dht.SeedEntry{Seed: s, Loc: dht.Loc{Frag: int32(f), Off: int32(off)}})
+			}
+		}
+		b.Flush()
+	})
+	m.RunPhase("drain", func(th *upc.Thread) { ix.Drain(th) })
+	return ix
+}
+
+func TestGroupSeedCacheServesRepeatLookups(t *testing.T) {
+	mach := upc.Edison(96)
+	mach.Workers = 4
+	rng := rand.New(rand.NewSource(3))
+	frags := []dna.Packed{dna.Random(rng, 400)}
+	ix := buildIndex(t, mach, 21, frags)
+	g := NewGroup(mach, 1<<20, 1<<20)
+	seeds := kmer.Extract(frags[0], 21, nil)
+
+	m := upc.MustNewMachine(mach)
+	// Thread 0 looks every seed up twice; every off-node seed's second
+	// lookup must be a cache hit.
+	m.RunPhase("lookup", func(th *upc.Thread) {
+		if th.ID != 0 {
+			return
+		}
+		for pass := 0; pass < 2; pass++ {
+			for _, s := range seeds {
+				if _, ok := g.Lookup(th, ix, s); !ok {
+					t.Errorf("seed missing")
+				}
+			}
+		}
+	})
+	sc := g.SeedCounters()
+	if sc.Hits == 0 {
+		t.Fatal("no seed-cache hits on repeated lookups")
+	}
+	// Hits should be roughly the number of off-node seeds (second pass).
+	if sc.Hits < int64(len(seeds))/2 {
+		t.Errorf("seed cache hits = %d, want >= %d", sc.Hits, len(seeds)/2)
+	}
+}
+
+func TestGroupCacheReducesCommunication(t *testing.T) {
+	mach := upc.Edison(96)
+	mach.Workers = 4
+	rng := rand.New(rand.NewSource(4))
+	frags := []dna.Packed{dna.Random(rng, 500)}
+	ix := buildIndex(t, mach, 21, frags)
+	seeds := kmer.Extract(frags[0], 21, nil)
+
+	run := func(seedBytes int64) float64 {
+		g := NewGroup(mach, seedBytes, 0)
+		m := upc.MustNewMachine(mach)
+		stat := m.RunPhase("lookup", func(th *upc.Thread) {
+			if th.ID != 0 {
+				return
+			}
+			for pass := 0; pass < 5; pass++ {
+				for _, s := range seeds {
+					g.Lookup(th, ix, s)
+				}
+			}
+		})
+		return stat.MaxComm
+	}
+	withCache := run(1 << 20)
+	noCache := run(0)
+	if noCache/withCache < 2 {
+		t.Errorf("cache reduced comm only %.2fx (no-cache %v, cache %v)", noCache/withCache, noCache, withCache)
+	}
+}
+
+func TestGroupNegativeCaching(t *testing.T) {
+	mach := upc.Edison(96)
+	mach.Workers = 4
+	rng := rand.New(rand.NewSource(5))
+	frags := []dna.Packed{dna.Random(rng, 300)}
+	ix := buildIndex(t, mach, 31, frags)
+	g := NewGroup(mach, 1<<20, 0)
+	absent := kmer.MustFromString("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA")
+	if ix.OwnerOf(absent) < 24 {
+		t.Skip("absent seed owned on-node for thread 0; cache path not exercised")
+	}
+
+	m := upc.MustNewMachine(mach)
+	m.RunPhase("lookup", func(th *upc.Thread) {
+		if th.ID != 0 {
+			return
+		}
+		for i := 0; i < 3; i++ {
+			if _, ok := g.Lookup(th, ix, absent); ok {
+				t.Error("absent seed reported found")
+			}
+		}
+	})
+	sc := g.SeedCounters()
+	if sc.Hits != 2 {
+		t.Errorf("negative cache hits = %d, want 2", sc.Hits)
+	}
+}
+
+func TestGroupTargetCache(t *testing.T) {
+	mach := upc.Edison(96)
+	mach.Workers = 4
+	g := NewGroup(mach, 0, 10_000)
+	m := upc.MustNewMachine(mach)
+	var firstHit, secondHit bool
+	m.RunPhase("fetch", func(th *upc.Thread) {
+		if th.ID != 0 {
+			return
+		}
+		// Fragment owned by thread 50 (remote node).
+		firstHit = g.FetchTarget(th, 7, 500, 50)
+		secondHit = g.FetchTarget(th, 7, 500, 50)
+	})
+	if firstHit {
+		t.Error("first fetch reported as hit")
+	}
+	if !secondHit {
+		t.Error("second fetch missed the target cache")
+	}
+	tc := g.TargetCounters()
+	if tc.Hits != 1 || tc.Misses != 1 {
+		t.Errorf("target counters = %+v, want 1 hit 1 miss", tc)
+	}
+}
+
+func TestGroupOnNodeFetchBypassesCache(t *testing.T) {
+	mach := upc.Edison(96)
+	mach.Workers = 4
+	g := NewGroup(mach, 1<<20, 1<<20)
+	m := upc.MustNewMachine(mach)
+	m.RunPhase("fetch", func(th *upc.Thread) {
+		if th.ID != 0 {
+			return
+		}
+		g.FetchTarget(th, 3, 100, 5) // owner on same node
+		g.FetchTarget(th, 3, 100, 5)
+	})
+	tc := g.TargetCounters()
+	if tc.Hits != 0 || tc.Misses != 0 {
+		t.Errorf("on-node fetches touched the cache: %+v", tc)
+	}
+}
+
+func TestGroupCountersAggregateAcrossNodes(t *testing.T) {
+	mach := upc.Edison(96)
+	mach.Workers = 4
+	g := NewGroup(mach, 1<<20, 1<<20)
+	m := upc.MustNewMachine(mach)
+	m.RunPhase("fetch", func(th *upc.Thread) {
+		if th.ID%24 != 0 {
+			return // one thread per node
+		}
+		owner := (th.ID + 48) % 96 // two nodes away
+		g.FetchTarget(th, int32(th.Node), 100, owner)
+		g.FetchTarget(th, int32(th.Node), 100, owner)
+	})
+	tc := g.TargetCounters()
+	if tc.Hits != 4 || tc.Misses != 4 {
+		t.Errorf("aggregated counters = %+v, want 4 hits 4 misses", tc)
+	}
+}
+
+func ExampleReuseProbability() {
+	for _, cores := range []int{480, 3840, 15360} {
+		fmt.Printf("%5d cores: %.3f\n", cores, ReuseProbability(50, cores, 24))
+	}
+	// Output:
+	//   480 cores: 0.919
+	//  3840 cores: 0.265
+	// 15360 cores: 0.074
+}
+
+func BenchmarkLRUGetHit(b *testing.B) {
+	c := NewLRU[kmer.Kmer, int](1 << 20)
+	km := kmer.MustFromString("ACGTACGTACGTACGTACG")
+	c.Put(km, 1, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(km)
+	}
+}
+
+func BenchmarkLRUPutEvict(b *testing.B) {
+	c := NewLRU[int, int](1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(i, i, 64)
+	}
+}

@@ -1,0 +1,167 @@
+// Package cache implements the paper's per-node software caches (§III-B):
+// a seed-index cache holding lookup results for seeds owned by remote nodes,
+// and a target cache holding remote target fragments. Each node dedicates a
+// bounded number of bytes of its shared memory to each cache; any thread of
+// the node may hit entries populated by its 23 siblings.
+//
+// It also provides the analytic seed-reuse model behind Fig 7: with f
+// occurrences of a seed spread uniformly over m nodes, the probability that
+// a node sees the seed at least twice (and therefore can hit its own cache)
+// is 1 - (1 - 1/m)^(f-1) — the balls-into-bins argument of §III-B.
+package cache
+
+import (
+	"container/list"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// LRU is a byte-budgeted least-recently-used cache, safe for concurrent use
+// by the threads of one simulated node.
+type LRU[K comparable, V any] struct {
+	mu   sync.Mutex
+	cap  int64
+	used int64
+	ll   *list.List // front = most recent
+	m    map[K]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key   K
+	value V
+	size  int64
+}
+
+// NewLRU returns a cache holding at most capBytes of entry payload.
+// capBytes <= 0 yields an always-miss cache (the "no cache" ablation).
+func NewLRU[K comparable, V any](capBytes int64) *LRU[K, V] {
+	return &LRU[K, V]{cap: capBytes, ll: list.New(), m: make(map[K]*list.Element)}
+}
+
+// Get returns the cached value and whether it was present, updating recency
+// and the hit/miss counters.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry[K, V]).value, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Contains reports presence without recency update or counter change.
+func (c *LRU[K, V]) Contains(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[key]
+	return ok
+}
+
+// Put inserts or refreshes an entry of the given payload size, evicting
+// least-recently-used entries until it fits. Entries larger than the whole
+// budget are not cached.
+func (c *LRU[K, V]) Put(key K, value V, size int64) {
+	if size > c.cap || size < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		ent := el.Value.(*lruEntry[K, V])
+		c.used += size - ent.size
+		ent.value, ent.size = value, size
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&lruEntry[K, V]{key: key, value: value, size: size})
+		c.m[key] = el
+		c.used += size
+	}
+	for c.used > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*lruEntry[K, V])
+		c.ll.Remove(back)
+		delete(c.m, ent.key)
+		c.used -= ent.size
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// UsedBytes returns the sum of cached entry sizes.
+func (c *LRU[K, V]) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// CapBytes returns the configured byte budget.
+func (c *LRU[K, V]) CapBytes() int64 { return c.cap }
+
+// CounterSnapshot is a point-in-time view of cache effectiveness.
+type CounterSnapshot struct{ Hits, Misses, Evictions int64 }
+
+// Counters returns the accumulated hit/miss/eviction counts.
+func (c *LRU[K, V]) Counters() CounterSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CounterSnapshot{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}
+
+// HitRate returns hits/(hits+misses), 0 when unused.
+func (s CounterSnapshot) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// ReuseProbability is Fig 7's analytic curve: the probability that at least
+// one of the other f-1 occurrences of a seed lands on the same node, with
+// reads assigned uniformly at random to m = cores/ppn nodes.
+func ReuseProbability(f float64, cores, ppn int) float64 {
+	if f <= 1 {
+		return 0
+	}
+	m := float64(cores) / float64(ppn)
+	if m <= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-1/m, f-1)
+}
+
+// SimulateReuse estimates the same probability by Monte Carlo: it tosses
+// f-1 balls into m bins 'trials' times and reports the fraction of trials in
+// which bin 0 received at least one ball. Validates the closed form.
+func SimulateReuse(rng *rand.Rand, f, cores, ppn, trials int) float64 {
+	m := cores / ppn
+	if m <= 1 {
+		return 1
+	}
+	hit := 0
+	for t := 0; t < trials; t++ {
+		for b := 0; b < f-1; b++ {
+			if rng.Intn(m) == 0 {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(trials)
+}

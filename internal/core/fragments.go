@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/lbl-repro/meraligner/internal/dna"
+	"github.com/lbl-repro/meraligner/internal/seqio"
+)
+
+// PartitionTargetsByBases splits targets into per-thread contiguous ranges
+// balanced by total BASES rather than by sequence count — each processor
+// reads a distinct, equally sized portion of the target file (§II-A), so a
+// thread holding one long contig gets fewer contigs than one holding many
+// short ones. Returns, for each thread, the [lo, hi) target index range.
+func PartitionTargetsByBases(targets []seqio.Seq, threads int) [][2]int {
+	prefix := make([]int64, len(targets)+1)
+	for i, t := range targets {
+		prefix[i+1] = prefix[i] + int64(t.Seq.Len())
+	}
+	total := prefix[len(targets)]
+	out := make([][2]int, threads)
+	lo := 0
+	for id := 0; id < threads; id++ {
+		targetEnd := total * int64(id+1) / int64(threads)
+		// First index whose prefix exceeds the byte budget for this thread.
+		hi := lo + sort.Search(len(targets)-lo, func(i int) bool {
+			return prefix[lo+i+1] > targetEnd
+		})
+		if id == threads-1 {
+			hi = len(targets)
+		}
+		out[id] = [2]int{lo, hi}
+		lo = hi
+	}
+	return out
+}
+
+// Fragment is one piece of a target sequence after the fragmentation of
+// §IV-A. Consecutive fragments of a target overlap by K-1 bases so that
+// their seed sets are disjoint and their union is exactly the target's seed
+// set. The fragment records where it came from, "to allow quick locating of
+// these subsequences later in the alignment".
+type Fragment struct {
+	Target int32 // parent target index
+	Start  int32 // genome offset of the fragment within the target
+	Len    int32 // fragment length in bases
+}
+
+// FragmentTable maps fragment ids to their provenance, plus per-target
+// unpacked base codes for Smith-Waterman. It is read-only after Build.
+type FragmentTable struct {
+	Frags   []Fragment
+	Targets []seqio.Seq
+	// codes[t] is the unpacked 2-bit code slice of target t (built once;
+	// Smith-Waterman and memcmp operate on codes).
+	codes [][]byte
+	// firstFrag[t] is the id of target t's first fragment.
+	firstFrag []int32
+	// owner[f] is the simulated thread owning fragment f's data (the
+	// thread that read the parent target).
+	owner []int32
+}
+
+// BuildFragmentTable fragments every target with fragment length F and
+// overlap k-1. F == 0 disables fragmentation (one fragment per target).
+// threads is the simulated machine width used to assign data owners;
+// targets are distributed contiguously, mirroring the read-targets phase.
+func BuildFragmentTable(targets []seqio.Seq, k, F, threads int) *FragmentTable {
+	ft := &FragmentTable{Targets: targets}
+	ft.codes = make([][]byte, len(targets))
+	ft.firstFrag = make([]int32, len(targets)+1)
+	// Data ownership mirrors the base-balanced read partition: the thread
+	// that read a target holds it in its shared segment.
+	owners := make([]int32, len(targets))
+	for id, r := range PartitionTargetsByBases(targets, threads) {
+		for t := r[0]; t < r[1]; t++ {
+			owners[t] = int32(id)
+		}
+	}
+	for t, tg := range targets {
+		ft.firstFrag[t] = int32(len(ft.Frags))
+		ft.codes[t] = tg.Seq.Codes()
+		L := tg.Seq.Len()
+		owner := owners[t]
+		if F == 0 || L <= F {
+			ft.Frags = append(ft.Frags, Fragment{Target: int32(t), Start: 0, Len: int32(L)})
+			ft.owner = append(ft.owner, owner)
+			continue
+		}
+		step := F - k + 1
+		for s := 0; s < L; s += step {
+			e := s + F
+			if e > L {
+				e = L
+			}
+			ft.Frags = append(ft.Frags, Fragment{Target: int32(t), Start: int32(s), Len: int32(e - s)})
+			ft.owner = append(ft.owner, owner)
+			if e == L {
+				break
+			}
+		}
+	}
+	ft.firstFrag[len(targets)] = int32(len(ft.Frags))
+	return ft
+}
+
+// NumFragments returns the total fragment count.
+func (ft *FragmentTable) NumFragments() int { return len(ft.Frags) }
+
+// TargetCodes returns the unpacked code slice of target t.
+func (ft *FragmentTable) TargetCodes(t int32) []byte { return ft.codes[t] }
+
+// TargetPackedBytes returns the packed (2-bit) byte size of target t — what
+// a target fetch moves over the network.
+func (ft *FragmentTable) TargetPackedBytes(t int32) int { return ft.Targets[t].Seq.PackedSize() }
+
+// Owner returns the simulated thread owning fragment f's data.
+func (ft *FragmentTable) Owner(f int32) int { return int(ft.owner[f]) }
+
+// FragRange returns the [first, last) fragment ids of target t.
+func (ft *FragmentTable) FragRange(t int32) (int32, int32) {
+	return ft.firstFrag[t], ft.firstFrag[t+1]
+}
+
+// FragSeq returns the packed sequence of fragment f (a view-copy).
+func (ft *FragmentTable) FragSeq(f int32) dna.Packed {
+	fr := ft.Frags[f]
+	return ft.Targets[fr.Target].Seq.Slice(int(fr.Start), int(fr.Start+fr.Len))
+}

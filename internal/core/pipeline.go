@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/lbl-repro/meraligner/internal/cache"
+	"github.com/lbl-repro/meraligner/internal/dht"
+	"github.com/lbl-repro/meraligner/internal/kmer"
+	"github.com/lbl-repro/meraligner/internal/seqio"
+	"github.com/lbl-repro/meraligner/internal/upc"
+)
+
+// Run executes the full merAligner pipeline (Algorithm 1) on the simulated
+// PGAS machine: parallel target I/O, seed extraction, distributed seed-index
+// construction, single-copy marking, parallel query I/O, and the aligning
+// phase. All data structures are real; time is simulated (see package upc).
+func Run(mach upc.MachineConfig, opt Options, targets, queries []seqio.Seq) (*Results, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := upc.NewMachine(mach)
+	if err != nil {
+		return nil, err
+	}
+
+	// The fragment table is built regardless of the exact-match setting so
+	// ablation runs share an identical workload decomposition; only the
+	// single-copy marking phase and the fast path are gated on ExactMatch.
+	ft := BuildFragmentTable(targets, opt.K, opt.FragmentLen, mach.Threads)
+
+	maxLoc := 0
+	if opt.MaxSeedHits > 0 {
+		maxLoc = opt.MaxSeedHits + 1
+	}
+	ix, err := dht.New(mach, dht.Config{K: opt.K, Mode: opt.Mode, S: opt.AggS, MaxLocList: maxLoc}, ft.NumFragments())
+	if err != nil {
+		return nil, err
+	}
+	g := cache.NewGroup(mach, opt.SeedCacheBytes, opt.TargetCacheBytes)
+
+	res := &Results{TotalReads: len(queries)}
+
+	// Targets are distributed by bases, not by count: each thread reads an
+	// equally sized slice of the target file (§II-A).
+	targetRanges := PartitionTargetsByBases(targets, mach.Threads)
+	var totalTargetBases int64
+	for _, t := range targets {
+		totalTargetBases += int64(t.Seq.Len())
+	}
+
+	// ---- Phase 1: read target sequences (parallel I/O) ----
+	targetBytes := opt.TargetBytesOnDisk
+	if targetBytes == 0 {
+		for _, t := range targets {
+			targetBytes += int64(t.Seq.PackedSize() + len(t.Name) + 8)
+		}
+	}
+	m.RunPhase(PhaseReadTargets, func(th *upc.Thread) {
+		lo, hi := targetRanges[th.ID][0], targetRanges[th.ID][1]
+		if lo < hi && totalTargetBases > 0 {
+			var bases int64
+			for t := lo; t < hi; t++ {
+				bases += int64(targets[t].Seq.Len())
+			}
+			th.ReadFile(int(targetBytes * bases / totalTargetBases))
+		}
+	})
+
+	// ---- Phase 2: extract seeds from targets and stage into the index ----
+	// Extraction work is partitioned by fragments (near-uniform base
+	// counts) so the phase stays balanced even when contig lengths are
+	// heavily skewed relative to the per-thread share.
+	m.RunPhase(PhaseExtract, func(th *upc.Thread) {
+		b := ix.NewBuilder(th)
+		lo, hi := mach.PartitionRange(ft.NumFragments(), th.ID)
+		var kbuf []kmer.Kmer
+		for f := lo; f < hi; f++ {
+			kbuf = kmer.Extract(ft.FragSeq(int32(f)), opt.K, kbuf[:0])
+			th.Compute(float64(len(kbuf)) * mach.SeedExtractCost)
+			for off, s := range kbuf {
+				canon, rc := s.Canonical(opt.K)
+				b.Add(dht.SeedEntry{Seed: canon, Loc: dht.Loc{
+					Frag: int32(f),
+					Off:  int32(off),
+					RC:   rc,
+				}})
+			}
+		}
+		b.Flush()
+	})
+
+	// ---- Phase 3: drain local-shared stacks into local buckets ----
+	m.RunPhase(PhaseDrain, func(th *upc.Thread) { ix.Drain(th) })
+
+	// ---- Phase 4: mark single-copy-seed fragments (§IV-A) ----
+	if opt.ExactMatch {
+		m.RunPhase(PhaseMark, func(th *upc.Thread) { ix.MarkSingleCopy(th) })
+	}
+
+	// ---- Phase 5: read query sequences (parallel I/O) ----
+	queryBytes := opt.QueryBytesOnDisk
+	if queryBytes == 0 {
+		for _, q := range queries {
+			queryBytes += int64(q.Seq.PackedSize() + len(q.Name) + len(q.Qual) + 8)
+		}
+	}
+	m.RunPhase(PhaseReadQueries, func(th *upc.Thread) {
+		lo, hi := mach.PartitionRange(len(queries), th.ID)
+		if lo < hi && len(queries) > 0 {
+			share := queryBytes * int64(hi-lo) / int64(len(queries))
+			th.ReadFile(int(share))
+		}
+	})
+
+	// Load balancing (§IV-B): permute the query order before chunking.
+	// The permutation models the offline shuffle of the input file.
+	order := make([]int32, len(queries))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	if opt.Permute {
+		rng := rand.New(rand.NewSource(opt.PermuteSeed))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+
+	// ---- Phase 6: align ----
+	perThread := make([]threadStats, mach.Threads)
+	m.RunPhase(PhaseAlign, func(th *upc.Thread) {
+		st := &perThread[th.ID]
+		if opt.CollectAlignments {
+			st.alignments = []Alignment{}
+		}
+		qp := newQueryProcessor(mach, opt, ix, ft, g)
+		lo, hi := mach.PartitionRange(len(order), th.ID)
+		for i := lo; i < hi; i++ {
+			qi := order[i]
+			qp.process(th, st, qi, queries[qi].Seq)
+		}
+	})
+
+	// ---- Merge ----
+	for i := range perThread {
+		st := &perThread[i]
+		res.AlignedReads += st.aligned
+		res.ExactPathReads += st.exact
+		res.TotalAlignments += st.totalAlignments
+		res.SWCalls += st.swCalls
+		if st.alignments != nil {
+			res.Alignments = append(res.Alignments, st.alignments...)
+		}
+	}
+	if opt.CollectAlignments {
+		sort.Slice(res.Alignments, func(i, j int) bool {
+			a, b := res.Alignments[i], res.Alignments[j]
+			if a.Query != b.Query {
+				return a.Query < b.Query
+			}
+			if a.Target != b.Target {
+				return a.Target < b.Target
+			}
+			return a.TStart < b.TStart
+		})
+	}
+	res.Phases = m.Phases()
+	res.SeedLookups = m.TotalCounters().SeedLookups
+	res.SeedCache = g.SeedCounters()
+	res.TargetCache = g.TargetCounters()
+	res.IndexStats = ix.Stats()
+	res.CommSeedLookupMax = g.CommSeedMax()
+	res.CommFetchTargetMax = g.CommTargetMax()
+	return res, nil
+}
+
+// threadStats accumulates per-simulated-thread results during the align
+// phase; merged single-threadedly afterwards.
+type threadStats struct {
+	aligned         int
+	exact           int
+	totalAlignments int64
+	swCalls         int64
+	alignments      []Alignment
+}
+
+// Summary renders headline numbers for humans.
+func (r *Results) Summary() string {
+	out := fmt.Sprintf("reads %d, aligned %d (%.1f%%), exact-path %d (%.1f%%), alignments %d, SW calls %d\n",
+		r.TotalReads, r.AlignedReads, 100*float64(r.AlignedReads)/float64(max(1, r.TotalReads)),
+		r.ExactPathReads, 100*float64(r.ExactPathReads)/float64(max(1, r.TotalReads)),
+		r.TotalAlignments, r.SWCalls)
+	for _, p := range r.Phases {
+		out += fmt.Sprintf("  %-24s %10.4fs (comp %.4f, comm %.4f, io %.4f)\n",
+			p.Name, p.Wall, p.MaxComp, p.MaxComm, p.MaxIO)
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"github.com/lbl-repro/meraligner/internal/align"
+	"github.com/lbl-repro/meraligner/internal/cache"
+	"github.com/lbl-repro/meraligner/internal/dht"
+	"github.com/lbl-repro/meraligner/internal/dna"
+	"github.com/lbl-repro/meraligner/internal/kmer"
+	"github.com/lbl-repro/meraligner/internal/upc"
+)
+
+// candKey identifies a candidate alignment for deduplication: one target,
+// one strand, one seed diagonal.
+type candKey struct {
+	target int32
+	diag   int32
+	rc     bool
+}
+
+// queryProcessor holds the reusable per-thread state of the aligning phase.
+type queryProcessor struct {
+	opt   Options
+	ix    *dht.Index
+	ft    *FragmentTable
+	g     *cache.Group
+	costs upc.MachineConfig // cost constants for the hot loop
+
+	fwd, rc []byte // unpacked query codes, forward and reverse complement
+	seen    map[candKey]struct{}
+	found   []align.Result // alignments of the current query (for dedupe)
+	foundRC []bool
+	foundTg []int32
+}
+
+func newQueryProcessor(mach upc.MachineConfig, opt Options, ix *dht.Index, ft *FragmentTable, g *cache.Group) *queryProcessor {
+	return &queryProcessor{opt: opt, ix: ix, ft: ft, g: g, costs: mach, seen: make(map[candKey]struct{}, 16)}
+}
+
+// process aligns one query (Algorithm 1, lines 8-12, plus §IV
+// optimizations), charging the thread's cost model and accumulating into st.
+func (qp *queryProcessor) process(th *upc.Thread, st *threadStats, qi int32, q dna.Packed) {
+	opt := &qp.opt
+	L := q.Len()
+	if L < opt.K {
+		return
+	}
+	mach := &qp.costs
+	qp.fwd = q.AppendCodes(qp.fwd[:0])
+	qp.rc = qp.rc[:0]
+	clear(qp.seen)
+	qp.found = qp.found[:0]
+	qp.foundRC = qp.foundRC[:0]
+	qp.foundTg = qp.foundTg[:0]
+
+	// ---- Exact-match fast path (§IV-A) ----
+	firstSeedChecked := false
+	var firstRes dht.LookupResult
+	var firstOK bool
+	var firstCanon kmer.Kmer
+	var firstQRC bool
+	if opt.ExactMatch {
+		s0 := kmer.FromPacked(q, 0, opt.K)
+		th.Compute(mach.SeedExtractCost)
+		firstCanon, firstQRC = s0.Canonical(opt.K)
+		firstRes, firstOK = qp.g.Lookup(th, qp.ix, firstCanon)
+		firstSeedChecked = true
+		if firstOK && firstRes.Count == 1 && len(firstRes.Locs) == 1 {
+			loc := firstRes.Locs[0]
+			if qp.ix.SingleCopy(int(loc.Frag)) {
+				if a, ok := qp.tryExact(th, loc, firstQRC, L); ok {
+					a.Query = qi
+					st.exact++
+					st.aligned++
+					st.totalAlignments++
+					if st.alignments != nil {
+						a.Cigar = align.Cigar{{Op: 'M', Len: L}}.String()
+						st.alignments = append(st.alignments, a)
+					}
+					return // single lookup sufficed — minimal communication
+				}
+			}
+		}
+	}
+
+	// ---- General path: every seed, lookup, extend (lines 9-12) ----
+	stride := opt.stride()
+	for qoff := 0; qoff+opt.K <= L; qoff += stride {
+		var res dht.LookupResult
+		var ok bool
+		var qrc bool
+		if firstSeedChecked && qoff == 0 {
+			res, ok, qrc = firstRes, firstOK, firstQRC // reuse the fast-path lookup
+		} else {
+			s := kmer.FromPacked(q, qoff, opt.K)
+			th.Compute(mach.SeedExtractCost)
+			var canon kmer.Kmer
+			canon, qrc = s.Canonical(opt.K)
+			res, ok = qp.g.Lookup(th, qp.ix, canon)
+		}
+		if !ok {
+			continue
+		}
+		if opt.MaxSeedHits > 0 && int(res.Count) > opt.MaxSeedHits {
+			continue // §IV-C sensitivity threshold
+		}
+		for _, loc := range res.Locs {
+			qp.candidate(th, st, loc, qrc, qoff, L)
+		}
+	}
+
+	if len(qp.found) > 0 {
+		st.aligned++
+	}
+	for i, a := range qp.found {
+		st.totalAlignments++
+		if st.alignments != nil {
+			st.alignments = append(st.alignments, Alignment{
+				Query:  qi,
+				Target: qp.foundTg[i],
+				RC:     qp.foundRC[i],
+				Score:  int32(a.Score),
+				QStart: int32(a.QStart), QEnd: int32(a.QEnd),
+				TStart: int32(a.TStart), TEnd: int32(a.TEnd),
+				Cigar: a.Cigar.String(),
+			})
+		}
+	}
+}
+
+// tryExact attempts the single-lookup exact match: the query's first seed
+// hit a single-copy-seed fragment exactly once; if the whole query matches
+// the target there with a plain comparison, Lemma 1 guarantees the
+// alignment is unique and no further lookups or Smith-Waterman are needed.
+func (qp *queryProcessor) tryExact(th *upc.Thread, loc dht.Loc, qrc bool, L int) (Alignment, bool) {
+	frag := qp.ft.Frags[loc.Frag]
+	rc := qrc != loc.RC
+	qoffEff := 0
+	if rc {
+		qoffEff = L - qp.opt.K // seed position within the reverse-complemented query
+	}
+	tOff := int(frag.Start) + int(loc.Off) - qoffEff
+	tcodes := qp.ft.TargetCodes(frag.Target)
+	if tOff < 0 || tOff+L > len(tcodes) {
+		return Alignment{}, false // query overhangs the target: general path
+	}
+	qp.g.FetchTarget(th, frag.Target, qp.ft.TargetPackedBytes(frag.Target), qp.ft.Owner(loc.Frag))
+	th.Compute(float64((L+3)/4) * qp.costs.MemcmpCost)
+	th.Counters.MemcmpBytes += int64((L + 3) / 4)
+	qc := qp.queryCodes(rc, L)
+	for i := 0; i < L; i++ {
+		if qc[i] != tcodes[tOff+i] {
+			return Alignment{}, false
+		}
+	}
+	return Alignment{
+		Target: frag.Target,
+		RC:     rc,
+		Score:  int32(L * qp.opt.Scoring.Match),
+		QStart: 0, QEnd: int32(L),
+		TStart: int32(tOff), TEnd: int32(tOff + L),
+		Exact: true,
+	}, true
+}
+
+// candidate processes one seed hit on the general path: dedupe by
+// (target, strand, diagonal), fetch the target through the cache, and run
+// striped Smith-Waterman on the seed window.
+func (qp *queryProcessor) candidate(th *upc.Thread, st *threadStats, loc dht.Loc, qrc bool, qoff, L int) {
+	frag := qp.ft.Frags[loc.Frag]
+	rc := qrc != loc.RC
+	qoffEff := qoff
+	if rc {
+		qoffEff = L - qoff - qp.opt.K
+	}
+	seedT := int(frag.Start) + int(loc.Off) // seed position in the target
+	diag := int32(seedT - qoffEff)
+	key := candKey{target: frag.Target, diag: diag, rc: rc}
+	if _, dup := qp.seen[key]; dup {
+		return
+	}
+	qp.seen[key] = struct{}{}
+
+	tcodes := qp.ft.TargetCodes(frag.Target)
+	qp.g.FetchTarget(th, frag.Target, qp.ft.TargetPackedBytes(frag.Target), qp.ft.Owner(loc.Frag))
+
+	qc := qp.queryCodes(rc, L)
+	winLo := seedT - qoffEff - qp.opt.ExtendPad
+	if winLo < 0 {
+		winLo = 0
+	}
+	winHi := seedT + (L - qoffEff) + qp.opt.ExtendPad
+	if winHi > len(tcodes) {
+		winHi = len(tcodes)
+	}
+	cells := align.Cells(L, winHi-winLo)
+	th.Compute(qp.costs.SWSetupCost + float64(cells)*qp.costs.SWCellCost)
+	th.Counters.SWCells += cells
+	th.Counters.SWCalls++
+	st.swCalls++
+
+	var res align.Result
+	if st.alignments == nil && qp.opt.Extend == nil {
+		// Statistics-only runs use the striped score kernel (as the real
+		// code does); end-points are derived from the striped result, and
+		// the traceback is skipped entirely.
+		sr := align.StripedScore(qc, tcodes[winLo:winHi], qp.opt.Scoring)
+		res = align.Result{Score: sr.Score, TStart: winLo + sr.TEnd, TEnd: winLo + sr.TEnd}
+	} else {
+		extend := qp.opt.Extend
+		if extend == nil {
+			extend = align.ExtendSeed
+		}
+		res = extend(qc, tcodes, qoffEff, seedT, qp.opt.K, qp.opt.Scoring, qp.opt.ExtendPad)
+	}
+
+	if res.Score < qp.opt.minScore() {
+		return
+	}
+	// Dedupe identical alignments reached from different seed diagonals.
+	for i := range qp.found {
+		if qp.foundTg[i] == frag.Target && qp.foundRC[i] == rc &&
+			qp.found[i].TStart == res.TStart && qp.found[i].QStart == res.QStart {
+			return
+		}
+	}
+	qp.found = append(qp.found, res)
+	qp.foundRC = append(qp.foundRC, rc)
+	qp.foundTg = append(qp.foundTg, frag.Target)
+}
+
+// queryCodes returns the query's code slice on the requested strand,
+// computing the reverse complement lazily.
+func (qp *queryProcessor) queryCodes(rc bool, L int) []byte {
+	if !rc {
+		return qp.fwd
+	}
+	if len(qp.rc) != L {
+		qp.rc = qp.rc[:0]
+		for i := L - 1; i >= 0; i-- {
+			qp.rc = append(qp.rc, 3-qp.fwd[i])
+		}
+	}
+	return qp.rc
+}

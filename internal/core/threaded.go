@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/lbl-repro/meraligner/internal/seqio"
+	"github.com/lbl-repro/meraligner/internal/upc"
+)
+
+// RunThreaded executes merAligner in shared-memory mode: the same pipeline
+// as Run, but with one real goroutine per simulated thread on a single
+// "node", so the PhaseStat.RealWall values are genuine wall-clock
+// measurements of parallel execution on the host. This is the merAligner
+// configuration of Fig 11 (single node of Edison, 1-24 cores).
+//
+// Communication degenerates to shared-memory access (everything is
+// same-node), caches are bypassed, and the distributed index becomes a
+// sharded in-memory hash table built with the same two-stage lock-free
+// scheme — exactly what the UPC code does when run on one node.
+func RunThreaded(threads int, opt Options, targets, queries []seqio.Seq) (*Results, error) {
+	if threads <= 0 {
+		return nil, fmt.Errorf("core: threads must be positive, got %d", threads)
+	}
+	mach := upc.Edison(threads)
+	mach.PPN = threads // one node
+	mach.Workers = threads
+	return Run(mach, opt, targets, queries)
+}
+
+// TotalRealWall sums the real wall-clock seconds of all phases — the
+// measured end-to-end runtime in threaded mode.
+func (r *Results) TotalRealWall() float64 {
+	var s float64
+	for _, p := range r.Phases {
+		s += p.RealWall
+	}
+	return s
+}

@@ -1,0 +1,228 @@
+// Package core implements merAligner itself: Algorithm 1 of the paper — a
+// fully parallel seed-and-extend aligner over the distributed seed index —
+// together with all four of its alignment optimizations: the exact-match
+// fast path built on single-copy-seed detection and target fragmentation
+// (§IV-A), load balancing by input permutation (§IV-B), the
+// max-alignments-per-seed sensitivity threshold (§IV-C), and per-node
+// software caching of seeds and targets (§III-B).
+//
+// Two execution modes are provided: Run executes on the simulated PGAS
+// machine of package upc (for the strong-scaling and ablation experiments),
+// and RunThreaded executes the same algorithm with real goroutines and
+// wall-clock time on the host (the single-node comparison of Fig 11).
+package core
+
+import (
+	"fmt"
+
+	"github.com/lbl-repro/meraligner/internal/align"
+	"github.com/lbl-repro/meraligner/internal/cache"
+	"github.com/lbl-repro/meraligner/internal/dht"
+	"github.com/lbl-repro/meraligner/internal/upc"
+)
+
+// Options configures a merAligner run. The zero value is not usable; start
+// from DefaultOptions.
+type Options struct {
+	K       int           // seed length (paper: 51 for human/wheat, 19 for E. coli)
+	Scoring align.Scoring // Smith-Waterman parameters
+
+	// Distributed index construction.
+	Mode dht.BuildMode // Aggregating (default) or FineGrained (Fig 8 ablation)
+	AggS int           // aggregation buffer size S (paper: 1000)
+
+	// Software caches, per-node byte budgets (Fig 9 ablation: set to 0).
+	SeedCacheBytes   int64
+	TargetCacheBytes int64
+
+	// Exact-match optimization (Fig 10 ablation).
+	ExactMatch  bool
+	FragmentLen int // target fragmentation length F (0 disables fragmentation)
+
+	// Sensitivity threshold: seeds occurring more often than this are
+	// skipped during candidate generation (0 = unlimited) — §IV-C.
+	MaxSeedHits int
+
+	// Load balancing (Table I): permute the query order before chunking.
+	Permute     bool
+	PermuteSeed int64
+
+	// SeedStride looks up every SeedStride-th query seed on the general
+	// path (1 = every seed, the paper's behavior). Larger strides trade
+	// sensitivity for speed on scaled-down workloads.
+	SeedStride int
+
+	// ExtendPad widens the Smith-Waterman window around the seed diagonal.
+	ExtendPad int
+
+	// MinScore filters reported alignments; 0 defaults to K (a bare seed).
+	MinScore int
+
+	// CollectAlignments retains full alignment records (with cigars).
+	// Disable for large simulated runs where only statistics matter.
+	CollectAlignments bool
+
+	// QueryBytesOnDisk/TargetBytesOnDisk let callers charge the I/O phases
+	// with realistic on-disk sizes (e.g. SeqDB files); when zero, the
+	// packed in-memory sizes are charged.
+	QueryBytesOnDisk  int64
+	TargetBytesOnDisk int64
+
+	// Extend replaces the seed-extension engine (§VIII: "the Striped
+	// Smith-Waterman local alignment engine could easily be replaced with
+	// any other local alignment software tool"). nil uses the built-in
+	// striped Smith-Waterman via align.ExtendSeed.
+	Extend ExtendFunc
+}
+
+// ExtendFunc is a pluggable seed-extension engine: it locally aligns query
+// against target given a seed match of length k at query offset qOff and
+// target offset tOff, searching a window widened by pad.
+type ExtendFunc func(query, target []byte, qOff, tOff, k int, sc align.Scoring, pad int) align.Result
+
+// DefaultOptions returns the paper's configuration for a given seed length.
+func DefaultOptions(k int) Options {
+	return Options{
+		K:                k,
+		Scoring:          align.DefaultScoring,
+		Mode:             dht.Aggregating,
+		AggS:             1000,
+		SeedCacheBytes:   16 << 20, // scaled-down analogue of 16 GB/node
+		TargetCacheBytes: 6 << 20,  // scaled-down analogue of 6 GB/node
+		ExactMatch:       true,
+		FragmentLen:      2000,
+		MaxSeedHits:      1000,
+		Permute:          true,
+		PermuteSeed:      12345,
+		SeedStride:       1,
+		ExtendPad:        24,
+	}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.K <= 0 || o.K > 64 {
+		return fmt.Errorf("core: K=%d out of range 1..64", o.K)
+	}
+	if err := o.Scoring.Validate(); err != nil {
+		return err
+	}
+	if o.SeedStride < 0 {
+		return fmt.Errorf("core: negative SeedStride")
+	}
+	if o.FragmentLen != 0 && o.FragmentLen <= o.K {
+		return fmt.Errorf("core: FragmentLen %d must exceed K %d", o.FragmentLen, o.K)
+	}
+	return nil
+}
+
+func (o Options) minScore() int {
+	if o.MinScore > 0 {
+		return o.MinScore
+	}
+	return o.K
+}
+
+func (o Options) stride() int {
+	if o.SeedStride <= 0 {
+		return 1
+	}
+	return o.SeedStride
+}
+
+// Alignment is one reported query-to-target local alignment.
+type Alignment struct {
+	Query  int32 // query index
+	Target int32 // target (contig) index
+	RC     bool  // query aligned on the reverse strand
+	Score  int32
+	QStart int32 // query interval [QStart, QEnd)
+	QEnd   int32
+	TStart int32 // target interval [TStart, TEnd)
+	TEnd   int32
+	Exact  bool   // produced by the exact-match fast path
+	Cigar  string // only when Options.CollectAlignments
+}
+
+// Results aggregates a complete run.
+type Results struct {
+	// Phase timings, in pipeline order. Wall is simulated seconds for Run
+	// and real seconds for RunThreaded.
+	Phases []upc.PhaseStat
+
+	TotalReads      int
+	AlignedReads    int // reads with >= 1 reported alignment
+	ExactPathReads  int // reads resolved entirely by the fast path
+	TotalAlignments int64
+	SWCalls         int64
+	SeedLookups     int64
+
+	SeedCache   cache.CounterSnapshot
+	TargetCache cache.CounterSnapshot
+	IndexStats  dht.Stats
+
+	// Communication split of the align phase (Fig 9): simulated seconds of
+	// the slowest thread spent on seed lookups vs target fetches.
+	CommSeedLookupMax  float64
+	CommFetchTargetMax float64
+
+	Alignments []Alignment // populated when Options.CollectAlignments
+}
+
+// Phase returns the named phase, or false.
+func (r *Results) Phase(name string) (upc.PhaseStat, bool) {
+	for _, p := range r.Phases {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return upc.PhaseStat{}, false
+}
+
+// TotalWall sums all phase wall times (end-to-end runtime).
+func (r *Results) TotalWall() float64 {
+	var s float64
+	for _, p := range r.Phases {
+		s += p.Wall
+	}
+	return s
+}
+
+// IndexWall sums the index-construction phases (extract+stage, drain, mark).
+func (r *Results) IndexWall() float64 {
+	var s float64
+	for _, p := range r.Phases {
+		switch p.Name {
+		case PhaseExtract, PhaseDrain, PhaseMark:
+			s += p.Wall
+		}
+	}
+	return s
+}
+
+// AlignWall returns the aligning-phase wall time.
+func (r *Results) AlignWall() float64 {
+	p, _ := r.Phase(PhaseAlign)
+	return p.Wall
+}
+
+// IOWall sums the I/O phases.
+func (r *Results) IOWall() float64 {
+	var s float64
+	for _, p := range r.Phases {
+		if p.Name == PhaseReadTargets || p.Name == PhaseReadQueries {
+			s += p.Wall
+		}
+	}
+	return s
+}
+
+// Phase names, in pipeline order.
+const (
+	PhaseReadTargets = "read targets (I/O)"
+	PhaseExtract     = "extract+stage seeds"
+	PhaseDrain       = "drain seed index"
+	PhaseMark        = "mark single-copy"
+	PhaseReadQueries = "read queries (I/O)"
+	PhaseAlign       = "align"
+)

@@ -1,0 +1,158 @@
+// Package eval measures alignment accuracy against the read simulator's
+// ground truth — the machinery behind the paper's accuracy statements
+// (§VI-D: merAligner aligned 86.3% of human reads and 97.4% of E. coli
+// reads; "the algorithm is guaranteed to identify all alignments that share
+// at least one identically matching stretch of at least length(seed)
+// consecutive bases").
+package eval
+
+import (
+	"fmt"
+
+	"github.com/lbl-repro/meraligner/internal/core"
+	"github.com/lbl-repro/meraligner/internal/genome"
+)
+
+// Outcome classifies one read's alignment result.
+type Outcome int
+
+const (
+	// Correct: an alignment was reported at the read's true origin
+	// (same contig, same strand, position within Tolerance).
+	Correct Outcome = iota
+	// Misplaced: alignments reported, none at the true origin.
+	Misplaced
+	// Unaligned: no alignments reported for a read whose origin lies
+	// inside a contig.
+	Unaligned
+	// Unmappable: the read's origin falls in a region no contig covers
+	// (or spans a contig edge) — no aligner can place it.
+	Unmappable
+)
+
+// Metrics summarizes an evaluation.
+type Metrics struct {
+	Total      int
+	Correct    int
+	Misplaced  int
+	Unaligned  int
+	Unmappable int
+}
+
+// AlignedFraction is the fraction of all reads with >= 1 alignment — the
+// quantity the paper reports (86.3% / 97.4%).
+func (m Metrics) AlignedFraction() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.Correct+m.Misplaced) / float64(m.Total)
+}
+
+// Sensitivity is the fraction of mappable reads placed correctly.
+func (m Metrics) Sensitivity() float64 {
+	mappable := m.Total - m.Unmappable
+	if mappable == 0 {
+		return 0
+	}
+	return float64(m.Correct) / float64(mappable)
+}
+
+// Precision is the fraction of aligned reads placed correctly.
+func (m Metrics) Precision() float64 {
+	aligned := m.Correct + m.Misplaced
+	if aligned == 0 {
+		return 0
+	}
+	return float64(m.Correct) / float64(aligned)
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("total %d: correct %d, misplaced %d, unaligned %d, unmappable %d "+
+		"(aligned %.1f%%, sensitivity %.3f, precision %.3f)",
+		m.Total, m.Correct, m.Misplaced, m.Unaligned, m.Unmappable,
+		100*m.AlignedFraction(), m.Sensitivity(), m.Precision())
+}
+
+// Options for evaluation.
+type Options struct {
+	// Tolerance allows the reported target start to deviate from the true
+	// position by this many bases (indels shift local alignments).
+	Tolerance int
+}
+
+// Evaluate scores a run's alignments against the data set's ground truth.
+// Results must have been produced with CollectAlignments enabled.
+func Evaluate(ds *genome.DataSet, res *core.Results, opt Options) Metrics {
+	if opt.Tolerance == 0 {
+		opt.Tolerance = 8
+	}
+	byQuery := make(map[int32][]core.Alignment, len(ds.Reads))
+	for _, a := range res.Alignments {
+		byQuery[a.Query] = append(byQuery[a.Query], a)
+	}
+
+	L := ds.Profile.ReadLen
+	m := Metrics{Total: len(ds.Reads)}
+	for qi, org := range ds.Origins {
+		tgt, tOff, inside := locate(ds, org.Pos, L)
+		as := byQuery[int32(qi)]
+		if !inside {
+			m.Unmappable++
+			continue
+		}
+		if len(as) == 0 {
+			m.Unaligned++
+			continue
+		}
+		found := false
+		for _, a := range as {
+			if int(a.Target) != tgt || a.RC != org.RC {
+				continue
+			}
+			// The alignment may be clipped; compare implied read-start
+			// positions: TStart - QStart on the aligned strand.
+			implied := int(a.TStart) - int(a.QStart)
+			if abs(implied-tOff) <= opt.Tolerance {
+				found = true
+				break
+			}
+		}
+		if found {
+			m.Correct++
+		} else {
+			m.Misplaced++
+		}
+	}
+	return m
+}
+
+// locate maps a genome position to (contig index, offset) if [pos, pos+L)
+// lies fully inside one contig.
+func locate(ds *genome.DataSet, pos, L int) (int, int, bool) {
+	// Binary search over sorted contig starts.
+	lo, hi := 0, len(ds.ContigPos)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ds.ContigPos[mid] <= pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo - 1
+	if i < 0 {
+		return 0, 0, false
+	}
+	end := ds.ContigPos[i] + ds.Contigs[i].Seq.Len()
+	if pos+L <= end {
+		return i, pos - ds.ContigPos[i], true
+	}
+	return 0, 0, false
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

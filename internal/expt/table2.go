@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"fmt"
+
+	"github.com/lbl-repro/meraligner/internal/baseline"
+	"github.com/lbl-repro/meraligner/internal/core"
+	"github.com/lbl-repro/meraligner/internal/upc"
+)
+
+// Table2 reproduces the end-to-end comparison at the paper's 7,680-core
+// point: merAligner (fully parallel) against pMap-driven BWA-mem-like and
+// Bowtie2-like runs, whose seed-index construction is serial. Baseline
+// mapping work is measured by really running the baseline mappers on a
+// read sample and projecting with the pMap model; merAligner numbers come
+// from the simulator on the identical workload.
+func Table2(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID:    "table2",
+		Title: "End-to-end comparison at 7,680 cores (human-like workload)",
+		Paper: "merAligner 284s total (index 21s P, map 263s P); BWA-mem 5,805s (index 5,384s S); " +
+			"Bowtie2 11,119s (index 10,916s S); merAligner 20.4x and 39.4x faster",
+		Headers: []string{"aligner", "index constr (s)", "mapping (s)", "total (s)", "speedup", "aligned %"},
+	}
+	ds, err := mkData(cfg.humanProfile())
+	if err != nil {
+		return nil, err
+	}
+	const paperCores = 7680
+	threads := cfg.scaledCores(paperCores)
+	mach := upc.Edison(threads)
+	mach.Workers = cfg.Workers
+	mach.Seed = cfg.Seed
+
+	// --- merAligner (simulated, fully parallel) ---
+	opt := scaledOptions()
+	mer, err := core.Run(mach, opt, ds.Contigs, ds.Reads)
+	if err != nil {
+		return nil, err
+	}
+	merIndex := mer.IndexWall()
+	merMap := mer.AlignWall() + mer.IOWall()
+	merTotal := merIndex + merMap
+	merAlignedPct := 100 * float64(mer.AlignedReads) / float64(max(1, mer.TotalReads))
+	rep.AddRow("merAligner", secs(merIndex)+" (P)", secs(merMap)+" (P)", secs(merTotal), "1.0x",
+		fmt.Sprintf("%.1f", merAlignedPct))
+
+	// --- Baselines via measured work + pMap projection ---
+	sample := ds.Reads
+	const maxSample = 20000
+	scale := 1.0
+	if len(sample) > maxSample {
+		scale = float64(len(sample)) / maxSample
+		sample = sample[:maxSample]
+	}
+	var readBytes int64
+	for _, r := range ds.Reads {
+		readBytes += int64(r.Seq.Len()*2 + 40)
+	}
+	model := baseline.DefaultPMapModel(mach)
+	for _, bopt := range []baseline.Options{baseline.BWAMemOptions(), baseline.Bowtie2Options()} {
+		res, err := baseline.RunSingleNode(max(1, cfg.Workers), ds.Contigs, sample, bopt)
+		if err != nil {
+			return nil, err
+		}
+		st := res.Stats
+		st.SWCells = int64(float64(st.SWCells) * scale)
+		st.SWCalls = int64(float64(st.SWCalls) * scale)
+		ops := res.SearchOps
+		ops.FMProbes = int64(float64(ops.FMProbes) * scale)
+		ops.LocateSteps = int64(float64(ops.LocateSteps) * scale)
+		proj := model.Project(bopt.Tool, res.BuildOps, ops, st, res.IndexBytes, len(ds.Reads), readBytes)
+
+		alignedPct := 100 * float64(res.Stats.Aligned) / float64(max(1, len(sample)))
+		rep.AddRow(bopt.Tool.String()+" (pMap)",
+			secs(proj.IndexBuildWall+proj.ReplicationWall)+" (S)",
+			secs(proj.MapWall)+" (P)", secs(proj.Total()),
+			ratio(proj.Total(), merTotal),
+			fmt.Sprintf("%.1f", alignedPct))
+		rep.Note("%s: read partitioning by single master would add %ss (excluded, as in the paper)",
+			bopt.Tool, secs(proj.ReadPartitionWall))
+	}
+	rep.Note("merAligner aligned %.1f%% of reads (paper: 86.3%% human; BWA-mem 83.8%%, Bowtie2 82.6%%)", merAlignedPct)
+	rep.Note("simulated at %d threads = paper 7,680 cores / CoreScale %d; serial-vs-parallel index "+
+		"construction is the structural bottleneck being reproduced", threads, cfg.coreScale())
+	return rep, nil
+}

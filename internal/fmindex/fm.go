@@ -1,0 +1,200 @@
+package fmindex
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Alphabet: input text uses 2-bit DNA codes 0..3; internally every code is
+// shifted by +1 so that 0 is the unique sentinel appended to the text.
+const (
+	sigma     = 5  // sentinel + ACGT
+	occStride = 64 // occ checkpoint interval
+	saSample  = 32 // suffix-array sampling rate
+)
+
+// FM is an FM-index over a DNA text.
+type FM struct {
+	n   int    // text length including sentinel
+	bwt []byte // Burrows-Wheeler transform (values 0..4)
+	c   [sigma + 1]int32
+
+	// occ checkpoints: occCp[(i/occStride)*sigma + ch] = occurrences of ch
+	// in bwt[0:i-i%occStride].
+	occCp []int32
+
+	// Sampled suffix array: rows i with sa[i] % saSample == 0 are marked in
+	// sampledBits; their sa values are in sampleVal, indexed by the rank of
+	// the marked row.
+	sampledBits []uint64
+	sampleRank  []int32 // popcount prefix per 64-row block
+	sampleVal   []int32
+
+	// Ops tallies search work; construction work is reported separately.
+	Ops Ops
+	// BuildOps is the construction work (suffix array + BWT + tables).
+	BuildOps Ops
+}
+
+// New builds the FM-index of a DNA code text (values 0..3). The sentinel is
+// appended internally. Construction is serial — that is the point of the
+// baseline comparison.
+func New(codes []byte) (*FM, error) {
+	for i, c := range codes {
+		if c > 3 {
+			return nil, fmt.Errorf("fmindex: code %d at position %d out of range", c, i)
+		}
+	}
+	text := make([]byte, len(codes)+1)
+	for i, c := range codes {
+		text[i] = c + 1
+	}
+	text[len(codes)] = 0
+
+	f := &FM{n: len(text)}
+	sa := BuildSuffixArray(text, &f.BuildOps)
+
+	// BWT.
+	f.bwt = make([]byte, f.n)
+	for i, s := range sa {
+		if s == 0 {
+			f.bwt[i] = text[f.n-1]
+		} else {
+			f.bwt[i] = text[s-1]
+		}
+	}
+	f.BuildOps.SortOps += int64(f.n)
+
+	// C array.
+	var counts [sigma]int32
+	for _, ch := range text {
+		counts[ch]++
+	}
+	for ch := 1; ch <= sigma; ch++ {
+		f.c[ch] = f.c[ch-1] + counts[ch-1]
+	}
+
+	// Occ checkpoints.
+	nCp := (f.n + occStride - 1) / occStride
+	f.occCp = make([]int32, (nCp+1)*sigma)
+	var run [sigma]int32
+	for i := 0; i < f.n; i++ {
+		if i%occStride == 0 {
+			copy(f.occCp[(i/occStride)*sigma:], run[:])
+		}
+		run[f.bwt[i]]++
+	}
+	copy(f.occCp[nCp*sigma:], run[:])
+	f.BuildOps.SortOps += int64(f.n)
+
+	// Sampled SA.
+	nBlocks := (f.n + 63) / 64
+	f.sampledBits = make([]uint64, nBlocks)
+	f.sampleRank = make([]int32, nBlocks+1)
+	for i, s := range sa {
+		if s%saSample == 0 {
+			f.sampledBits[i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+	for b := 0; b < nBlocks; b++ {
+		f.sampleRank[b+1] = f.sampleRank[b] + int32(bits.OnesCount64(f.sampledBits[b]))
+	}
+	f.sampleVal = make([]int32, f.sampleRank[nBlocks])
+	for i, s := range sa {
+		if s%saSample == 0 {
+			f.sampleVal[f.rankSampled(int32(i))] = s
+		}
+	}
+	f.BuildOps.SortOps += int64(f.n)
+	return f, nil
+}
+
+// Len returns the indexed text length including the sentinel.
+func (f *FM) Len() int { return f.n }
+
+// IndexBytes estimates the index memory footprint — what a pMap instance
+// must replicate per process (Table II's memory constraint).
+func (f *FM) IndexBytes() int64 {
+	return int64(len(f.bwt)) + int64(len(f.occCp))*4 +
+		int64(len(f.sampledBits))*8 + int64(len(f.sampleRank))*4 + int64(len(f.sampleVal))*4
+}
+
+// occ returns the number of occurrences of ch in bwt[0:i]. Safe for
+// concurrent use: the work counter is updated atomically so parallel
+// mapping threads can share one index.
+func (f *FM) occ(ch byte, i int32) int32 {
+	atomic.AddInt64(&f.Ops.FMProbes, 1)
+	cp := int(i) / occStride
+	cnt := f.occCp[cp*sigma+int(ch)]
+	for j := cp * occStride; j < int(i); j++ {
+		if f.bwt[j] == ch {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// Count performs backward search for a DNA-code pattern (values 0..3) and
+// returns the SA interval [lo, hi) of exact matches.
+func (f *FM) Count(pat []byte) (lo, hi int32) {
+	lo, hi = 0, int32(f.n)
+	for i := len(pat) - 1; i >= 0 && lo < hi; i-- {
+		ch := pat[i] + 1
+		lo = f.c[ch] + f.occ(ch, lo)
+		hi = f.c[ch] + f.occ(ch, hi)
+	}
+	return lo, hi
+}
+
+// rankSampled returns the number of sampled rows before row i.
+func (f *FM) rankSampled(i int32) int32 {
+	b := int(i) / 64
+	r := f.sampleRank[b]
+	r += int32(bits.OnesCount64(f.sampledBits[b] & ((1 << (uint(i) % 64)) - 1)))
+	return r
+}
+
+func (f *FM) isSampled(i int32) bool {
+	return f.sampledBits[int(i)/64]&(1<<(uint(i)%64)) != 0
+}
+
+// lf is the last-to-first mapping.
+func (f *FM) lf(i int32) int32 {
+	ch := f.bwt[i]
+	return f.c[ch] + f.occ(ch, i)
+}
+
+// TextPos resolves SA row i to a text position by walking LF until a
+// sampled row is reached — the classic sampled-SA locate.
+func (f *FM) TextPos(row int32) int32 {
+	steps := int32(0)
+	for !f.isSampled(row) {
+		row = f.lf(row)
+		steps++
+	}
+	atomic.AddInt64(&f.Ops.LocateSteps, int64(steps))
+	pos := f.sampleVal[f.rankSampled(row)] + steps
+	if pos >= int32(f.n) {
+		pos -= int32(f.n)
+	}
+	return pos
+}
+
+// Locate returns up to maxHits text positions of the pattern, in
+// unspecified order. maxHits <= 0 means unlimited.
+func (f *FM) Locate(pat []byte, maxHits int) []int32 {
+	lo, hi := f.Count(pat)
+	n := int(hi - lo)
+	if n <= 0 {
+		return nil
+	}
+	if maxHits > 0 && n > maxHits {
+		n = maxHits
+	}
+	out := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, f.TextPos(lo+int32(i)))
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package fmindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/lbl-repro/meraligner/internal/dna"
+)
+
+// naiveSA computes the suffix array by direct comparison sorting.
+func naiveSA(text []byte) []int32 {
+	n := len(text)
+	sa := make([]int32, n)
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(a, b int) bool {
+		i, j := sa[a], sa[b]
+		for int(i) < n && int(j) < n {
+			if text[i] != text[j] {
+				return text[i] < text[j]
+			}
+			i++
+			j++
+		}
+		return int(i) == n
+	})
+	return sa
+}
+
+func TestSuffixArrayMatchesNaive(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0},
+		{1, 1, 1, 1},
+		{0, 1, 2, 3, 0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{1, 0, 1, 0, 1, 0, 1},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		n := 1 + rng.Intn(300)
+		txt := make([]byte, n)
+		for j := range txt {
+			txt[j] = byte(rng.Intn(4))
+		}
+		cases = append(cases, txt)
+	}
+	for ci, txt := range cases {
+		got := BuildSuffixArray(txt, nil)
+		want := naiveSA(txt)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("case %d: sa[%d] = %d, want %d", ci, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSuffixArrayProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		txt := make([]byte, n)
+		for j := range txt {
+			txt[j] = byte(rng.Intn(3)) // small alphabet stresses ties
+		}
+		got := BuildSuffixArray(txt, nil)
+		want := naiveSA(txt)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuffixArrayCountsOps(t *testing.T) {
+	var ops Ops
+	txt := make([]byte, 1000)
+	BuildSuffixArray(txt, &ops)
+	if ops.SortPasses == 0 || ops.SortOps == 0 {
+		t.Error("ops not counted")
+	}
+}
+
+// naiveFind returns all occurrences of pat in text by scanning.
+func naiveFind(text, pat []byte) []int32 {
+	var out []int32
+outer:
+	for i := 0; i+len(pat) <= len(text); i++ {
+		for j := range pat {
+			if text[i+j] != pat[j] {
+				continue outer
+			}
+		}
+		out = append(out, int32(i))
+	}
+	return out
+}
+
+func TestFMCountAndLocateMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	text := dna.Random(rng, 2000).Codes()
+	fm, err := New(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		plen := 1 + rng.Intn(30)
+		var pat []byte
+		if rng.Intn(2) == 0 && plen < len(text) {
+			start := rng.Intn(len(text) - plen)
+			pat = text[start : start+plen]
+		} else {
+			pat = make([]byte, plen)
+			for i := range pat {
+				pat[i] = byte(rng.Intn(4))
+			}
+		}
+		want := naiveFind(text, pat)
+		lo, hi := fm.Count(pat)
+		if int(hi-lo) != len(want) {
+			t.Fatalf("Count(%v) = %d, want %d", pat, hi-lo, len(want))
+		}
+		got := fm.Locate(pat, 0)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Locate mismatch at %d: %v vs %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestFMLocateMaxHits(t *testing.T) {
+	text := make([]byte, 1000) // all A: pattern AA occurs 999 times
+	fm, err := New(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := fm.Locate([]byte{0, 0}, 10)
+	if len(hits) != 10 {
+		t.Errorf("maxHits ignored: got %d", len(hits))
+	}
+}
+
+func TestFMEmptyAndMissingPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	text := dna.Random(rng, 500).Codes()
+	fm, err := New(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := fm.Count(nil)
+	if int(hi-lo) != fm.Len() {
+		t.Errorf("empty pattern should match every rotation: %d", hi-lo)
+	}
+	// A pattern longer than the text cannot match.
+	long := make([]byte, 600)
+	if hits := fm.Locate(long, 0); len(hits) != 0 {
+		t.Errorf("impossible pattern located: %v", hits)
+	}
+}
+
+func TestFMRejectsBadCodes(t *testing.T) {
+	if _, err := New([]byte{0, 1, 9}); err == nil {
+		t.Error("bad code accepted")
+	}
+}
+
+func TestFMSearchCountsOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	text := dna.Random(rng, 1000).Codes()
+	fm, err := New(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.BuildOps.SortOps == 0 {
+		t.Error("build ops not counted")
+	}
+	before := fm.Ops.FMProbes
+	fm.Count(text[10:40])
+	if fm.Ops.FMProbes <= before {
+		t.Error("search ops not counted")
+	}
+	if fm.IndexBytes() <= 0 {
+		t.Error("IndexBytes <= 0")
+	}
+}
+
+func BenchmarkBuildSA1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	text := dna.Random(rng, 1_000_000).Codes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildSuffixArray(text, nil)
+	}
+}
+
+func BenchmarkFMCount31(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	text := dna.Random(rng, 1_000_000).Codes()
+	fm, err := New(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat := text[5000:5031]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fm.Count(pat)
+	}
+}

@@ -1,0 +1,115 @@
+// Package fmindex implements the index machinery behind the BWA-mem-like
+// and Bowtie2-like baselines: suffix-array construction (Manber-Myers
+// prefix doubling with LSD radix sort — deliberately a serial algorithm, as
+// the baselines' index construction is the serial bottleneck the paper
+// measures in Table II), the Burrows-Wheeler transform, and an FM-index
+// with occurrence checkpoints and a sampled suffix array.
+//
+// All operations tally their work into an Ops counter so experiments can
+// convert the baselines' measured work into the same simulated-time units
+// as merAligner (see internal/upc).
+package fmindex
+
+// Ops counts the elementary operations of index construction and search.
+type Ops struct {
+	SortPasses  int64 // radix/counting passes over the full text
+	SortOps     int64 // element moves during suffix-array construction
+	FMProbes    int64 // occ-table probes during backward search
+	LocateSteps int64 // LF walk steps during locate
+}
+
+// BuildSuffixArray computes the suffix array of text by prefix doubling
+// with radix sort, O(n log n). Ops (if non-nil) receives the work tally.
+func BuildSuffixArray(text []byte, ops *Ops) []int32 {
+	n := len(text)
+	sa := make([]int32, n)
+	if n == 0 {
+		return sa
+	}
+	rank := make([]int32, n)
+	tmpRank := make([]int32, n)
+	tmp := make([]int32, n)
+
+	// Initial ordering by single character (counting sort over 256).
+	var cnt [257]int32
+	for _, c := range text {
+		cnt[c+1]++
+	}
+	for i := 1; i < 257; i++ {
+		cnt[i] += cnt[i-1]
+	}
+	for i := 0; i < n; i++ {
+		sa[cnt[text[i]]] = int32(i)
+		cnt[text[i]]++
+	}
+	r := int32(0)
+	rank[sa[0]] = 0
+	for i := 1; i < n; i++ {
+		if text[sa[i]] != text[sa[i-1]] {
+			r++
+		}
+		rank[sa[i]] = r
+	}
+	if ops != nil {
+		ops.SortPasses++
+		ops.SortOps += int64(n)
+	}
+
+	buckets := make([]int32, n+1)
+	for k := 1; int32(r) < int32(n-1) && k < n; k <<= 1 {
+		// Sort by (rank[i], rank[i+k]) with two stable counting passes.
+		key2 := func(i int32) int32 {
+			if int(i)+k < n {
+				return rank[int(i)+k] + 1
+			}
+			return 0
+		}
+		// Pass 1: by key2.
+		for i := range buckets {
+			buckets[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			buckets[key2(int32(i))]++
+		}
+		for i := 1; i <= n; i++ {
+			buckets[i] += buckets[i-1]
+		}
+		for i := n - 1; i >= 0; i-- {
+			v := sa[i]
+			buckets[key2(v)]--
+			tmp[buckets[key2(v)]] = v
+		}
+		// Pass 2: by rank[i] (stable).
+		for i := range buckets {
+			buckets[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			buckets[rank[i]]++
+		}
+		for i := 1; i <= n; i++ {
+			buckets[i] += buckets[i-1]
+		}
+		for i := n - 1; i >= 0; i-- {
+			v := tmp[i]
+			buckets[rank[v]]--
+			sa[buckets[rank[v]]] = v
+		}
+		// Re-rank.
+		tmpRank[sa[0]] = 0
+		r = 0
+		for i := 1; i < n; i++ {
+			cur, prev := sa[i], sa[i-1]
+			same := rank[cur] == rank[prev] && key2(cur) == key2(prev)
+			if !same {
+				r++
+			}
+			tmpRank[cur] = r
+		}
+		rank, tmpRank = tmpRank, rank
+		if ops != nil {
+			ops.SortPasses += 2
+			ops.SortOps += int64(2 * n)
+		}
+	}
+	return sa
+}

@@ -1,0 +1,361 @@
+// Package genome generates the synthetic data sets that stand in for the
+// paper's real inputs (human NA12878, wheat W7984, E. coli K-12 MG1655).
+//
+// The generator controls exactly the parameters the evaluation phenomena
+// depend on: genome size, repeat content (what makes wheat hard and creates
+// multi-candidate seeds), contig length distribution (Meraculous output),
+// read depth d, read length L, per-base error rate e (which sets the
+// fraction (1-e)^L of reads eligible for the exact-match fast path), strand,
+// paired-end insert geometry, and whether reads are emitted grouped by
+// genome position (the Table I locality scenario) or pre-shuffled.
+package genome
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/lbl-repro/meraligner/internal/dna"
+	"github.com/lbl-repro/meraligner/internal/seqio"
+)
+
+// Profile parameterizes one synthetic data set.
+type Profile struct {
+	Name      string
+	GenomeLen int
+
+	// Repeat structure: RepeatFraction of the genome is covered by copies
+	// of RepeatUnits distinct units of RepeatUnitLen bases each.
+	RepeatFraction float64
+	RepeatUnitLen  int
+	RepeatUnits    int
+
+	// Contigs (the alignment targets, as Meraculous would emit them).
+	ContigMean int     // mean contig length
+	ContigMin  int     // minimum contig length
+	GapMean    int     // mean gap between consecutive contigs
+	Uncovered  float64 // fraction of genome in regions with no contig at all
+
+	// Reads (the queries).
+	ReadLen   int
+	Depth     float64 // coverage depth d
+	ErrorRate float64 // per-base substitution probability e
+
+	// Paired-end geometry (0 disables pairing).
+	InsertMean int
+	InsertSD   int
+
+	// SortByPosition emits reads ordered by genome coordinate — the
+	// grouped layout of the paper's original human input (Table I).
+	SortByPosition bool
+
+	Seed int64
+}
+
+// Validate reports profile errors.
+func (p Profile) Validate() error {
+	if p.GenomeLen < p.ReadLen || p.ReadLen <= 0 {
+		return fmt.Errorf("genome: need GenomeLen >= ReadLen > 0, got %d/%d", p.GenomeLen, p.ReadLen)
+	}
+	if p.Depth <= 0 {
+		return fmt.Errorf("genome: Depth must be positive")
+	}
+	if p.ErrorRate < 0 || p.ErrorRate >= 1 {
+		return fmt.Errorf("genome: ErrorRate out of [0,1)")
+	}
+	if p.RepeatFraction < 0 || p.RepeatFraction >= 1 {
+		return fmt.Errorf("genome: RepeatFraction out of [0,1)")
+	}
+	if p.InsertMean != 0 && p.InsertMean < p.ReadLen {
+		return fmt.Errorf("genome: InsertMean %d < ReadLen %d", p.InsertMean, p.ReadLen)
+	}
+	return nil
+}
+
+// HumanLike is a scaled-down stand-in for the paper's human data set:
+// modest repeat content, 101 bp reads, error rate chosen so that ~59% of
+// reads are error-free — the fraction that took the exact-match fast path
+// in §VI-C3 ((1-0.0052)^101 ≈ 0.59).
+func HumanLike(genomeLen int) Profile {
+	return Profile{
+		Name:           "human-like",
+		GenomeLen:      genomeLen,
+		RepeatFraction: 0.05,
+		RepeatUnitLen:  800,
+		RepeatUnits:    12,
+		ContigMean:     4000,
+		ContigMin:      300,
+		GapMean:        150,
+		Uncovered:      0.06,
+		ReadLen:        101,
+		Depth:          20,
+		ErrorRate:      0.0052,
+		InsertMean:     238,
+		InsertSD:       30,
+		Seed:           1,
+	}
+}
+
+// WheatLike mimics the hexaploid bread wheat data set: much higher repeat
+// content, longer reads, deeper coverage — the grand-challenge workload.
+func WheatLike(genomeLen int) Profile {
+	return Profile{
+		Name:           "wheat-like",
+		GenomeLen:      genomeLen,
+		RepeatFraction: 0.25,
+		RepeatUnitLen:  1200,
+		RepeatUnits:    30,
+		ContigMean:     2500,
+		ContigMin:      300,
+		GapMean:        250,
+		Uncovered:      0.10,
+		ReadLen:        150,
+		Depth:          28,
+		ErrorRate:      0.004,
+		InsertMean:     450,
+		InsertSD:       60,
+		Seed:           2,
+	}
+}
+
+// EColiLike is the 4.64 Mbp E. coli K-12 MG1655 single-node data set of
+// Fig 11 (seed length 19 in the paper's runs).
+func EColiLike() Profile {
+	return Profile{
+		Name:           "ecoli-like",
+		GenomeLen:      4_640_000,
+		RepeatFraction: 0.02,
+		RepeatUnitLen:  700,
+		RepeatUnits:    7,
+		ContigMean:     60_000,
+		ContigMin:      1000,
+		GapMean:        200,
+		Uncovered:      0.02,
+		ReadLen:        100,
+		Depth:          16,
+		ErrorRate:      0.005,
+		Seed:           3,
+	}
+}
+
+// ReadOrigin is the ground truth of one simulated read.
+type ReadOrigin struct {
+	Pos    int  // genome coordinate of the read's first base (forward sense)
+	RC     bool // read sequenced from the reverse strand
+	Errors int  // number of substituted bases
+	Mate   int  // index of the mate read, -1 if unpaired
+}
+
+// DataSet is one generated workload.
+type DataSet struct {
+	Profile Profile
+	Genome  dna.Packed
+	Contigs []seqio.Seq // alignment targets, exact genome substrings
+	// ContigPos[i] is the genome coordinate of Contigs[i].
+	ContigPos []int
+	Reads     []seqio.Seq
+	Origins   []ReadOrigin
+}
+
+// Generate builds the data set deterministically from the profile's seed.
+func Generate(p Profile) (*DataSet, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	ds := &DataSet{Profile: p}
+	ds.Genome = buildGenome(rng, p)
+	ds.Contigs, ds.ContigPos = buildContigs(rng, p, ds.Genome)
+	ds.Reads, ds.Origins = buildReads(rng, p, ds.Genome)
+	return ds, nil
+}
+
+// buildGenome lays random sequence, then pastes repeat-unit copies until
+// the requested fraction of coordinates is covered by repeat material.
+func buildGenome(rng *rand.Rand, p Profile) dna.Packed {
+	codes := make([]byte, p.GenomeLen)
+	for i := range codes {
+		codes[i] = byte(rng.Intn(4))
+	}
+	if p.RepeatFraction > 0 && p.RepeatUnits > 0 && p.RepeatUnitLen > 0 && p.RepeatUnitLen < p.GenomeLen {
+		units := make([][]byte, p.RepeatUnits)
+		for i := range units {
+			u := make([]byte, p.RepeatUnitLen)
+			for j := range u {
+				u[j] = byte(rng.Intn(4))
+			}
+			units[i] = u
+		}
+		covered := 0
+		budget := int(p.RepeatFraction * float64(p.GenomeLen))
+		for covered < budget {
+			u := units[rng.Intn(len(units))]
+			pos := rng.Intn(p.GenomeLen - len(u))
+			copy(codes[pos:], u)
+			covered += len(u)
+		}
+	}
+	return dna.FromCodes(codes)
+}
+
+// buildContigs walks the genome emitting contig/gap alternations, skipping
+// occasional long uncovered stretches.
+func buildContigs(rng *rand.Rand, p Profile, g dna.Packed) ([]seqio.Seq, []int) {
+	var contigs []seqio.Seq
+	var starts []int
+	pos := 0
+	id := 0
+	for pos < g.Len() {
+		// Occasionally skip an uncovered region (no contigs assembled).
+		if rng.Float64() < p.Uncovered {
+			skip := p.ContigMean + rng.Intn(p.ContigMean+1)
+			pos += skip
+			continue
+		}
+		clen := p.ContigMin + int(rng.ExpFloat64()*float64(p.ContigMean-p.ContigMin))
+		if clen > g.Len()-pos {
+			clen = g.Len() - pos
+		}
+		if clen >= p.ContigMin {
+			contigs = append(contigs, seqio.Seq{
+				Name: fmt.Sprintf("contig_%d", id),
+				Seq:  g.Slice(pos, pos+clen),
+			})
+			starts = append(starts, pos)
+			id++
+		}
+		pos += clen + 1 + int(rng.ExpFloat64()*float64(p.GapMean))
+	}
+	return contigs, starts
+}
+
+// buildReads samples reads (or pairs) uniformly over the genome, applies
+// the substitution error model and strand, and orders them by position or
+// shuffles them per the profile.
+func buildReads(rng *rand.Rand, p Profile, g dna.Packed) ([]seqio.Seq, []ReadOrigin) {
+	n := int(p.Depth * float64(g.Len()) / float64(p.ReadLen))
+	if n < 1 {
+		n = 1
+	}
+	paired := p.InsertMean > 0
+	if paired && n%2 == 1 {
+		n++
+	}
+	var recs []rec
+	emit := func(pos int, rc bool, mate int) rec {
+		sub := g.Slice(pos, pos+p.ReadLen)
+		if rc {
+			sub = sub.ReverseComplement()
+		}
+		mut := sub.Mutate(rng, p.ErrorRate)
+		errs, _ := dna.HammingDistance(sub, mut)
+		return rec{
+			seq: seqio.Seq{Seq: mut},
+			org: ReadOrigin{Pos: pos, RC: rc, Errors: errs, Mate: mate},
+		}
+	}
+	if paired {
+		for len(recs) < n {
+			insert := p.InsertMean + int(rng.NormFloat64()*float64(p.InsertSD))
+			if insert < p.ReadLen {
+				insert = p.ReadLen
+			}
+			pos := rng.Intn(g.Len() - insert + 1)
+			i := len(recs)
+			r1 := emit(pos, false, i+1)
+			r2 := emit(pos+insert-p.ReadLen, true, i)
+			recs = append(recs, r1, r2)
+		}
+	} else {
+		for len(recs) < n {
+			pos := rng.Intn(g.Len() - p.ReadLen + 1)
+			recs = append(recs, emit(pos, rng.Float64() < 0.5, -1))
+		}
+	}
+	if p.SortByPosition {
+		// Stable grouping by position, keeping mates adjacent: sort pairs
+		// by the first mate's position.
+		sortRecsByPos(recs, paired)
+	}
+	reads := make([]seqio.Seq, len(recs))
+	origins := make([]ReadOrigin, len(recs))
+	for i, r := range recs {
+		strand := "+"
+		if r.org.RC {
+			strand = "-"
+		}
+		r.seq.Name = fmt.Sprintf("read_%d_pos%d%s", i, r.org.Pos, strand)
+		reads[i] = r.seq
+		origins[i] = r.org
+	}
+	return reads, origins
+}
+
+// rec pairs a generated read with its ground truth during construction.
+type rec struct {
+	seq seqio.Seq
+	org ReadOrigin
+}
+
+func sortRecsByPos(recs []rec, paired bool) {
+	if !paired {
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].org.Pos < recs[j].org.Pos })
+		return
+	}
+	// Sort pair blocks of two by the first mate's position, keeping mates
+	// adjacent, then fix mate indices.
+	nb := len(recs) / 2
+	order := make([]int, nb)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return recs[2*order[a]].org.Pos < recs[2*order[b]].org.Pos
+	})
+	out := make([]rec, 0, len(recs))
+	for _, b := range order {
+		out = append(out, recs[2*b], recs[2*b+1])
+	}
+	for i := 0; i < len(out); i += 2 {
+		out[i].org.Mate = i + 1
+		out[i+1].org.Mate = i
+	}
+	copy(recs, out)
+}
+
+// ExpectedExactFraction returns (1-e)^L — the fraction of reads with zero
+// errors, eligible for the exact-match fast path of §IV-A.
+func (p Profile) ExpectedExactFraction() float64 {
+	return math.Pow(1-p.ErrorRate, float64(p.ReadLen))
+}
+
+// NumReads returns the read count the profile will generate.
+func (p Profile) NumReads() int {
+	n := int(p.Depth * float64(p.GenomeLen) / float64(p.ReadLen))
+	if n < 1 {
+		n = 1
+	}
+	if p.InsertMean > 0 && n%2 == 1 {
+		n++
+	}
+	return n
+}
+
+// SeedFrequency returns the paper's expected seed frequency in the read set
+// f = d * (1 - (k-1)/L) (§III-B).
+func SeedFrequency(d float64, k, L int) float64 {
+	return d * (1 - float64(k-1)/float64(L))
+}
+
+// Shuffle permutes reads (and the parallel origins slice) uniformly — the
+// load-balancing permutation of §IV-B, applied to the input file.
+func Shuffle(rng *rand.Rand, reads []seqio.Seq, origins []ReadOrigin) {
+	for i := len(reads) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		reads[i], reads[j] = reads[j], reads[i]
+		if origins != nil {
+			origins[i], origins[j] = origins[j], origins[i]
+		}
+	}
+}

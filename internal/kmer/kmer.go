@@ -1,0 +1,194 @@
+// Package kmer implements fixed-length DNA seeds ("k-mers", the paper's
+// seeds) for seed lengths up to 64, and the djb2 hash the paper uses for its
+// seed-to-processor map.
+//
+// A target sequence of length L contains L-k+1 distinct seed positions
+// (§II-A); Extract enumerates them. Seeds are value types packed two bits
+// per base into a [2]uint64 so they can be stored directly in hash-table
+// entries and shipped between simulated processors without indirection.
+package kmer
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/lbl-repro/meraligner/internal/dna"
+)
+
+// MaxK is the largest supported seed length; 2 bits x 64 bases fills the
+// 128-bit payload. The paper uses k=51 for human/wheat and k=19 for E. coli.
+const MaxK = 64
+
+// Kmer is a packed seed of up to MaxK bases. Base 0 occupies the two least
+// significant bits of Lo; bases 32..63 continue in Hi. Length is carried
+// externally (by the index that owns the seeds), keeping the value 16 bytes.
+type Kmer struct {
+	Lo, Hi uint64
+}
+
+// FromPacked extracts the k-length seed starting at offset off of sequence p.
+func FromPacked(p dna.Packed, off, k int) Kmer {
+	if k <= 0 || k > MaxK {
+		panic(fmt.Sprintf("kmer: k=%d out of range (1..%d)", k, MaxK))
+	}
+	if off < 0 || off+k > p.Len() {
+		panic(fmt.Sprintf("kmer: seed [%d,%d) out of sequence of %d bases", off, off+k, p.Len()))
+	}
+	var km Kmer
+	n := min(k, 32)
+	for i := 0; i < n; i++ {
+		km.Lo |= uint64(p.CodeAt(off+i)) << uint(2*i)
+	}
+	for i := 32; i < k; i++ {
+		km.Hi |= uint64(p.CodeAt(off+i)) << uint(2*(i-32))
+	}
+	return km
+}
+
+// FromString parses a seed from ACGT text of length <= MaxK.
+func FromString(s string) (Kmer, error) {
+	if len(s) > MaxK {
+		return Kmer{}, fmt.Errorf("kmer: length %d exceeds max %d", len(s), MaxK)
+	}
+	p, err := dna.Pack(s)
+	if err != nil {
+		return Kmer{}, err
+	}
+	return FromPacked(p, 0, len(s)), nil
+}
+
+// MustFromString is FromString that panics on error, for tests and literals.
+func MustFromString(s string) Kmer {
+	km, err := FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return km
+}
+
+// Base returns the 2-bit code of base i of the seed.
+func (k Kmer) Base(i int) byte {
+	if i < 32 {
+		return byte(k.Lo>>uint(2*i)) & 3
+	}
+	return byte(k.Hi>>uint(2*(i-32))) & 3
+}
+
+// String renders the first k bases of the seed as ACGT text.
+func (k Kmer) StringLen(klen int) string {
+	var sb strings.Builder
+	sb.Grow(klen)
+	for i := 0; i < klen; i++ {
+		sb.WriteByte(dna.BaseOf(k.Base(i)))
+	}
+	return sb.String()
+}
+
+// ReverseComplement returns the reverse complement of a k-length seed.
+func (k Kmer) ReverseComplement(klen int) Kmer {
+	var out Kmer
+	for i := 0; i < klen; i++ {
+		c := dna.ComplementCode(k.Base(klen - 1 - i))
+		if i < 32 {
+			out.Lo |= uint64(c) << uint(2*i)
+		} else {
+			out.Hi |= uint64(c) << uint(2*(i-32))
+		}
+	}
+	return out
+}
+
+// Less orders seeds lexicographically on their packed representation.
+func (k Kmer) Less(o Kmer) bool {
+	if k.Hi != o.Hi {
+		// Hi holds the later bases; for a pure total order (used for
+		// canonicalization and map sharding) any consistent order works,
+		// but we compare base-by-base significance: later bases are more
+		// significant in (Hi,Lo) only if we define it so. Use (Hi,Lo).
+		return k.Hi < o.Hi
+	}
+	return k.Lo < o.Lo
+}
+
+// Canonical returns the lexicographically smaller (by Less) of the seed and
+// its reverse complement, plus whether the reverse complement was chosen.
+// Assemblers index canonical seeds so a read matches either strand.
+func (k Kmer) Canonical(klen int) (Kmer, bool) {
+	rc := k.ReverseComplement(klen)
+	if rc.Less(k) {
+		return rc, true
+	}
+	return k, false
+}
+
+// Hash is the djb2 hash over the seed's packed bytes — the same function the
+// paper credits for its near-perfect distribution of distinct seeds across
+// processors (§VI-C1).
+func (k Kmer) Hash() uint64 {
+	h := uint64(5381)
+	x := k.Lo
+	for i := 0; i < 8; i++ {
+		h = h*33 + (x & 0xFF)
+		x >>= 8
+	}
+	x = k.Hi
+	for i := 0; i < 8; i++ {
+		h = h*33 + (x & 0xFF)
+		x >>= 8
+	}
+	return h
+}
+
+// Djb2String is the reference djb2 over raw bytes, exposed for tests and for
+// hashing non-seed payloads (e.g. read names) consistently with the paper.
+func Djb2String(b []byte) uint64 {
+	h := uint64(5381)
+	for _, c := range b {
+		h = h*33 + uint64(c)
+	}
+	return h
+}
+
+// Extract appends every seed of length k in p, in order of offset, to dst
+// and returns it. A sequence shorter than k yields no seeds.
+func Extract(p dna.Packed, k int, dst []Kmer) []Kmer {
+	n := p.Len() - k + 1
+	if n <= 0 {
+		return dst
+	}
+	if k <= 32 {
+		// Rolling extraction: maintain the packed window in one word.
+		mask := ^uint64(0)
+		if k < 32 {
+			mask = (uint64(1) << uint(2*k)) - 1
+		}
+		var w uint64
+		for i := 0; i < k; i++ {
+			w |= uint64(p.CodeAt(i)) << uint(2*i)
+		}
+		dst = append(dst, Kmer{Lo: w})
+		for off := 1; off < n; off++ {
+			w = (w >> 2) | uint64(p.CodeAt(off+k-1))<<uint(2*(k-1))
+			w &= mask
+			dst = append(dst, Kmer{Lo: w})
+		}
+		return dst
+	}
+	for off := 0; off < n; off++ {
+		dst = append(dst, FromPacked(p, off, k))
+	}
+	return dst
+}
+
+// Count returns the number of seeds of length k in a sequence of length n:
+// n-k+1, or 0 when the sequence is shorter than k.
+func Count(n, k int) int {
+	if n < k {
+		return 0
+	}
+	return n - k + 1
+}
+
+// PackedBytes returns the number of bytes a k-length seed occupies on the
+// wire: ceil(2k/8). Used by the cost model for seed transfers.
+func PackedBytes(k int) int { return (2*k + 7) / 8 }

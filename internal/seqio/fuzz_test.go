@@ -1,0 +1,85 @@
+package seqio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/lbl-repro/meraligner/internal/dna"
+)
+
+// FuzzReadFastq must never panic and must round-trip whatever it accepts.
+func FuzzReadFastq(f *testing.F) {
+	f.Add("@r1\nACGT\n+\nIIII\n")
+	f.Add("@r1 desc\nacgt\n+\n!!!!\n@r2\nTT\n+\nII\n")
+	f.Add("@\nN\n+\nI\n")
+	f.Add("")
+	f.Add("@r\nACGT\n+")
+	f.Fuzz(func(t *testing.T, in string) {
+		seqs, err := ReadFastq(strings.NewReader(in), ParseOptions{ReplaceN: true})
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFastq(&buf, seqs); err != nil {
+			t.Fatalf("WriteFastq failed on accepted input: %v", err)
+		}
+		again, err := ReadFastq(&buf, ParseOptions{})
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if len(again) != len(seqs) {
+			t.Fatalf("round-trip changed record count: %d vs %d", len(again), len(seqs))
+		}
+		for i := range seqs {
+			if !again[i].Seq.Equal(seqs[i].Seq) {
+				t.Fatalf("round-trip changed record %d", i)
+			}
+		}
+	})
+}
+
+// FuzzReadFasta must never panic; accepted inputs round-trip.
+func FuzzReadFasta(f *testing.F) {
+	f.Add(">a\nACGT\n")
+	f.Add(">a desc\nAC\nGT\n>b\nTTTT\n")
+	f.Add(">\nACGT\n")
+	f.Add("ACGT\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		seqs, err := ReadFasta(strings.NewReader(in), ParseOptions{ReplaceN: true})
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFasta(&buf, seqs); err != nil {
+			t.Fatalf("WriteFasta failed on accepted input: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeRecord: arbitrary bytes must never panic the SeqDB record
+// decoder, only return errors.
+func FuzzDecodeRecord(f *testing.F) {
+	// A valid record as seed: name "r", 4 bases, no qual.
+	var buf bytes.Buffer
+	encodeRecord(&buf, Seq{Name: "r", Seq: dna.MustPack("ACGT")})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		pos := 0
+		for pos < len(raw) {
+			s, next, err := decodeRecord(raw, pos)
+			if err != nil {
+				return
+			}
+			if next <= pos {
+				t.Fatal("decoder did not advance")
+			}
+			if s.Seq.Len() < 0 {
+				t.Fatal("negative length")
+			}
+			pos = next
+		}
+	})
+}

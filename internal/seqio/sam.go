@@ -1,0 +1,99 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// SAM output for alignments. merAligner's own output feeds the Meraculous
+// scaffolder directly, but a SAM view is what downstream tools consume; the
+// writer emits the minimal faithful subset: @HD/@SQ/@PG headers and one
+// alignment line per record with flags for strand/unmapped/secondary.
+
+// SAMRecord is one alignment row, already expressed in SAM terms.
+type SAMRecord struct {
+	QName string
+	Flag  int
+	RName string // "*" when unmapped
+	Pos   int    // 1-based leftmost target position; 0 when unmapped
+	MapQ  int
+	Cigar string // "*" when unmapped
+	Seq   string // read bases on the aligned strand
+	Qual  string // "*" when absent
+	TagAS int    // alignment score (AS:i) — negative omits the tag
+	TagNM int    // edit distance (NM:i) — negative omits the tag
+}
+
+// SAM flag bits used here.
+const (
+	FlagUnmapped  = 0x4
+	FlagReverse   = 0x10
+	FlagSecondary = 0x100
+)
+
+// SAMWriter emits a SAM stream.
+type SAMWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewSAMWriter writes the header for the given reference sequences and the
+// program line. Sequence order defines the @SQ order.
+func NewSAMWriter(w io.Writer, refs []Seq, program, version string) (*SAMWriter, error) {
+	sw := &SAMWriter{w: bufio.NewWriter(w)}
+	fmt.Fprintf(sw.w, "@HD\tVN:1.6\tSO:unknown\n")
+	for _, r := range refs {
+		fmt.Fprintf(sw.w, "@SQ\tSN:%s\tLN:%d\n", r.Name, r.Seq.Len())
+	}
+	fmt.Fprintf(sw.w, "@PG\tID:%s\tPN:%s\tVN:%s\n", program, program, version)
+	return sw, sw.w.Flush()
+}
+
+// Write emits one record.
+func (sw *SAMWriter) Write(r SAMRecord) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	rname, cigar, seq, qual := r.RName, r.Cigar, r.Seq, r.Qual
+	if r.Flag&FlagUnmapped != 0 {
+		rname, cigar = "*", "*"
+	}
+	if rname == "" {
+		rname = "*"
+	}
+	if cigar == "" {
+		cigar = "*"
+	}
+	if seq == "" {
+		seq = "*"
+	}
+	if qual == "" {
+		qual = "*"
+	}
+	_, sw.err = fmt.Fprintf(sw.w, "%s\t%d\t%s\t%d\t%d\t%s\t*\t0\t0\t%s\t%s",
+		r.QName, r.Flag, rname, r.Pos, r.MapQ, cigar, seq, qual)
+	if sw.err != nil {
+		return sw.err
+	}
+	if r.TagAS >= 0 {
+		if _, sw.err = fmt.Fprintf(sw.w, "\tAS:i:%d", r.TagAS); sw.err != nil {
+			return sw.err
+		}
+	}
+	if r.TagNM >= 0 {
+		if _, sw.err = fmt.Fprintf(sw.w, "\tNM:i:%d", r.TagNM); sw.err != nil {
+			return sw.err
+		}
+	}
+	_, sw.err = sw.w.WriteString("\n")
+	return sw.err
+}
+
+// Flush flushes buffered output.
+func (sw *SAMWriter) Flush() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.w.Flush()
+}

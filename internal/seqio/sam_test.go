@@ -1,0 +1,75 @@
+package seqio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/lbl-repro/meraligner/internal/dna"
+)
+
+func TestSAMHeaderAndRecords(t *testing.T) {
+	refs := []Seq{
+		{Name: "contig_0", Seq: dna.MustPack("ACGTACGTAC")},
+		{Name: "contig_1", Seq: dna.MustPack("TTTT")},
+	}
+	var buf bytes.Buffer
+	sw, err := NewSAMWriter(&buf, refs, "meraligner", "1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Write(SAMRecord{
+		QName: "r1", Flag: 0, RName: "contig_0", Pos: 3, MapQ: 60,
+		Cigar: "4M", Seq: "GTAC", Qual: "IIII", TagAS: 4, TagNM: 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Write(SAMRecord{
+		QName: "r2", Flag: FlagUnmapped, Seq: "AAAA", TagAS: -1, TagNM: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+	for _, want := range []string{
+		"@HD\tVN:1.6",
+		"@SQ\tSN:contig_0\tLN:10",
+		"@SQ\tSN:contig_1\tLN:4",
+		"@PG\tID:meraligner",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "r1\t0\tcontig_0\t3\t60\t4M\t*\t0\t0\tGTAC\tIIII\tAS:i:4\tNM:i:0") {
+		t.Errorf("bad aligned record:\n%s", out)
+	}
+	// Unmapped record: RName and Cigar must be *.
+	if !strings.Contains(out, "r2\t4\t*\t0\t0\t*\t*\t0\t0\tAAAA\t*") {
+		t.Errorf("bad unmapped record:\n%s", out)
+	}
+}
+
+func TestSAMFieldCount(t *testing.T) {
+	refs := []Seq{{Name: "c", Seq: dna.MustPack("ACGT")}}
+	var buf bytes.Buffer
+	sw, err := NewSAMWriter(&buf, refs, "p", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Write(SAMRecord{QName: "q", RName: "c", Pos: 1, Cigar: "4M", Seq: "ACGT", TagAS: -1, TagNM: -1}); err != nil {
+		t.Fatal(err)
+	}
+	sw.Flush()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	last := lines[len(lines)-1]
+	if got := len(strings.Split(last, "\t")); got != 11 {
+		t.Errorf("alignment line has %d fields, want 11: %q", got, last)
+	}
+}

@@ -1,0 +1,191 @@
+// Package seqio implements sequence I/O: FASTA and FASTQ text formats and a
+// chunked binary read container in the spirit of SeqDB (§V-A) — a lossless
+// FASTQ conversion with 2-bit packed bases that is 40-50% smaller than the
+// text and, crucially, supports scalable parallel reading: the file carries
+// a chunk index so every simulated processor can read its own byte range
+// with ReadAt, with no text-parsing serialization.
+package seqio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/lbl-repro/meraligner/internal/dna"
+)
+
+// Seq is one named sequence with optional per-base quality.
+type Seq struct {
+	Name string
+	Seq  dna.Packed
+	Qual []byte // empty for FASTA records
+}
+
+// ParseOptions controls textual parsing.
+type ParseOptions struct {
+	// ReplaceN substitutes ambiguous 'N'/'n' bases with 'A' instead of
+	// failing. Real pipelines drop or patch Ns before alignment.
+	ReplaceN bool
+}
+
+func sanitize(seq []byte, opt ParseOptions) ([]byte, error) {
+	if !opt.ReplaceN {
+		return seq, nil
+	}
+	out := seq
+	copied := false
+	for i, b := range seq {
+		if b == 'N' || b == 'n' {
+			if !copied {
+				out = append([]byte(nil), seq...)
+				copied = true
+			}
+			out[i] = 'A'
+		}
+	}
+	return out, nil
+}
+
+// ReadFasta parses FASTA records (multi-line sequences allowed).
+func ReadFasta(r io.Reader, opt ParseOptions) ([]Seq, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var out []Seq
+	var name string
+	var body bytes.Buffer
+	flush := func() error {
+		if name == "" {
+			return nil
+		}
+		raw, err := sanitize(body.Bytes(), opt)
+		if err != nil {
+			return err
+		}
+		p, err := dna.PackBytes(raw)
+		if err != nil {
+			return fmt.Errorf("seqio: record %q: %w", name, err)
+		}
+		out = append(out, Seq{Name: name, Seq: p})
+		body.Reset()
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			fields := strings.Fields(string(line[1:]))
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("seqio: empty FASTA header")
+			}
+			name = fields[0]
+			continue
+		}
+		if name == "" {
+			return nil, fmt.Errorf("seqio: FASTA content before first header")
+		}
+		body.Write(line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteFasta writes records with lines wrapped at 80 columns.
+func WriteFasta(w io.Writer, seqs []Seq) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", s.Name); err != nil {
+			return err
+		}
+		text := s.Seq.String()
+		for len(text) > 0 {
+			n := min(80, len(text))
+			if _, err := bw.WriteString(text[:n]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+			text = text[n:]
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFastq parses 4-line FASTQ records.
+func ReadFastq(r io.Reader, opt ParseOptions) ([]Seq, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var out []Seq
+	line := 0
+	var cur Seq
+	for sc.Scan() {
+		raw := sc.Bytes()
+		switch line % 4 {
+		case 0:
+			if len(raw) == 0 || raw[0] != '@' {
+				return nil, fmt.Errorf("seqio: FASTQ line %d: expected @header, got %q", line+1, raw)
+			}
+			fields := strings.Fields(string(raw[1:]))
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("seqio: FASTQ line %d: empty read name", line+1)
+			}
+			cur = Seq{Name: fields[0]}
+		case 1:
+			san, err := sanitize(raw, opt)
+			if err != nil {
+				return nil, err
+			}
+			p, err := dna.PackBytes(san)
+			if err != nil {
+				return nil, fmt.Errorf("seqio: FASTQ record %q: %w", cur.Name, err)
+			}
+			cur.Seq = p
+		case 2:
+			if len(raw) == 0 || raw[0] != '+' {
+				return nil, fmt.Errorf("seqio: FASTQ line %d: expected +, got %q", line+1, raw)
+			}
+		case 3:
+			if len(raw) != cur.Seq.Len() {
+				return nil, fmt.Errorf("seqio: FASTQ record %q: quality length %d != sequence length %d",
+					cur.Name, len(raw), cur.Seq.Len())
+			}
+			cur.Qual = append([]byte(nil), raw...)
+			out = append(out, cur)
+		}
+		line++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if line%4 != 0 {
+		return nil, fmt.Errorf("seqio: truncated FASTQ: %d trailing lines", line%4)
+	}
+	return out, nil
+}
+
+// WriteFastq writes 4-line FASTQ records; records without quality get 'I'.
+func WriteFastq(w io.Writer, seqs []Seq) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		qual := s.Qual
+		if len(qual) == 0 {
+			qual = bytes.Repeat([]byte{'I'}, s.Seq.Len())
+		}
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", s.Name, s.Seq.String(), qual); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,330 @@
+package upc
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func testCfg(threads, ppn int) MachineConfig {
+	cfg := Edison(threads)
+	cfg.PPN = ppn
+	cfg.Workers = 4
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (MachineConfig{Threads: 0, PPN: 24}).Validate(); err == nil {
+		t.Error("Threads=0 accepted")
+	}
+	if err := (MachineConfig{Threads: 4, PPN: 0}).Validate(); err == nil {
+		t.Error("PPN=0 accepted")
+	}
+	if err := Edison(480).Validate(); err != nil {
+		t.Errorf("Edison(480) invalid: %v", err)
+	}
+}
+
+func TestNodeTopology(t *testing.T) {
+	cfg := testCfg(48, 24)
+	if cfg.Nodes() != 2 {
+		t.Fatalf("Nodes() = %d, want 2", cfg.Nodes())
+	}
+	if cfg.NodeOf(0) != 0 || cfg.NodeOf(23) != 0 || cfg.NodeOf(24) != 1 || cfg.NodeOf(47) != 1 {
+		t.Error("NodeOf misassigns threads")
+	}
+	// Partial last node.
+	cfg = testCfg(50, 24)
+	if cfg.Nodes() != 3 {
+		t.Errorf("Nodes() = %d, want 3 for 50 threads ppn 24", cfg.Nodes())
+	}
+}
+
+func TestRunPhaseExecutesEveryThread(t *testing.T) {
+	m := MustNewMachine(testCfg(96, 24))
+	var count int64
+	seen := make([]int64, 96)
+	m.RunPhase("touch", func(th *Thread) {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt64(&seen[th.ID], 1)
+	})
+	if count != 96 {
+		t.Fatalf("phase ran %d threads, want 96", count)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("thread %d ran %d times", id, c)
+		}
+	}
+}
+
+func TestPhaseWallIsMaxClock(t *testing.T) {
+	m := MustNewMachine(testCfg(8, 4))
+	stat := m.RunPhase("compute", func(th *Thread) {
+		th.Compute(float64(th.ID+1) * 0.5)
+	})
+	if math.Abs(stat.Wall-4.0) > 1e-12 {
+		t.Errorf("Wall = %v, want 4.0 (slowest thread)", stat.Wall)
+	}
+	if math.Abs(stat.MinClock-0.5) > 1e-12 {
+		t.Errorf("MinClock = %v, want 0.5", stat.MinClock)
+	}
+	wantAvg := 0.5 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8) / 8
+	if math.Abs(stat.AvgClock-wantAvg) > 1e-9 {
+		t.Errorf("AvgClock = %v, want %v", stat.AvgClock, wantAvg)
+	}
+}
+
+func TestAccessClassification(t *testing.T) {
+	cfg := testCfg(48, 24)
+	m := MustNewMachine(cfg)
+	stat := m.RunPhase("classify", func(th *Thread) {
+		if th.ID != 0 {
+			return
+		}
+		th.Get(0, 100)  // local
+		th.Get(5, 100)  // same node
+		th.Get(30, 100) // remote
+	})
+	c := stat.Counters
+	if c.MsgsLocal != 1 || c.MsgsNode != 1 || c.MsgsRemote != 1 {
+		t.Errorf("counter classification local/node/remote = %d/%d/%d, want 1/1/1",
+			c.MsgsLocal, c.MsgsNode, c.MsgsRemote)
+	}
+	if c.BytesRemote != 100 || c.BytesNode != 100 {
+		t.Errorf("bytes remote/node = %d/%d, want 100/100", c.BytesRemote, c.BytesNode)
+	}
+}
+
+func TestRemoteCostExceedsNodeCostExceedsLocal(t *testing.T) {
+	cfg := testCfg(48, 24)
+	var local, node, remote float64
+	m := MustNewMachine(cfg)
+	m.RunPhase("cmp", func(th *Thread) {
+		if th.ID != 0 {
+			return
+		}
+		t0 := th.Comm
+		th.Get(0, 64)
+		local = th.Comm - t0
+		t0 = th.Comm
+		th.Get(7, 64)
+		node = th.Comm - t0
+		t0 = th.Comm
+		th.Get(40, 64)
+		remote = th.Comm - t0
+	})
+	if !(local < node && node < remote) {
+		t.Errorf("cost ordering violated: local %v, node %v, remote %v", local, node, remote)
+	}
+}
+
+func TestAtomicCosts(t *testing.T) {
+	cfg := testCfg(48, 24)
+	m := MustNewMachine(cfg)
+	stat := m.RunPhase("atomics", func(th *Thread) {
+		if th.ID == 0 {
+			th.Atomic(40) // remote atomic
+			th.Atomic(1)  // on-node atomic
+			th.Atomic(0)  // own
+		}
+	})
+	if stat.Counters.Atomics != 3 {
+		t.Errorf("Atomics = %d, want 3", stat.Counters.Atomics)
+	}
+	if stat.MaxComm < cfg.AtomicLatency {
+		t.Errorf("remote atomic cost not charged: comm %v < %v", stat.MaxComm, cfg.AtomicLatency)
+	}
+}
+
+func TestAggregationReducesSimulatedTime(t *testing.T) {
+	// The heart of Fig 8: sending M seeds one at a time must cost far more
+	// than sending M/S aggregate transfers of S seeds.
+	cfg := testCfg(48, 24)
+	const seeds, entry, S = 10000, 16, 1000
+
+	m1 := MustNewMachine(cfg)
+	fine := m1.RunPhase("fine", func(th *Thread) {
+		for i := 0; i < seeds; i++ {
+			th.Atomic(40) // lock
+			th.Put(40, entry)
+		}
+	})
+	m2 := MustNewMachine(cfg)
+	agg := m2.RunPhase("agg", func(th *Thread) {
+		for i := 0; i < seeds/S; i++ {
+			th.Atomic(40) // stack_ptr fetch-add
+			th.Put(40, entry*S)
+		}
+	})
+	ratio := fine.Wall / agg.Wall
+	if ratio < 3 {
+		t.Errorf("aggregating stores speedup = %.1fx, want >= 3x", ratio)
+	}
+}
+
+func TestNICBoundRemote(t *testing.T) {
+	cfg := testCfg(48, 24)
+	m := MustNewMachine(cfg)
+	const bytes = 1 << 26
+	stat := m.RunPhase("blast", func(th *Thread) {
+		// Every thread writes to the opposite node.
+		dst := (th.ID + 24) % 48
+		th.Put(dst, bytes)
+	})
+	nodeBytes := float64(24 * bytes)
+	wantNIC := nodeBytes / cfg.NICBandwidth
+	if math.Abs(stat.NICBound-wantNIC)/wantNIC > 1e-9 {
+		t.Errorf("NICBound = %v, want %v", stat.NICBound, wantNIC)
+	}
+	if stat.Wall < wantNIC {
+		t.Errorf("Wall %v below NIC bound %v", stat.Wall, wantNIC)
+	}
+}
+
+func TestFSBound(t *testing.T) {
+	cfg := testCfg(9600, 24)
+	cfg.Workers = 8
+	m := MustNewMachine(cfg)
+	const perThread = 1 << 20
+	stat := m.RunPhase("io", func(th *Thread) {
+		th.ReadFile(perThread)
+	})
+	total := float64(9600 * perThread)
+	wantFS := total / cfg.FSPeakBandwidth
+	if math.Abs(stat.FSBound-wantFS)/wantFS > 1e-9 {
+		t.Errorf("FSBound = %v, want %v", stat.FSBound, wantFS)
+	}
+	if stat.Wall < wantFS {
+		t.Errorf("Wall %v below FS bound %v", stat.Wall, wantFS)
+	}
+}
+
+func TestPartitionRangeCoversAllItems(t *testing.T) {
+	f := func(countRaw, threadsRaw uint16) bool {
+		count := int(countRaw % 10000)
+		threads := 1 + int(threadsRaw%97)
+		cfg := MachineConfig{Threads: threads, PPN: 24}
+		covered := 0
+		prevHi := 0
+		for id := 0; id < threads; id++ {
+			lo, hi := cfg.PartitionRange(count, id)
+			if lo != prevHi {
+				return false // ranges must be contiguous
+			}
+			if hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == count && prevHi == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionRangeBalance(t *testing.T) {
+	cfg := MachineConfig{Threads: 7, PPN: 24}
+	sizes := map[int]int{}
+	for id := 0; id < 7; id++ {
+		lo, hi := cfg.PartitionRange(100, id)
+		sizes[hi-lo]++
+	}
+	// 100 = 7*14 + 2, so two threads get 15 and five get 14.
+	if sizes[15] != 2 || sizes[14] != 5 {
+		t.Errorf("partition sizes = %v, want 2x15 + 5x14", sizes)
+	}
+}
+
+func TestTotalWallAndPhaseLookup(t *testing.T) {
+	m := MustNewMachine(testCfg(4, 4))
+	m.RunPhase("a", func(th *Thread) { th.Compute(1) })
+	m.RunPhase("b", func(th *Thread) { th.Compute(2) })
+	if math.Abs(m.TotalWall()-3) > 1e-12 {
+		t.Errorf("TotalWall = %v, want 3", m.TotalWall())
+	}
+	if p, ok := m.Phase("b"); !ok || p.Wall != 2 {
+		t.Errorf("Phase(b) = %+v, %v", p, ok)
+	}
+	if _, ok := m.Phase("missing"); ok {
+		t.Error("Phase(missing) found")
+	}
+	if len(m.Phases()) != 2 {
+		t.Errorf("Phases len = %d, want 2", len(m.Phases()))
+	}
+	if m.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() float64 {
+		m := MustNewMachine(testCfg(96, 24))
+		stat := m.RunPhase("work", func(th *Thread) {
+			for i := 0; i < 100; i++ {
+				th.Get((th.ID+i)%96, 64)
+				th.Compute(1e-7)
+			}
+		})
+		return stat.Wall
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("non-deterministic wall: %v vs %v", a, b)
+	}
+}
+
+func TestThreadRngIndependentAndReproducible(t *testing.T) {
+	draw := func() (int64, int64) {
+		m := MustNewMachine(testCfg(2, 2))
+		var v [2]int64
+		m.RunPhase("rng", func(th *Thread) {
+			v[th.ID] = th.Rng.Int63()
+		})
+		return v[0], v[1]
+	}
+	a0, a1 := draw()
+	b0, b1 := draw()
+	if a0 != b0 || a1 != b1 {
+		t.Error("thread RNG not reproducible across identical machines")
+	}
+	if a0 == a1 {
+		t.Error("distinct threads share an RNG stream")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	minL, maxL, avg := Imbalance([]float64{1, 2, 3, 6})
+	if minL != 1 || maxL != 6 || avg != 3 {
+		t.Errorf("Imbalance = %v %v %v, want 1 6 3", minL, maxL, avg)
+	}
+	minL, maxL, avg = Imbalance(nil)
+	if minL != 0 || maxL != 0 || avg != 0 {
+		t.Error("Imbalance(nil) != zeros")
+	}
+}
+
+func TestNewMachineRejectsInvalid(t *testing.T) {
+	if _, err := NewMachine(MachineConfig{}); err == nil {
+		t.Error("NewMachine accepted zero config")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewMachine did not panic")
+		}
+	}()
+	MustNewMachine(MachineConfig{})
+}
+
+func BenchmarkRunPhaseOverhead(b *testing.B) {
+	cfg := testCfg(480, 24)
+	cfg.Workers = 8
+	m := MustNewMachine(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunPhase("noop", func(th *Thread) {})
+	}
+}

@@ -1,0 +1,225 @@
+// Package meraligner is a Go reproduction of "merAligner: A Fully Parallel
+// Sequence Aligner" (Georganas et al., IPDPS 2015): a seed-and-extend
+// short-read aligner whose every phase — I/O, seed-index construction, and
+// alignment — is parallel, built on a distributed hash table with the
+// paper's aggregating-stores optimization, per-node software caches, an
+// exact-match fast path, and striped Smith-Waterman.
+//
+// Two execution modes are exposed:
+//
+//   - Align runs the full pipeline on a simulated PGAS machine (any number
+//     of "cores" on 24-core nodes with an Edison-like cost model); results
+//     carry both the alignments and the simulated per-phase timings used to
+//     regenerate the paper's evaluation.
+//
+//   - AlignThreaded runs the identical pipeline with real goroutines on the
+//     host and reports measured wall-clock phase times (the paper's
+//     single-node shared-memory configuration).
+//
+// The quickest start:
+//
+//	res, err := meraligner.AlignThreaded(8, meraligner.DefaultOptions(19), targets, reads)
+//
+// where targets and reads are seqio.Seq slices (see ReadFasta/ReadFastq).
+package meraligner
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/lbl-repro/meraligner/internal/align"
+	"github.com/lbl-repro/meraligner/internal/core"
+	"github.com/lbl-repro/meraligner/internal/seqio"
+	"github.com/lbl-repro/meraligner/internal/upc"
+)
+
+// Re-exported core types: Options configures a run, Results carries
+// alignments plus per-phase statistics, Alignment is one reported hit.
+type (
+	Options   = core.Options
+	Results   = core.Results
+	Alignment = core.Alignment
+	Seq       = seqio.Seq
+	Scoring   = align.Scoring
+	Machine   = upc.MachineConfig
+)
+
+// DefaultOptions returns the paper's configuration for seed length k
+// (51 for the human/wheat runs, 19 for E. coli).
+func DefaultOptions(k int) Options { return core.DefaultOptions(k) }
+
+// DefaultScoring is the commonly employed scoring scheme used throughout.
+var DefaultScoring = align.DefaultScoring
+
+// Edison returns a simulated-machine description approximating a Cray XC30
+// partition with the given total core count (24 cores per node).
+func Edison(cores int) Machine { return upc.Edison(cores) }
+
+// Align runs the full merAligner pipeline on the given simulated machine.
+func Align(mach Machine, opt Options, targets, queries []Seq) (*Results, error) {
+	return core.Run(mach, opt, targets, queries)
+}
+
+// AlignThreaded runs the pipeline with real goroutines on the host (the
+// single-node shared-memory mode); Results phase stats carry genuine
+// wall-clock times in RealWall.
+func AlignThreaded(threads int, opt Options, targets, queries []Seq) (*Results, error) {
+	return core.RunThreaded(threads, opt, targets, queries)
+}
+
+// ReadFasta loads targets (contigs) from a FASTA file. Ambiguous bases (N)
+// are replaced with A, as the assembly pipeline does before alignment.
+func ReadFasta(path string) ([]Seq, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return seqio.ReadFasta(f, seqio.ParseOptions{ReplaceN: true})
+}
+
+// ReadQueries loads reads from FASTQ or SeqDB (detected by content).
+func ReadQueries(path string) ([]Seq, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	if string(magic[:]) == "MSDB" {
+		db, err := seqio.OpenSeqDB(f)
+		if err != nil {
+			return nil, err
+		}
+		var out []Seq
+		for c := 0; c < db.NumChunks(); c++ {
+			recs, err := db.ReadChunk(c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, recs...)
+		}
+		return out, nil
+	}
+	return seqio.ReadFastq(f, seqio.ParseOptions{ReplaceN: true})
+}
+
+// AlignFiles reads targets (FASTA) and queries (FASTQ or SeqDB) from disk
+// and aligns them in threaded mode.
+func AlignFiles(threads int, opt Options, targetPath, queryPath string) (*Results, []Seq, []Seq, error) {
+	targets, err := ReadFasta(targetPath)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("meraligner: reading targets: %w", err)
+	}
+	queries, err := ReadQueries(queryPath)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("meraligner: reading queries: %w", err)
+	}
+	res, err := core.RunThreaded(threads, opt, targets, queries)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, targets, queries, nil
+}
+
+// WriteSAM writes the collected alignments as a SAM stream with @SQ headers
+// for the targets. Reads with no alignment get an unmapped record. The
+// best-scoring alignment of each read is primary; the rest are flagged
+// secondary.
+func WriteSAM(w io.Writer, res *Results, targets, queries []Seq) error {
+	sw, err := seqio.NewSAMWriter(w, targets, "meraligner", "1.0")
+	if err != nil {
+		return err
+	}
+	// Group alignments per query (they are sorted by query after a run).
+	byQuery := make(map[int32][]Alignment, len(queries))
+	for _, a := range res.Alignments {
+		byQuery[a.Query] = append(byQuery[a.Query], a)
+	}
+	for qi := range queries {
+		q := queries[qi]
+		as := byQuery[int32(qi)]
+		if len(as) == 0 {
+			if err := sw.Write(seqio.SAMRecord{
+				QName: q.Name, Flag: seqio.FlagUnmapped,
+				Seq: q.Seq.String(), Qual: string(q.Qual),
+				TagAS: -1, TagNM: -1,
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		best := 0
+		for i, a := range as {
+			if a.Score > as[best].Score {
+				best = i
+			}
+		}
+		for i, a := range as {
+			flag := 0
+			seq := q.Seq
+			if a.RC {
+				flag |= seqio.FlagReverse
+				seq = seq.ReverseComplement()
+			}
+			if i != best {
+				flag |= seqio.FlagSecondary
+			}
+			qual := string(q.Qual)
+			if a.RC && qual != "" {
+				b := []byte(qual)
+				for l, r := 0, len(b)-1; l < r; l, r = l+1, r-1 {
+					b[l], b[r] = b[r], b[l]
+				}
+				qual = string(b)
+			}
+			mapq := 60
+			if len(as) > 1 {
+				mapq = 3
+			}
+			rec := seqio.SAMRecord{
+				QName: q.Name, Flag: flag,
+				RName: targets[a.Target].Name,
+				Pos:   int(a.TStart) + 1, MapQ: mapq,
+				Cigar: a.Cigar,
+				Seq:   seq.String(), Qual: qual,
+				TagAS: int(a.Score), TagNM: -1,
+			}
+			if rec.Cigar == "" {
+				rec.Cigar = fmt.Sprintf("%dM", a.QEnd-a.QStart)
+			}
+			if err := sw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return sw.Flush()
+}
+
+// WriteAlignments writes alignments in a simple tab-separated format:
+// query, target, strand, score, qstart, qend, tstart, tend, cigar.
+func WriteAlignments(w io.Writer, res *Results, targets, queries []Seq) error {
+	for _, a := range res.Alignments {
+		strand := "+"
+		if a.RC {
+			strand = "-"
+		}
+		qn := fmt.Sprint(a.Query)
+		if int(a.Query) < len(queries) {
+			qn = queries[a.Query].Name
+		}
+		tn := fmt.Sprint(a.Target)
+		if int(a.Target) < len(targets) {
+			tn = targets[a.Target].Name
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			qn, tn, strand, a.Score, a.QStart, a.QEnd, a.TStart, a.TEnd, a.Cigar); err != nil {
+			return err
+		}
+	}
+	return nil
+}
