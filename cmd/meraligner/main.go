@@ -1,11 +1,18 @@
 // Command meraligner aligns a set of query reads (FASTQ or SeqDB) to a set
-// of target contigs (FASTA) using the merAligner pipeline in threaded mode,
-// and writes tab-separated alignments to stdout.
+// of target contigs (FASTA) using the merAligner pipeline and writes
+// tab-separated alignments (or SAM) to stdout.
+//
+// Two engines are available: -engine threaded (default) runs the
+// goroutine-backed shared-memory engine on the host; -engine sim runs the
+// same pipeline on the simulated PGAS machine (-sim-cores wide) and reports
+// simulated phase times — useful for predicting distributed-scale behavior
+// from a laptop.
 //
 // Usage:
 //
 //	meraligner -targets contigs.fa -queries reads.fq [-k 51] [-threads N]
-//	           [-max-hits 1000] [-min-score 0] [-no-exact] [-o out.tsv]
+//	           [-engine threaded|sim] [-sim-cores 480] [-max-hits 1000]
+//	           [-min-score 0] [-no-exact] [-o out.tsv]
 package main
 
 import (
@@ -27,6 +34,8 @@ func main() {
 		queriesPath = flag.String("queries", "", "FASTQ or SeqDB file of query reads")
 		k           = flag.Int("k", 51, "seed length (1-64)")
 		threads     = flag.Int("threads", runtime.NumCPU(), "worker threads")
+		engine      = flag.String("engine", "threaded", "execution engine: threaded (real goroutines) or sim (simulated PGAS machine)")
+		simCores    = flag.Int("sim-cores", 0, "simulated machine width for -engine sim (0 = -threads)")
 		maxHits     = flag.Int("max-hits", 1000, "max alignments per seed (0 = unlimited, §IV-C)")
 		minScore    = flag.Int("min-score", 0, "minimum alignment score (0 = seed length)")
 		noExact     = flag.Bool("no-exact", false, "disable the exact-match optimization (§IV-A)")
@@ -40,6 +49,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *engine != "threaded" && *engine != "sim" {
+		log.Fatalf("unknown engine %q (want threaded or sim)", *engine)
+	}
 
 	opt := meraligner.DefaultOptions(*k)
 	opt.MaxSeedHits = *maxHits
@@ -48,7 +60,25 @@ func main() {
 	opt.Permute = !*noPermute
 	opt.CollectAlignments = true
 
-	res, targets, queries, err := meraligner.AlignFiles(*threads, opt, *targetsPath, *queriesPath)
+	targets, err := meraligner.ReadFasta(*targetsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := meraligner.ReadQueries(*queriesPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var res *meraligner.Results
+	if *engine == "sim" {
+		cores := *simCores
+		if cores == 0 {
+			cores = *threads
+		}
+		res, err = meraligner.Align(meraligner.Edison(cores), opt, targets, queries)
+	} else {
+		res, err = meraligner.AlignThreaded(*threads, opt, targets, queries)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,10 +106,17 @@ func main() {
 			res.AlignedReads, res.TotalReads,
 			100*float64(res.AlignedReads)/float64(max(1, res.TotalReads)),
 			res.TotalAlignments, res.ExactPathReads)
-		for _, p := range res.Phases {
-			fmt.Fprintf(os.Stderr, "  %-24s %8.3fs\n", p.Name, p.RealWall)
+		if *engine == "sim" {
+			for _, p := range res.Phases {
+				fmt.Fprintf(os.Stderr, "  %-24s %8.3fs (simulated)\n", p.Name, p.Wall)
+			}
+			fmt.Fprintf(os.Stderr, "  %-24s %8.3fs (simulated)\n", "TOTAL", res.TotalWall())
+		} else {
+			for _, p := range res.Phases {
+				fmt.Fprintf(os.Stderr, "  %-24s %8.3fs\n", p.Name, p.RealWall)
+			}
+			fmt.Fprintf(os.Stderr, "  %-24s %8.3fs (%.0f reads/s)\n", "TOTAL",
+				res.TotalRealWall(), float64(res.TotalReads)/res.TotalRealWall())
 		}
-		fmt.Fprintf(os.Stderr, "  %-24s %8.3fs (%.0f reads/s)\n", "TOTAL",
-			res.TotalRealWall(), float64(res.TotalReads)/res.TotalRealWall())
 	}
 }

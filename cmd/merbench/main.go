@@ -32,6 +32,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "smoke-test workload sizes")
 		coreScale  = flag.Int("core-scale", 0, "divide the paper's core counts by this (0 = default 16)")
 		workers    = flag.Int("workers", 0, "host worker goroutines (0 = NumCPU)")
+		engine     = flag.String("engine", "threaded", "engine for real-parallelism rows (fig11): threaded or sim")
 		seed       = flag.Int64("seed", 1, "workload random seed")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		outPath    = flag.String("o", "", "also write the reports to this file")
@@ -54,6 +55,10 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.Seed = *seed
+	if *engine != "threaded" && *engine != "sim" {
+		log.Fatalf("unknown engine %q (want threaded or sim)", *engine)
+	}
+	cfg.Engine = *engine
 
 	var sb strings.Builder
 	emit := func(rep *expt.Report, took time.Duration) {

@@ -1,0 +1,3 @@
+module github.com/lbl-repro/meraligner
+
+go 1.24.0

@@ -1,6 +1,7 @@
 package align
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -484,5 +485,57 @@ func BenchmarkLocalWithTraceback100x200(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Local(q, tg, DefaultScoring)
+	}
+}
+
+// The package's entry points (ExtendSeed, StripedScore, Local, and shared
+// Profiles) must be safe for concurrent use: the threaded engine runs them
+// from many worker goroutines against shared target slices. Run under -race
+// in CI's race job.
+func TestConcurrentEntryPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	target := randCodes(rng, 4000)
+	queries := make([][]byte, 16)
+	for i := range queries {
+		off := rng.Intn(len(target) - 120)
+		q := append([]byte(nil), target[off:off+100]...)
+		q[rng.Intn(len(q))] = byte(rng.Intn(4)) // maybe a substitution
+		queries[i] = q
+	}
+	// A shared profile exercised from every goroutine alongside the
+	// stateless kernels. The query is long enough that its perfect match
+	// saturates the 8-bit kernel, so every goroutine races into the lazy
+	// 16-bit rescue on first use — the hazard once16 guards.
+	long := append([]byte(nil), target[100:500]...)
+	shared := NewProfile(long, DefaultScoring)
+	want := 400 * DefaultScoring.Match
+
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i, q := range queries {
+				sr := StripedScore(q, target, DefaultScoring)
+				lr := Local(q, target, DefaultScoring)
+				if sr.Score != lr.Score {
+					done <- fmt.Errorf("worker %d query %d: striped %d != local %d", w, i, sr.Score, lr.Score)
+					return
+				}
+				er := ExtendSeed(q, target, 0, 0, 21, DefaultScoring, 16)
+				if er.Score > lr.Score {
+					done <- fmt.Errorf("worker %d query %d: window score %d exceeds full %d", w, i, er.Score, lr.Score)
+					return
+				}
+				if got := shared.Align(target).Score; got != want {
+					done <- fmt.Errorf("worker %d: shared profile score changed: %d != %d", w, got, want)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -1,6 +1,9 @@
 package align
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // This file implements Farrar's striped Smith-Waterman — the algorithm
 // behind the SSW library of §V-B — with SIMD registers emulated by SWAR
@@ -113,7 +116,10 @@ type Profile struct {
 	// prof8[c] holds segLen8 words of 8 lanes for base code c.
 	segLen8 int
 	prof8   [4][]uint64
-	// 16-bit profile built lazily on first overflow.
+	// 16-bit profile built lazily on first overflow; the Once makes a
+	// shared Profile safe for concurrent Align calls (the threaded engine
+	// aligns one query against many candidate targets from worker pools).
+	once16   sync.Once
 	segLen16 int
 	prof16   [4][]uint64
 }
@@ -174,9 +180,7 @@ func (p *Profile) Align(target []byte) StripedResult {
 	if !overflow {
 		return StripedResult{Score: score, TEnd: tEnd, UsedLanes: 8}
 	}
-	if p.prof16[0] == nil {
-		p.build16()
-	}
+	p.once16.Do(p.build16)
 	score, tEnd, _ = p.kernel(spec16, p.segLen16, &p.prof16, target)
 	return StripedResult{Score: score, TEnd: tEnd, Overflow: true, UsedLanes: 16}
 }

@@ -357,3 +357,39 @@ func BenchmarkLRUPutEvict(b *testing.B) {
 		c.Put(i, i, 64)
 	}
 }
+
+// Group's entry points must be safe under real concurrency: the simulated
+// machine executes threads of the same node on concurrent worker
+// goroutines, all hitting the node's shard locks and the per-thread comm
+// attribution slices. Run under -race in CI's race job.
+func TestGroupConcurrentLookupAndFetch(t *testing.T) {
+	mach := upc.Edison(96)
+	mach.Workers = 8
+	rng := rand.New(rand.NewSource(9))
+	frags := []dna.Packed{dna.Random(rng, 2000), dna.Random(rng, 2000)}
+	ix := buildIndex(t, mach, 21, frags)
+	g := NewGroup(mach, 1<<20, 1<<20)
+	seeds := kmer.Extract(frags[0], 21, nil)
+	seeds = append(seeds, kmer.Extract(frags[1], 21, nil)...)
+
+	m := upc.MustNewMachine(mach)
+	m.RunPhase("concurrent", func(th *upc.Thread) {
+		for pass := 0; pass < 2; pass++ {
+			for i := th.ID % 7; i < len(seeds); i += 7 {
+				if _, ok := g.Lookup(th, ix, seeds[i]); !ok {
+					t.Errorf("staged seed missing")
+					return
+				}
+				frag := int32(i % len(frags))
+				g.FetchTarget(th, frag, 500, int(frag)%mach.Threads)
+			}
+		}
+	})
+	cs := g.SeedCounters()
+	if cs.Hits+cs.Misses == 0 {
+		t.Error("no cache traffic recorded")
+	}
+	if g.CommSeedMax() <= 0 || g.CommTargetMax() <= 0 {
+		t.Error("comm attribution not recorded")
+	}
+}

@@ -132,7 +132,7 @@ func Run(mach upc.MachineConfig, opt Options, targets, queries []seqio.Seq) (*Re
 		if opt.CollectAlignments {
 			st.alignments = []Alignment{}
 		}
-		qp := newQueryProcessor(mach, opt, ix, ft, g)
+		qp := newQueryProcessor(mach, opt, simAccess{ix: ix, g: g}, ft)
 		lo, hi := mach.PartitionRange(len(order), th.ID)
 		for i := lo; i < hi; i++ {
 			qi := order[i]
@@ -141,28 +141,7 @@ func Run(mach upc.MachineConfig, opt Options, targets, queries []seqio.Seq) (*Re
 	})
 
 	// ---- Merge ----
-	for i := range perThread {
-		st := &perThread[i]
-		res.AlignedReads += st.aligned
-		res.ExactPathReads += st.exact
-		res.TotalAlignments += st.totalAlignments
-		res.SWCalls += st.swCalls
-		if st.alignments != nil {
-			res.Alignments = append(res.Alignments, st.alignments...)
-		}
-	}
-	if opt.CollectAlignments {
-		sort.Slice(res.Alignments, func(i, j int) bool {
-			a, b := res.Alignments[i], res.Alignments[j]
-			if a.Query != b.Query {
-				return a.Query < b.Query
-			}
-			if a.Target != b.Target {
-				return a.Target < b.Target
-			}
-			return a.TStart < b.TStart
-		})
-	}
+	mergeThreadStats(res, perThread, opt.CollectAlignments)
 	res.Phases = m.Phases()
 	res.SeedLookups = m.TotalCounters().SeedLookups
 	res.SeedCache = g.SeedCounters()
@@ -181,6 +160,59 @@ type threadStats struct {
 	totalAlignments int64
 	swCalls         int64
 	alignments      []Alignment
+}
+
+// mergeThreadStats folds per-thread aligning-phase results into res and, when
+// alignments were collected, sorts them into a canonical total order. Both
+// engines merge through here, so identical per-query results yield identical
+// Results.Alignments slices regardless of how work was scheduled.
+func mergeThreadStats(res *Results, perThread []threadStats, collected bool) {
+	for i := range perThread {
+		st := &perThread[i]
+		res.AlignedReads += st.aligned
+		res.ExactPathReads += st.exact
+		res.TotalAlignments += st.totalAlignments
+		res.SWCalls += st.swCalls
+		if st.alignments != nil {
+			res.Alignments = append(res.Alignments, st.alignments...)
+		}
+	}
+	if collected {
+		sortAlignments(res.Alignments)
+	}
+}
+
+// sortAlignments orders alignments by every field — a total order, so the
+// output is deterministic even when distinct alignments tie on coordinates.
+func sortAlignments(as []Alignment) {
+	sort.Slice(as, func(i, j int) bool {
+		a, b := as[i], as[j]
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		if a.TStart != b.TStart {
+			return a.TStart < b.TStart
+		}
+		if a.TEnd != b.TEnd {
+			return a.TEnd < b.TEnd
+		}
+		if a.RC != b.RC {
+			return !a.RC
+		}
+		if a.QStart != b.QStart {
+			return a.QStart < b.QStart
+		}
+		if a.QEnd != b.QEnd {
+			return a.QEnd < b.QEnd
+		}
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Cigar < b.Cigar
+	})
 }
 
 // Summary renders headline numbers for humans.

@@ -17,12 +17,41 @@ type candKey struct {
 	rc     bool
 }
 
+// indexAccess abstracts the seed index and target store behind the aligning
+// phase, so the same per-query algorithm runs against either engine: the
+// simulated PGAS index (dht.Index through the software caches, charging the
+// cost model) or the threaded engine's in-memory sharded index (real data,
+// real time, no cost charging).
+type indexAccess interface {
+	// Lookup resolves a canonical seed to its location list.
+	Lookup(th *upc.Thread, s kmer.Kmer) (dht.LookupResult, bool)
+	// SingleCopy reports the fragment's single-copy-seeds flag (§IV-A).
+	SingleCopy(frag int32) bool
+	// FetchTarget accounts for bringing a target's sequence to the thread.
+	FetchTarget(th *upc.Thread, target int32, targetBytes, owner int)
+}
+
+// simAccess is the simulated-machine implementation: lookups go through the
+// per-node seed cache, target fetches through the target cache, and every
+// operation charges the thread's virtual clock.
+type simAccess struct {
+	ix *dht.Index
+	g  *cache.Group
+}
+
+func (a simAccess) Lookup(th *upc.Thread, s kmer.Kmer) (dht.LookupResult, bool) {
+	return a.g.Lookup(th, a.ix, s)
+}
+func (a simAccess) SingleCopy(frag int32) bool { return a.ix.SingleCopy(int(frag)) }
+func (a simAccess) FetchTarget(th *upc.Thread, target int32, targetBytes, owner int) {
+	a.g.FetchTarget(th, target, targetBytes, owner)
+}
+
 // queryProcessor holds the reusable per-thread state of the aligning phase.
 type queryProcessor struct {
 	opt   Options
-	ix    *dht.Index
+	acc   indexAccess
 	ft    *FragmentTable
-	g     *cache.Group
 	costs upc.MachineConfig // cost constants for the hot loop
 
 	fwd, rc []byte // unpacked query codes, forward and reverse complement
@@ -32,8 +61,8 @@ type queryProcessor struct {
 	foundTg []int32
 }
 
-func newQueryProcessor(mach upc.MachineConfig, opt Options, ix *dht.Index, ft *FragmentTable, g *cache.Group) *queryProcessor {
-	return &queryProcessor{opt: opt, ix: ix, ft: ft, g: g, costs: mach, seen: make(map[candKey]struct{}, 16)}
+func newQueryProcessor(mach upc.MachineConfig, opt Options, acc indexAccess, ft *FragmentTable) *queryProcessor {
+	return &queryProcessor{opt: opt, acc: acc, ft: ft, costs: mach, seen: make(map[candKey]struct{}, 16)}
 }
 
 // process aligns one query (Algorithm 1, lines 8-12, plus §IV
@@ -62,11 +91,11 @@ func (qp *queryProcessor) process(th *upc.Thread, st *threadStats, qi int32, q d
 		s0 := kmer.FromPacked(q, 0, opt.K)
 		th.Compute(mach.SeedExtractCost)
 		firstCanon, firstQRC = s0.Canonical(opt.K)
-		firstRes, firstOK = qp.g.Lookup(th, qp.ix, firstCanon)
+		firstRes, firstOK = qp.acc.Lookup(th, firstCanon)
 		firstSeedChecked = true
 		if firstOK && firstRes.Count == 1 && len(firstRes.Locs) == 1 {
 			loc := firstRes.Locs[0]
-			if qp.ix.SingleCopy(int(loc.Frag)) {
+			if qp.acc.SingleCopy(loc.Frag) {
 				if a, ok := qp.tryExact(th, loc, firstQRC, L); ok {
 					a.Query = qi
 					st.exact++
@@ -95,7 +124,7 @@ func (qp *queryProcessor) process(th *upc.Thread, st *threadStats, qi int32, q d
 			th.Compute(mach.SeedExtractCost)
 			var canon kmer.Kmer
 			canon, qrc = s.Canonical(opt.K)
-			res, ok = qp.g.Lookup(th, qp.ix, canon)
+			res, ok = qp.acc.Lookup(th, canon)
 		}
 		if !ok {
 			continue
@@ -143,7 +172,7 @@ func (qp *queryProcessor) tryExact(th *upc.Thread, loc dht.Loc, qrc bool, L int)
 	if tOff < 0 || tOff+L > len(tcodes) {
 		return Alignment{}, false // query overhangs the target: general path
 	}
-	qp.g.FetchTarget(th, frag.Target, qp.ft.TargetPackedBytes(frag.Target), qp.ft.Owner(loc.Frag))
+	qp.acc.FetchTarget(th, frag.Target, qp.ft.TargetPackedBytes(frag.Target), qp.ft.Owner(loc.Frag))
 	th.Compute(float64((L+3)/4) * qp.costs.MemcmpCost)
 	th.Counters.MemcmpBytes += int64((L + 3) / 4)
 	qc := qp.queryCodes(rc, L)
@@ -181,7 +210,7 @@ func (qp *queryProcessor) candidate(th *upc.Thread, st *threadStats, loc dht.Loc
 	qp.seen[key] = struct{}{}
 
 	tcodes := qp.ft.TargetCodes(frag.Target)
-	qp.g.FetchTarget(th, frag.Target, qp.ft.TargetPackedBytes(frag.Target), qp.ft.Owner(loc.Frag))
+	qp.acc.FetchTarget(th, frag.Target, qp.ft.TargetPackedBytes(frag.Target), qp.ft.Owner(loc.Frag))
 
 	qc := qp.queryCodes(rc, L)
 	winLo := seedT - qoffEff - qp.opt.ExtendPad

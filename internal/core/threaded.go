@@ -2,22 +2,245 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"github.com/lbl-repro/meraligner/internal/dht"
+	"github.com/lbl-repro/meraligner/internal/kmer"
 	"github.com/lbl-repro/meraligner/internal/seqio"
 	"github.com/lbl-repro/meraligner/internal/upc"
 )
 
-// RunThreaded executes merAligner in shared-memory mode: the same pipeline
-// as Run, but with one real goroutine per simulated thread on a single
-// "node", so the PhaseStat.RealWall values are genuine wall-clock
-// measurements of parallel execution on the host. This is the merAligner
-// configuration of Fig 11 (single node of Edison, 1-24 cores).
+// This file implements the shared-memory execution engine: the same
+// seed-and-extend pipeline as Run, executed by a pool of real goroutines
+// against a sharded in-memory seed index (dht.Sharded) instead of the
+// simulated PGAS machine. Phase times are genuine wall-clock measurements
+// (the merAligner configuration of Fig 11: one node, 1-24 cores); event
+// counters (seed lookups, SW cells, memcmp bytes) are measured identically
+// to the simulated engine.
 //
-// Communication degenerates to shared-memory access (everything is
-// same-node), caches are bypassed, and the distributed index becomes a
-// sharded in-memory hash table built with the same two-stage lock-free
-// scheme — exactly what the UPC code does when run on one node.
-func RunThreaded(threads int, opt Options, targets, queries []seqio.Seq) (*Results, error) {
+// The engine mirrors the paper's structure phase by phase:
+//
+//	extract+stage  workers pull fragment chunks from an atomic work cursor,
+//	               extract seeds, and stage them into per-worker S-entry
+//	               buffers that ship to the index arena with one atomic
+//	               reservation per batch (aggregating stores, §III-A)
+//	drain          workers pull shards; each shard sorts and inserts its
+//	               entries locally, lock-free
+//	mark           workers pull shards; repeat seeds clear single-copy
+//	               flags with idempotent atomic stores (§IV-A)
+//	align          workers pull query batches; each query runs the exact-
+//	               match fast path (§IV-A) and the general seed-lookup +
+//	               striped Smith-Waterman path (§IV-B/V-B)
+//
+// Alignments are byte-identical to Run's on the same inputs: the sharded
+// index sorts entries with the same comparator as the simulated drain, so
+// location lists — and therefore candidate order, deduplication, and
+// scores — match exactly.
+
+// threadedAccess adapts dht.Sharded to the indexAccess interface. Lookups
+// touch real memory only; no communication is simulated, but the measured
+// counters are maintained so Results are comparable across engines.
+type threadedAccess struct {
+	sx *dht.Sharded
+}
+
+func (a threadedAccess) Lookup(th *upc.Thread, s kmer.Kmer) (dht.LookupResult, bool) {
+	th.Counters.SeedLookups++
+	return a.sx.Lookup(s)
+}
+func (a threadedAccess) SingleCopy(frag int32) bool { return a.sx.SingleCopy(int(frag)) }
+func (a threadedAccess) FetchTarget(th *upc.Thread, target int32, targetBytes, owner int) {
+	// Target sequences live in shared memory; nothing to move.
+}
+
+// chunk sizes for the dynamic work cursors: small enough to balance skewed
+// fragment lengths and per-read work, large enough to amortize the atomic.
+const (
+	extractChunk = 32  // fragments per claim
+	alignBatch   = 256 // queries per claim
+)
+
+// runPool runs fn on workers goroutines until claims are exhausted: each
+// fn(w, lo, hi) call owns items [lo, hi) of an n-item sequence, claimed
+// chunk-at-a-time from a shared atomic cursor (guided self-scheduling, the
+// shared-memory analogue of the paper's per-thread block partition).
+func runPool(workers, n, chunk int, fn func(w, lo, hi int)) {
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// realPhases accumulates wall-clock PhaseStats for a threaded run.
+type realPhases struct {
+	phases []upc.PhaseStat
+	total  upc.Counters
+}
+
+// run measures fn and records it as a phase, folding in the per-worker
+// counters accumulated during the phase.
+func (r *realPhases) run(name string, threads []*upc.Thread, fn func()) {
+	var before upc.Counters
+	for _, t := range threads {
+		before.Add(t.Counters)
+	}
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	var after upc.Counters
+	for _, t := range threads {
+		after.Add(t.Counters)
+	}
+	delta := after.Sub(before)
+	stat := upc.RealPhaseStat(name, elapsed, delta)
+	r.phases = append(r.phases, stat)
+	r.total.Add(delta)
+}
+
+// RunThreaded executes merAligner in shared-memory mode: a goroutine worker
+// pool builds a sharded seed index with the two-stage aggregating-stores
+// scheme and aligns query batches with the exact-match fast path and
+// striped Smith-Waterman. workers is the pool size (the paper's single-node
+// core count, Fig 11); workers <= 0 is an error. Alignments are identical
+// to Run's on the same inputs; Results.Phases carry measured wall-clock
+// times in both Wall and RealWall.
+func RunThreaded(workers int, opt Options, targets, queries []seqio.Seq) (*Results, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("core: threads must be positive, got %d", workers)
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	// Cost constants are still consulted by the shared per-query code (it
+	// charges virtual clocks nobody reads in this mode); counters are real.
+	costs := upc.Edison(workers)
+	costs.PPN = workers
+
+	threads := make([]*upc.Thread, workers)
+	for w := range threads {
+		threads[w] = upc.NewStandaloneThread(costs, w)
+	}
+	rec := &realPhases{}
+	res := &Results{TotalReads: len(queries)}
+
+	// Fragment the targets exactly as the simulated engine does (same
+	// worker count ⇒ same data ownership labels; contents do not depend on
+	// the partition).
+	ft := BuildFragmentTable(targets, opt.K, opt.FragmentLen, workers)
+
+	maxLoc := 0
+	if opt.MaxSeedHits > 0 {
+		maxLoc = opt.MaxSeedHits + 1
+	}
+	totalSeeds := 0
+	for f := 0; f < ft.NumFragments(); f++ {
+		if n := int(ft.Frags[f].Len) - opt.K + 1; n > 0 {
+			totalSeeds += n
+		}
+	}
+	sx, err := dht.NewSharded(dht.ShardedConfig{
+		K: opt.K, S: opt.AggS, MaxLocList: maxLoc,
+		Shards: dht.DefaultShards(workers),
+	}, ft.NumFragments(), totalSeeds, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Phase 1: extract seeds and stage into the sharded index ----
+	builders := make([]*dht.ShardedBuilder, workers)
+	for w := range builders {
+		builders[w] = sx.NewBuilder()
+	}
+	rec.run(PhaseExtract, threads, func() {
+		kbufs := make([][]kmer.Kmer, workers)
+		runPool(workers, ft.NumFragments(), extractChunk, func(w, lo, hi int) {
+			b := builders[w]
+			for f := lo; f < hi; f++ {
+				kbufs[w] = kmer.Extract(ft.FragSeq(int32(f)), opt.K, kbufs[w][:0])
+				for off, s := range kbufs[w] {
+					canon, rc := s.Canonical(opt.K)
+					b.Add(dht.SeedEntry{Seed: canon, Loc: dht.Loc{
+						Frag: int32(f),
+						Off:  int32(off),
+						RC:   rc,
+					}})
+				}
+			}
+		})
+		for _, b := range builders {
+			b.Flush()
+		}
+	})
+
+	// ---- Phase 2: drain shards into local buckets (lock-free) ----
+	rec.run(PhaseDrain, threads, func() {
+		runPool(workers, sx.Shards(), 1, func(w, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				sx.DrainShard(s)
+			}
+		})
+		sx.ReleaseArena()
+	})
+
+	// ---- Phase 3: mark single-copy-seed fragments (§IV-A) ----
+	if opt.ExactMatch {
+		rec.run(PhaseMark, threads, func() {
+			runPool(workers, sx.Shards(), 1, func(w, lo, hi int) {
+				for s := lo; s < hi; s++ {
+					sx.MarkShard(s)
+				}
+			})
+		})
+	}
+
+	// ---- Phase 4: align query batches ----
+	perThread := make([]threadStats, workers)
+	rec.run(PhaseAlign, threads, func() {
+		qps := make([]*queryProcessor, workers)
+		runPool(workers, len(queries), alignBatch, func(w, lo, hi int) {
+			if qps[w] == nil {
+				qps[w] = newQueryProcessor(costs, opt, threadedAccess{sx: sx}, ft)
+			}
+			st := &perThread[w]
+			if opt.CollectAlignments && st.alignments == nil {
+				st.alignments = []Alignment{}
+			}
+			for qi := lo; qi < hi; qi++ {
+				qps[w].process(threads[w], st, int32(qi), queries[qi].Seq)
+			}
+		})
+	})
+
+	mergeThreadStats(res, perThread, opt.CollectAlignments)
+	res.Phases = rec.phases
+	res.SeedLookups = rec.total.SeedLookups
+	res.IndexStats = sx.Stats()
+	return res, nil
+}
+
+// RunThreadedSim is the pre-engine behavior of RunThreaded, retained for
+// engine comparisons: the simulated pipeline configured as a single node
+// with one worker goroutine per simulated thread, so PhaseStat.RealWall
+// measures the host time of executing the cost-charged pipeline.
+func RunThreadedSim(threads int, opt Options, targets, queries []seqio.Seq) (*Results, error) {
 	if threads <= 0 {
 		return nil, fmt.Errorf("core: threads must be positive, got %d", threads)
 	}

@@ -75,11 +75,64 @@ type entry struct {
 	count int32 // total occurrences, == len(locs) unless list was capped
 }
 
+// buckets is one partition's seed table: a map from seed to a dense entry
+// slice. It is shared between the simulated Index (one per UPC thread) and
+// the concurrent Sharded index (one per shard); both drain into it from a
+// single goroutine, so insert needs no locking of its own.
+type buckets struct {
+	m map[kmer.Kmer]int32
+	e []entry
+}
+
+// insert adds one occurrence, capping the stored location list at maxLoc
+// entries (0 = unlimited) while still counting every occurrence.
+func (bt *buckets) insert(e SeedEntry, maxLoc int) {
+	if idx, ok := bt.m[e.Seed]; ok {
+		ent := &bt.e[idx]
+		ent.count++
+		if maxLoc == 0 || len(ent.locs) < maxLoc {
+			ent.locs = append(ent.locs, e.Loc)
+		}
+		return
+	}
+	bt.m[e.Seed] = int32(len(bt.e))
+	bt.e = append(bt.e, entry{locs: []Loc{e.Loc}, count: 1})
+}
+
+// lookup probes the partition.
+func (bt *buckets) lookup(s kmer.Kmer) (LookupResult, bool) {
+	idx, ok := bt.m[s]
+	if !ok {
+		return LookupResult{}, false
+	}
+	ent := &bt.e[idx]
+	return LookupResult{Locs: ent.locs, Count: ent.count}, true
+}
+
+// sortEntries orders staged entries by (seed, fragment, offset, strand) so a
+// partition's contents are independent of ship interleaving. Both build
+// paths sort with this comparator, which is what makes the simulated and
+// threaded indexes byte-identical for the same input.
+func sortEntries(es []SeedEntry) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.Seed != b.Seed {
+			return a.Seed.Less(b.Seed)
+		}
+		if a.Loc.Frag != b.Loc.Frag {
+			return a.Loc.Frag < b.Loc.Frag
+		}
+		if a.Loc.Off != b.Loc.Off {
+			return a.Loc.Off < b.Loc.Off
+		}
+		return !a.Loc.RC && b.Loc.RC
+	})
+}
+
 // ownerTable is the local part of the distributed table on one thread.
 type ownerTable struct {
 	mu sync.Mutex // contended only in FineGrained mode
-	m  map[kmer.Kmer]int32
-	e  []entry
+	buckets
 }
 
 // stack is one thread's pre-allocated local-shared stack: remote threads
@@ -129,7 +182,7 @@ func New(mach upc.MachineConfig, cfg Config, numFragments int) (*Index, error) {
 		numFragments: numFragments,
 	}
 	for i := range ix.owners {
-		ix.owners[i].m = make(map[kmer.Kmer]int32)
+		ix.owners[i].buckets.m = make(map[kmer.Kmer]int32)
 	}
 	for i := range ix.singleCopy {
 		ix.singleCopy[i] = 1
@@ -235,16 +288,7 @@ func (b *Builder) Flush() {
 // insertLocked adds one occurrence into an owner table. Caller holds ot.mu
 // or is the exclusive owner.
 func (ix *Index) insertLocked(ot *ownerTable, e SeedEntry) {
-	if idx, ok := ot.m[e.Seed]; ok {
-		ent := &ot.e[idx]
-		ent.count++
-		if ix.cfg.MaxLocList == 0 || len(ent.locs) < ix.cfg.MaxLocList {
-			ent.locs = append(ent.locs, e.Loc)
-		}
-		return
-	}
-	ot.m[e.Seed] = int32(len(ot.e))
-	ot.e = append(ot.e, entry{locs: []Loc{e.Loc}, count: 1})
+	ot.buckets.insert(e, ix.cfg.MaxLocList)
 }
 
 // Drain empties thread t's local-shared stack into its local buckets —
@@ -257,19 +301,7 @@ func (ix *Index) Drain(t *upc.Thread) {
 	}
 	st := &ix.stacks[t.ID]
 	es := st.entries
-	sort.Slice(es, func(i, j int) bool {
-		a, b := es[i], es[j]
-		if a.Seed != b.Seed {
-			return a.Seed.Less(b.Seed)
-		}
-		if a.Loc.Frag != b.Loc.Frag {
-			return a.Loc.Frag < b.Loc.Frag
-		}
-		if a.Loc.Off != b.Loc.Off {
-			return a.Loc.Off < b.Loc.Off
-		}
-		return !a.Loc.RC && b.Loc.RC
-	})
+	sortEntries(es)
 	ot := &ix.owners[t.ID]
 	for _, e := range es {
 		ix.insertLocked(ot, e)
@@ -331,13 +363,7 @@ type LookupResult struct {
 
 // lookupLocal probes the owner's table without charging communication.
 func (ix *Index) lookupLocal(owner int, s kmer.Kmer) (LookupResult, bool) {
-	ot := &ix.owners[owner]
-	idx, ok := ot.m[s]
-	if !ok {
-		return LookupResult{}, false
-	}
-	ent := &ot.e[idx]
-	return LookupResult{Locs: ent.locs, Count: ent.count}, true
+	return ix.owners[owner].buckets.lookup(s)
 }
 
 // Lookup performs a seed lookup from thread t, charging one local probe at

@@ -32,15 +32,22 @@ func Fig11(cfg Config) (*Report, error) {
 		sweep = []int{1, 4}
 	}
 	maxCores := runtime.NumCPU()
+	oversubscribed := false
 
+	runMer := core.RunThreaded
+	if cfg.Engine == "sim" {
+		runMer = core.RunThreadedSim
+	}
 	for _, p := range sweep {
 		if p > maxCores {
-			rep.Note("skipping %d cores (host has %d)", p, maxCores)
-			continue
+			// Run oversubscribed rather than dropping the point: the
+			// mer-vs-baseline comparison stays valid (both sides share the
+			// host), only the scaling slope flattens.
+			oversubscribed = true
 		}
 		opt := core.DefaultOptions(19)
 		opt.MaxSeedHits = 200
-		mer, err := core.RunThreaded(p, opt, ds.Contigs, ds.Reads)
+		mer, err := runMer(p, opt, ds.Contigs, ds.Reads)
 		if err != nil {
 			return nil, err
 		}
@@ -58,6 +65,10 @@ func Fig11(cfg Config) (*Report, error) {
 		bt2T := bt2.TotalWall().Seconds()
 		rep.AddRow(fmt.Sprint(p), secs(merT), secs(bwaT), secs(bt2T),
 			ratio(bwaT, merT), ratio(bt2T, merT))
+	}
+	if oversubscribed {
+		rep.Note("host has %d cores: larger worker counts ran oversubscribed (valid for the "+
+			"mer-vs-baseline comparison, flat for scaling)", maxCores)
 	}
 	rep.Note("all rows are real host measurements; baseline totals include their serial index build " +
 		"(merAligner's is parallel), which is why the baseline curves flatten")
