@@ -1,0 +1,107 @@
+package meraligner
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/lbl-repro/meraligner/internal/core"
+	"github.com/lbl-repro/meraligner/internal/dht"
+	"github.com/lbl-repro/meraligner/internal/upc"
+)
+
+// This file is the persistent half of the public API: build the seed index
+// once with Build, then serve query batches against the resident index with
+// (*Aligner).Align from any number of goroutines. The one-shot functions
+// (Align, AlignThreaded, AlignFiles) are convenience wrappers that compose
+// these two steps for a single batch.
+
+// Re-exported option halves: IndexOptions configures what Build constructs
+// (seed length, index construction mode, fragmentation, cache budgets);
+// QueryOptions configures a single Align call (sensitivity threshold,
+// stride, scoring, extension). See core.Options for the one-shot union.
+type (
+	IndexOptions = core.IndexOptions
+	QueryOptions = core.QueryOptions
+)
+
+// DefaultIndexOptions returns the paper's build-time configuration for seed
+// length k (51 for the human/wheat runs, 19 for E. coli).
+func DefaultIndexOptions(k int) IndexOptions { return core.DefaultIndexOptions(k) }
+
+// DefaultQueryOptions returns the paper's query-time configuration.
+func DefaultQueryOptions() QueryOptions { return core.DefaultQueryOptions() }
+
+// Aligner is a resident, concurrency-safe aligner over one target set: the
+// product of Build. The seed index, fragment table, and single-copy flags
+// are constructed exactly once; afterwards the Aligner is immutable, and
+// Align may be called from any number of goroutines concurrently.
+type Aligner struct {
+	ix      *core.ThreadedIndex
+	threads int
+}
+
+// Build constructs the seed index over targets with the threaded engine
+// (§III of the paper: fragmentation, parallel seed extraction with
+// aggregating stores, lock-free drain, single-copy marking) and returns the
+// resident Aligner. threads is the worker-pool size used both for
+// construction and as the default pool size of each Align call.
+func Build(threads int, opt IndexOptions, targets []Seq) (*Aligner, error) {
+	ix, err := core.BuildIndex(threads, opt, targets)
+	if err != nil {
+		return nil, err
+	}
+	return &Aligner{ix: ix, threads: threads}, nil
+}
+
+// BuildFiles reads targets from a FASTA file (gzip transparently handled)
+// and builds the resident Aligner; the parsed targets are available via
+// (*Aligner).Targets.
+func BuildFiles(threads int, opt IndexOptions, targetPath string) (*Aligner, error) {
+	targets, err := ReadFasta(targetPath)
+	if err != nil {
+		return nil, fmt.Errorf("meraligner: reading targets: %w", err)
+	}
+	return Build(threads, opt, targets)
+}
+
+// Align aligns one batch of queries against the resident index (the
+// aligning phase of Algorithm 1 with the exact-match fast path, seed-hit
+// threshold, and striped Smith-Waterman). It is safe to call concurrently:
+// every call owns its worker pool and result buffers. Cancellation is
+// honored between work chunks — when ctx is done, Align stops claiming
+// query batches and returns ctx.Err(). Results carry this call's
+// wall-clock align-phase stat; alignments are byte-identical to a one-shot
+// AlignThreaded run over the same inputs and options.
+func (a *Aligner) Align(ctx context.Context, queries []Seq, opt QueryOptions) (*Results, error) {
+	return a.ix.Query(ctx, a.threads, opt, queries)
+}
+
+// AlignWorkers is Align with an explicit worker-pool size for this call,
+// overriding the Build-time default — e.g. a server dedicating fewer
+// workers per request under concurrent load.
+func (a *Aligner) AlignWorkers(ctx context.Context, workers int, queries []Seq, opt QueryOptions) (*Results, error) {
+	return a.ix.Query(ctx, workers, opt, queries)
+}
+
+// Targets returns the target set the index was built over (needed by the
+// SAM writers).
+func (a *Aligner) Targets() []Seq { return a.ix.Targets() }
+
+// IndexOptions returns the build-time options of the resident index.
+func (a *Aligner) IndexOptions() IndexOptions { return a.ix.Options() }
+
+// IndexStats returns the seed-index statistics snapshot taken when the
+// build sealed the table.
+func (a *Aligner) IndexStats() dht.Stats { return a.ix.Stats() }
+
+// BuildPhases returns the wall-clock phase stats of index construction.
+func (a *Aligner) BuildPhases() []upc.PhaseStat { return a.ix.BuildPhases() }
+
+// BuildWall is the end-to-end wall-clock seconds of index construction.
+func (a *Aligner) BuildWall() float64 { return a.ix.BuildWall() }
+
+// ResidentBytes estimates the memory held by the resident index: the
+// sealed seed table plus the unpacked target codes used for extension.
+func (a *Aligner) ResidentBytes() int64 {
+	return a.ix.ResidentBytes() + a.ix.TargetCodesBytes()
+}

@@ -11,11 +11,13 @@ package meraligner
 // for the full-size numbers.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"github.com/lbl-repro/meraligner/internal/expt"
 	"github.com/lbl-repro/meraligner/internal/genome"
@@ -238,6 +240,157 @@ func TestRecordEngineBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("recorded BENCH_threaded.json:\n%s", out)
+}
+
+// serveWorkload is the build-once/serve-many data set: a build-heavy
+// workload (index construction dominates a single batch's align time) split
+// into serveBatches read batches, approximating a service where read
+// batches arrive against one reference.
+func serveWorkload(tb testing.TB) *genome.DataSet {
+	// Shallow depth over a larger reference: per-batch align work is small
+	// next to index construction, the regime where a resident index pays.
+	p := genome.HumanLike(600_000)
+	p.Depth = 0.75
+	p.InsertMean = 0
+	ds, err := genome.Generate(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ds
+}
+
+const serveBatches = 4
+
+func serveBatchBounds(n int) [][2]int { return expt.SplitBatches(n, serveBatches) }
+
+// BenchmarkBuildOnceServeMany compares the two serving shapes over the same
+// serveBatches read batches: rebuilding the index for every batch (one-shot
+// AlignThreaded per batch) versus one resident index serving all batches
+// (Build + N Align). CI runs this in smoke mode (-benchtime=1x); the
+// recorded baseline is BENCH_serve.json.
+func BenchmarkBuildOnceServeMany(b *testing.B) {
+	ds := serveWorkload(b)
+	opt := DefaultOptions(31)
+	qopt := DefaultQueryOptions()
+	bounds := serveBatchBounds(len(ds.Reads))
+	workers := runtime.NumCPU()
+
+	b.Run("rebuild-per-batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, bd := range bounds {
+				if _, err := AlignThreaded(workers, opt, ds.Contigs, ds.Reads[bd[0]:bd[1]]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("resident-index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, err := Build(workers, opt.IndexOptions, ds.Contigs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, bd := range bounds {
+				if _, err := a.Align(context.Background(), ds.Reads[bd[0]:bd[1]], qopt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// TestRecordServeBaseline writes BENCH_serve.json — the committed
+// build-once/serve-many baseline — when MERALIGNER_RECORD_BASELINE=1:
+//
+//	MERALIGNER_RECORD_BASELINE=1 go test -run TestRecordServeBaseline .
+func TestRecordServeBaseline(t *testing.T) {
+	if os.Getenv("MERALIGNER_RECORD_BASELINE") == "" {
+		t.Skip("set MERALIGNER_RECORD_BASELINE=1 to (re)record BENCH_serve.json")
+	}
+	ds := serveWorkload(t)
+	opt := DefaultOptions(31)
+	qopt := DefaultQueryOptions()
+	bounds := serveBatchBounds(len(ds.Reads))
+	workers := runtime.NumCPU()
+
+	measure := func(run func() error) float64 {
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if err := run(); err != nil {
+				t.Fatal(err)
+			}
+			if s := time.Since(start).Seconds(); best == 0 || s < best {
+				best = s
+			}
+		}
+		return best
+	}
+
+	rebuild := measure(func() error {
+		for _, bd := range bounds {
+			if _, err := AlignThreaded(workers, opt, ds.Contigs, ds.Reads[bd[0]:bd[1]]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	// The resident arm records the build wall of the SAME run that sets the
+	// best total, so build share derived from the file stays consistent.
+	var resident, buildWall float64
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		a, err := Build(workers, opt.IndexOptions, ds.Contigs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bd := range bounds {
+			if _, err := a.Align(context.Background(), ds.Reads[bd[0]:bd[1]], qopt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s := time.Since(start).Seconds(); resident == 0 || s < resident {
+			resident, buildWall = s, a.BuildWall()
+		}
+	}
+
+	baseline := struct {
+		Workload    string  `json:"workload"`
+		Batches     int     `json:"batches"`
+		Reads       int     `json:"reads"`
+		K           int     `json:"k"`
+		Workers     int     `json:"workers"`
+		HostCPUs    int     `json:"host_cpus"`
+		GoOS        string  `json:"goos"`
+		GoArch      string  `json:"goarch"`
+		RebuildS    float64 `json:"rebuild_per_batch_s"`
+		ResidentS   float64 `json:"resident_index_s"`
+		BuildWallS  float64 `json:"index_build_s"`
+		Speedup     float64 `json:"speedup"`
+		Description string  `json:"description"`
+	}{
+		Workload: "human-like 600kb, depth 0.75, k=31", Batches: serveBatches,
+		Reads: len(ds.Reads), K: opt.K, Workers: workers,
+		HostCPUs: runtime.NumCPU(), GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		RebuildS: rebuild, ResidentS: resident, BuildWallS: buildWall,
+		Speedup: rebuild / resident,
+		Description: "build-once/serve-many baseline: rebuild_per_batch_s is N one-shot " +
+			"AlignThreaded calls (index rebuilt every batch); resident_index_s is one Build " +
+			"plus N Align calls on the resident index; best of 3 each. The resident shape " +
+			"must stay well ahead (>= 2x on this workload) — regressions here mean the " +
+			"persistent API is paying hidden per-call build costs",
+	}
+	out, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recorded BENCH_serve.json:\n%s", out)
+	if baseline.Speedup < 2 {
+		t.Errorf("resident-index speedup %.2fx < 2x on the serve workload", baseline.Speedup)
+	}
 }
 
 // BenchmarkReadsPerSecond reports aligner throughput in reads/sec on the

@@ -1,26 +1,33 @@
-// Command meraligner aligns a set of query reads (FASTQ or SeqDB) to a set
-// of target contigs (FASTA) using the merAligner pipeline and writes
-// tab-separated alignments (or SAM) to stdout.
+// Command meraligner aligns query reads (FASTQ or SeqDB, gzip transparent)
+// to a set of target contigs (FASTA, gzip transparent) using the merAligner
+// pipeline and writes tab-separated alignments (or SAM) to stdout.
 //
-// Two engines are available: -engine threaded (default) runs the
-// goroutine-backed shared-memory engine on the host; -engine sim runs the
-// same pipeline on the simulated PGAS machine (-sim-cores wide) and reports
-// simulated phase times — useful for predicting distributed-scale behavior
-// from a laptop.
+// The threaded engine (default) builds the seed index once and serves query
+// batches against it: -queries aligns a single batch; -batches aligns any
+// number of FASTQ/SeqDB inputs against the same resident index, streaming
+// output per batch — the build cost is paid exactly once. -engine sim runs
+// the one-shot pipeline on the simulated PGAS machine (-sim-cores wide) and
+// reports simulated phase times — useful for predicting distributed-scale
+// behavior from a laptop.
 //
 // Usage:
 //
 //	meraligner -targets contigs.fa -queries reads.fq [-k 51] [-threads N]
 //	           [-engine threaded|sim] [-sim-cores 480] [-max-hits 1000]
-//	           [-min-score 0] [-no-exact] [-o out.tsv]
+//	           [-min-score 0] [-no-exact] [-sam] [-o out.tsv]
+//	meraligner -targets contigs.fa -batches r1.fq,r2.fq.gz,r3.fq -sam
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
+	"strings"
 
 	"github.com/lbl-repro/meraligner"
 )
@@ -31,7 +38,8 @@ func main() {
 
 	var (
 		targetsPath = flag.String("targets", "", "FASTA file of target sequences (contigs)")
-		queriesPath = flag.String("queries", "", "FASTQ or SeqDB file of query reads")
+		queriesPath = flag.String("queries", "", "FASTQ or SeqDB file of query reads (one batch)")
+		batchList   = flag.String("batches", "", "comma-separated FASTQ/SeqDB files aligned as successive batches against one resident index")
 		k           = flag.Int("k", 51, "seed length (1-64)")
 		threads     = flag.Int("threads", runtime.NumCPU(), "worker threads")
 		engine      = flag.String("engine", "threaded", "execution engine: threaded (real goroutines) or sim (simulated PGAS machine)")
@@ -39,48 +47,36 @@ func main() {
 		maxHits     = flag.Int("max-hits", 1000, "max alignments per seed (0 = unlimited, §IV-C)")
 		minScore    = flag.Int("min-score", 0, "minimum alignment score (0 = seed length)")
 		noExact     = flag.Bool("no-exact", false, "disable the exact-match optimization (§IV-A)")
-		noPermute   = flag.Bool("no-permute", false, "disable load-balancing permutation (§IV-B)")
+		noPermute   = flag.Bool("no-permute", false, "disable load-balancing permutation (§IV-B, sim engine)")
 		outPath     = flag.String("o", "", "output file (default stdout)")
 		samOut      = flag.Bool("sam", false, "emit SAM instead of tab-separated alignments")
-		verbose     = flag.Bool("v", false, "print phase timing summary to stderr")
+		verbose     = flag.Bool("v", false, "print build/align timing summary to stderr")
 	)
 	flag.Parse()
-	if *targetsPath == "" || *queriesPath == "" {
+	if *targetsPath == "" || (*queriesPath == "") == (*batchList == "") {
+		fmt.Fprintln(os.Stderr, "need -targets and exactly one of -queries / -batches")
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *engine != "threaded" && *engine != "sim" {
 		log.Fatalf("unknown engine %q (want threaded or sim)", *engine)
 	}
-
-	opt := meraligner.DefaultOptions(*k)
-	opt.MaxSeedHits = *maxHits
-	opt.MinScore = *minScore
-	opt.ExactMatch = !*noExact
-	opt.Permute = !*noPermute
-	opt.CollectAlignments = true
-
-	targets, err := meraligner.ReadFasta(*targetsPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	queries, err := meraligner.ReadQueries(*queriesPath)
-	if err != nil {
-		log.Fatal(err)
+	if *batchList != "" && *engine == "sim" {
+		log.Fatal("-batches requires the threaded engine (the simulator is one-shot)")
 	}
 
-	var res *meraligner.Results
-	if *engine == "sim" {
-		cores := *simCores
-		if cores == 0 {
-			cores = *threads
-		}
-		res, err = meraligner.Align(meraligner.Edison(cores), opt, targets, queries)
-	} else {
-		res, err = meraligner.AlignThreaded(*threads, opt, targets, queries)
-	}
-	if err != nil {
-		log.Fatal(err)
+	iopt := meraligner.DefaultIndexOptions(*k)
+	iopt.ExactMatch = !*noExact
+	qopt := meraligner.DefaultQueryOptions()
+	qopt.MaxSeedHits = *maxHits
+	qopt.MinScore = *minScore
+	qopt.Permute = !*noPermute
+	qopt.CollectAlignments = true
+	if *batchList == "" && *maxHits > 0 {
+		// One-shot runs know the threshold at build time; cap the stored
+		// location lists just past it. Batch mode keeps full lists so the
+		// resident index stays valid for any future threshold.
+		iopt.MaxLocList = *maxHits + 1
 	}
 
 	out := os.Stdout
@@ -92,31 +88,144 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	if *samOut {
-		err = meraligner.WriteSAM(out, res, targets, queries)
-	} else {
-		err = meraligner.WriteAlignments(out, res, targets, queries)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
 
-	if *verbose {
-		fmt.Fprintf(os.Stderr, "aligned %d/%d reads (%.1f%%), %d alignments, %d via exact path\n",
-			res.AlignedReads, res.TotalReads,
-			100*float64(res.AlignedReads)/float64(max(1, res.TotalReads)),
-			res.TotalAlignments, res.ExactPathReads)
-		if *engine == "sim" {
+	// Simulated engine: one-shot pipeline, unchanged semantics.
+	if *engine == "sim" {
+		opt := meraligner.Options{IndexOptions: iopt, QueryOptions: qopt}
+		res, targets, queries, err := alignSim(*simCores, *threads, opt, *targetsPath, *queriesPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeBatch(out, *samOut, nil, res, targets, queries); err != nil {
+			log.Fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "aligned %d/%d reads (%.1f%%), %d alignments, %d via exact path\n",
+				res.AlignedReads, res.TotalReads,
+				100*float64(res.AlignedReads)/float64(max(1, res.TotalReads)),
+				res.TotalAlignments, res.ExactPathReads)
 			for _, p := range res.Phases {
 				fmt.Fprintf(os.Stderr, "  %-24s %8.3fs (simulated)\n", p.Name, p.Wall)
 			}
 			fmt.Fprintf(os.Stderr, "  %-24s %8.3fs (simulated)\n", "TOTAL", res.TotalWall())
-		} else {
-			for _, p := range res.Phases {
-				fmt.Fprintf(os.Stderr, "  %-24s %8.3fs\n", p.Name, p.RealWall)
+		}
+		return
+	}
+
+	// Threaded engine: build the index once, then serve each batch.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	batches := []string{*queriesPath}
+	if *batchList != "" {
+		batches = batches[:0]
+		for _, p := range strings.Split(*batchList, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				batches = append(batches, p)
 			}
-			fmt.Fprintf(os.Stderr, "  %-24s %8.3fs (%.0f reads/s)\n", "TOTAL",
+		}
+		if len(batches) == 0 {
+			log.Fatal("-batches lists no files")
+		}
+	}
+	// Catch unreadable batch files before paying the index build.
+	for _, p := range batches {
+		f, err := os.Open(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st, err := f.Stat(); err == nil && st.IsDir() {
+			f.Close()
+			log.Fatalf("%s: is a directory", p)
+		}
+		f.Close()
+	}
+
+	a, err := meraligner.BuildFiles(*threads, iopt, *targetsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	targets := a.Targets()
+	if *verbose {
+		st := a.IndexStats()
+		fmt.Fprintf(os.Stderr, "index built in %.3fs: %d distinct seeds, %d locations, ~%d MiB resident\n",
+			a.BuildWall(), st.DistinctSeeds, st.TotalLocs, a.ResidentBytes()>>20)
+	}
+
+	var stream *meraligner.SAMStream
+	if *samOut {
+		if stream, err = meraligner.NewSAMStream(out, targets); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// die flushes the shared SAM stream before exiting so records of the
+	// batches that DID succeed are not lost in the writer's buffer.
+	die := func(format string, args ...any) {
+		if stream != nil {
+			if ferr := stream.Flush(); ferr != nil {
+				log.Printf("flushing SAM stream: %v", ferr)
+			}
+		}
+		log.Fatalf(format, args...)
+	}
+	for _, path := range batches {
+		queries, err := meraligner.ReadQueries(path)
+		if err != nil {
+			die("%v", err)
+		}
+		res, err := a.Align(ctx, queries, qopt)
+		if err != nil {
+			die("%s: %v", path, err)
+		}
+		if err := writeBatch(out, *samOut, stream, res, targets, queries); err != nil {
+			die("%v", err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%s: aligned %d/%d reads (%.1f%%), %d alignments, %d exact, %.3fs (%.0f reads/s)\n",
+				path, res.AlignedReads, res.TotalReads,
+				100*float64(res.AlignedReads)/float64(max(1, res.TotalReads)),
+				res.TotalAlignments, res.ExactPathReads,
 				res.TotalRealWall(), float64(res.TotalReads)/res.TotalRealWall())
 		}
 	}
+	if stream != nil {
+		if err := stream.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeBatch emits one batch's records: through the shared SAM stream when
+// set, a fresh one-shot SAM document for the simulated engine, or the
+// tab-separated format.
+func writeBatch(out io.Writer, samOut bool, stream *meraligner.SAMStream, res *meraligner.Results, targets, queries []meraligner.Seq) error {
+	switch {
+	case stream != nil:
+		return stream.WriteBatch(res, queries)
+	case samOut:
+		return meraligner.WriteSAM(out, res, targets, queries)
+	default:
+		return meraligner.WriteAlignments(out, res, targets, queries)
+	}
+}
+
+// alignSim runs the one-shot simulated pipeline over the input files.
+func alignSim(simCores, threads int, opt meraligner.Options, targetsPath, queriesPath string) (*meraligner.Results, []meraligner.Seq, []meraligner.Seq, error) {
+	targets, err := meraligner.ReadFasta(targetsPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	queries, err := meraligner.ReadQueries(queriesPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cores := simCores
+	if cores == 0 {
+		cores = threads
+	}
+	res, err := meraligner.Align(meraligner.Edison(cores), opt, targets, queries)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, targets, queries, nil
 }

@@ -1,8 +1,10 @@
 // Command merbench regenerates every table and figure of the paper's
-// evaluation (§VI). Each experiment prints the measured rows next to the
-// paper's headline numbers; success is matching the SHAPE (who wins, by
-// roughly what factor, where curves flatten), not absolute seconds — the
-// substrate is a simulated Cray XC30, not the real one.
+// evaluation (§VI), plus the post-paper "serve" experiment (build-once/
+// serve-many vs rebuild-per-batch on the resident-index API). Each paper
+// experiment prints the measured rows next to the paper's headline numbers;
+// success is matching the SHAPE (who wins, by roughly what factor, where
+// curves flatten), not absolute seconds — the substrate is a simulated Cray
+// XC30, not the real one.
 //
 // Usage:
 //
@@ -28,7 +30,7 @@ func main() {
 	log.SetPrefix("merbench: ")
 
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig1, fig7-fig11, table1, table2) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (fig1, fig7-fig11, table1, table2, serve) or 'all'")
 		quick      = flag.Bool("quick", false, "smoke-test workload sizes")
 		coreScale  = flag.Int("core-scale", 0, "divide the paper's core counts by this (0 = default 16)")
 		workers    = flag.Int("workers", 0, "host worker goroutines (0 = NumCPU)")

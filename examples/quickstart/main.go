@@ -1,8 +1,10 @@
-// Quickstart: generate a tiny workload in memory, align it with the public
-// API in threaded mode, and print the first few alignments.
+// Quickstart: generate a tiny workload in memory, build the seed index
+// once, serve two read batches against the resident index, and print the
+// first few alignments.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -25,29 +27,39 @@ func main() {
 	fmt.Printf("workload: %d contigs, %d reads of %d bp\n",
 		len(ds.Contigs), len(ds.Reads), profile.ReadLen)
 
-	// Align with the paper's defaults for seed length 31.
-	opt := meraligner.DefaultOptions(31)
-	opt.CollectAlignments = true
-	res, err := meraligner.AlignThreaded(8, opt, ds.Contigs, ds.Reads)
+	// Build the seed index once (the paper's defaults for seed length 31)…
+	a, err := meraligner.Build(8, meraligner.DefaultIndexOptions(31), ds.Contigs)
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := a.IndexStats()
+	fmt.Printf("index: %d distinct seeds, %d locations, built in %.3fs, ~%d MiB resident\n",
+		st.DistinctSeeds, st.TotalLocs, a.BuildWall(), a.ResidentBytes()>>20)
 
-	fmt.Printf("aligned %d/%d reads (%.1f%%), %d alignments, %d via the exact-match fast path\n",
-		res.AlignedReads, res.TotalReads,
-		100*float64(res.AlignedReads)/float64(res.TotalReads),
-		res.TotalAlignments, res.ExactPathReads)
-	for _, p := range res.Phases {
-		fmt.Printf("  %-24s %8.3fs\n", p.Name, p.RealWall)
+	// …then serve any number of query batches against it. Each Align call
+	// is independent, concurrency-safe, and context-cancellable.
+	qopt := meraligner.DefaultQueryOptions()
+	qopt.CollectAlignments = true
+	var res *meraligner.Results
+	half := len(ds.Reads) / 2
+	for bi, batch := range [][]meraligner.Seq{ds.Reads[:half], ds.Reads[half:]} {
+		if res, err = a.Align(context.Background(), batch, qopt); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch %d: aligned %d/%d reads (%.1f%%), %d alignments, %d via the exact-match fast path, %.3fs\n",
+			bi, res.AlignedReads, res.TotalReads,
+			100*float64(res.AlignedReads)/float64(res.TotalReads),
+			res.TotalAlignments, res.ExactPathReads, res.TotalRealWall())
 	}
 
-	fmt.Println("\nfirst alignments (query  target  strand  score  qspan  tspan  cigar):")
+	fmt.Println("\nfirst alignments of the last batch (query  target  strand  score  qspan  tspan  cigar):")
 	shown := res.Alignments
 	if len(shown) > 5 {
 		shown = shown[:5]
 	}
 	tmp := &meraligner.Results{Alignments: shown}
-	if err := meraligner.WriteAlignments(os.Stdout, tmp, ds.Contigs, ds.Reads); err != nil {
+	// Alignment query indexes are batch-relative: pass the batch slice.
+	if err := meraligner.WriteAlignments(os.Stdout, tmp, ds.Contigs, ds.Reads[half:]); err != nil {
 		log.Fatal(err)
 	}
 }

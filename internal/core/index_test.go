@@ -1,0 +1,248 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Build once + N queries must be byte-identical to N one-shot RunThreaded
+// calls on the same inputs — the persistent API's headline guarantee.
+func TestBuildOnceQueryManyMatchesRunThreaded(t *testing.T) {
+	ds := testWorkload(t, 80_000, 3, 0.005)
+	opt := testOptions(21)
+	opt.MaxLocList = opt.MaxSeedHits + 1 // what the one-shot wrapper picks
+
+	ix, err := BuildIndex(3, opt.IndexOptions, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][2]int{{0, len(ds.Reads) / 3}, {len(ds.Reads) / 3, 2 * len(ds.Reads) / 3}, {2 * len(ds.Reads) / 3, len(ds.Reads)}}
+	for bi, b := range batches {
+		batch := ds.Reads[b[0]:b[1]]
+		want, err := RunThreaded(3, opt, ds.Contigs, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.Query(context.Background(), 3, opt.QueryOptions, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Alignments, got.Alignments) {
+			t.Fatalf("batch %d: resident-index alignments differ from one-shot run", bi)
+		}
+		if want.AlignedReads != got.AlignedReads || want.ExactPathReads != got.ExactPathReads ||
+			want.TotalAlignments != got.TotalAlignments || want.SWCalls != got.SWCalls ||
+			want.SeedLookups != got.SeedLookups {
+			t.Fatalf("batch %d: summary stats differ:\none-shot: %+v\nresident: %+v", bi, want, got)
+		}
+	}
+}
+
+// Query results must not depend on the build worker count, the query worker
+// count, or which QueryOptions other calls used.
+func TestQueryIndependentOfWorkerCounts(t *testing.T) {
+	ds := testWorkload(t, 50_000, 2, 0.004)
+	opt := testOptions(21)
+	ix1, err := BuildIndex(1, opt.IndexOptions, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix4, err := BuildIndex(4, opt.IndexOptions, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ix1.Query(context.Background(), 1, opt.QueryOptions, ds.Reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		got, err := ix4.Query(context.Background(), workers, opt.QueryOptions, ds.Reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Alignments, got.Alignments) {
+			t.Fatalf("build-4/query-%d differs from build-1/query-1", workers)
+		}
+	}
+}
+
+// Concurrent Query calls against one index must be race-clean (the CI race
+// job runs this package under -race) and each produce the same results as
+// a lone call.
+func TestQueryConcurrentCallers(t *testing.T) {
+	ds := testWorkload(t, 60_000, 3, 0.004)
+	opt := testOptions(21)
+	ix, err := BuildIndex(2, opt.IndexOptions, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ix.Query(context.Background(), 2, opt.QueryOptions, ds.Reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 6
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			defer wg.Done()
+			// Vary the worker count across callers to shake scheduling.
+			got, err := ix.Query(context.Background(), 1+c%3, opt.QueryOptions, ds.Reads)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			if !reflect.DeepEqual(ref.Alignments, got.Alignments) {
+				errs[c] = errors.New("concurrent caller got different alignments")
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: %v", c, err)
+		}
+	}
+}
+
+// A done context stops the pool between work chunks and surfaces ctx.Err().
+func TestQueryContextCancellation(t *testing.T) {
+	ds := testWorkload(t, 50_000, 3, 0.004)
+	opt := testOptions(21)
+	ix, err := BuildIndex(2, opt.IndexOptions, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: no batch may be claimed
+	start := time.Now()
+	res, err := ix.Query(ctx, 2, opt.QueryOptions, ds.Reads)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled Query returned results")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("canceled Query took %v", d)
+	}
+
+	// Deadline exceeded surfaces the same way.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := ix.Query(dctx, 2, opt.QueryOptions, ds.Reads); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// The per-call Results must carry a genuine wall-clock align phase and the
+// seal-time index stats; build phases live on the index.
+func TestQueryPerCallPhaseStats(t *testing.T) {
+	ds := testWorkload(t, 40_000, 2, 0.004)
+	opt := testOptions(21)
+	ix, err := BuildIndex(2, opt.IndexOptions, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := ix.BuildPhases()
+	wantBuild := []string{PhaseExtract, PhaseDrain, PhaseMark}
+	if len(build) != len(wantBuild) {
+		t.Fatalf("build phases = %d, want %d", len(build), len(wantBuild))
+	}
+	for i, p := range build {
+		if p.Name != wantBuild[i] || p.RealWall <= 0 {
+			t.Errorf("build phase %d = %q (%.6fs), want %q with measured time", i, p.Name, p.RealWall, wantBuild[i])
+		}
+	}
+	if ix.BuildWall() <= 0 {
+		t.Error("BuildWall <= 0")
+	}
+	if ix.ResidentBytes() <= 0 {
+		t.Error("ResidentBytes <= 0")
+	}
+	res, err := ix.Query(context.Background(), 2, opt.QueryOptions, ds.Reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 1 || res.Phases[0].Name != PhaseAlign || res.Phases[0].RealWall <= 0 {
+		t.Fatalf("per-call phases = %+v, want one measured align phase", res.Phases)
+	}
+	if res.IndexStats.DistinctSeeds == 0 {
+		t.Error("per-call results missing index stats")
+	}
+	if res.SeedLookups == 0 {
+		t.Error("per-call results missing seed lookups")
+	}
+}
+
+// A truncated index (MaxLocList) must refuse queries whose threshold needs
+// complete location lists.
+func TestQueryRejectsThresholdBeyondStoredLists(t *testing.T) {
+	ds := testWorkload(t, 30_000, 1, 0)
+	iopt := testOptions(21).IndexOptions
+	iopt.MaxLocList = 6
+	ix, err := BuildIndex(2, iopt, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qopt := testOptions(21).QueryOptions
+	qopt.MaxSeedHits = 5 // <= cap: fine
+	if _, err := ix.Query(context.Background(), 2, qopt, ds.Reads[:10]); err != nil {
+		t.Fatalf("MaxSeedHits below cap rejected: %v", err)
+	}
+	qopt.MaxSeedHits = 7 // beyond cap
+	if _, err := ix.Query(context.Background(), 2, qopt, ds.Reads[:10]); err == nil {
+		t.Error("MaxSeedHits beyond MaxLocList accepted")
+	}
+	qopt.MaxSeedHits = 0 // unlimited needs full lists
+	if _, err := ix.Query(context.Background(), 2, qopt, ds.Reads[:10]); err == nil {
+		t.Error("unlimited MaxSeedHits accepted on truncated index")
+	}
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	ds := testWorkload(t, 30_000, 1, 0)
+	iopt := testOptions(21).IndexOptions
+	if _, err := BuildIndex(0, iopt, ds.Contigs); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	bad := iopt
+	bad.K = 0
+	if _, err := BuildIndex(2, bad, ds.Contigs); err == nil {
+		t.Error("invalid K accepted")
+	}
+	ix, err := BuildIndex(2, iopt, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Query(context.Background(), 0, testOptions(21).QueryOptions, ds.Reads); err == nil {
+		t.Error("query workers=0 accepted")
+	}
+	badQ := testOptions(21).QueryOptions
+	badQ.SeedStride = -1
+	if _, err := ix.Query(context.Background(), 2, badQ, ds.Reads); err == nil {
+		t.Error("invalid query options accepted")
+	}
+
+	// One-shot Options catch the truncation/threshold mismatch up front,
+	// on both engines.
+	clash := testOptions(21)
+	clash.MaxLocList = 5
+	clash.MaxSeedHits = 10
+	if clash.Validate() == nil {
+		t.Error("MaxSeedHits > MaxLocList accepted by Options.Validate")
+	}
+	if _, err := Run(testMach(8), clash, ds.Contigs, ds.Reads[:10]); err == nil {
+		t.Error("simulated Run accepted a truncated index with an unservable threshold")
+	}
+	clash.MaxSeedHits = 0
+	if _, err := RunThreaded(2, clash, ds.Contigs, ds.Reads[:10]); err == nil {
+		t.Error("RunThreaded accepted unlimited MaxSeedHits on a truncated index")
+	}
+}

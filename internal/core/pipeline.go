@@ -12,26 +12,27 @@ import (
 	"github.com/lbl-repro/meraligner/internal/upc"
 )
 
-// Run executes the full merAligner pipeline (Algorithm 1) on the simulated
-// PGAS machine: parallel target I/O, seed extraction, distributed seed-index
-// construction, single-copy marking, parallel query I/O, and the aligning
-// phase. All data structures are real; time is simulated (see package upc).
-func Run(mach upc.MachineConfig, opt Options, targets, queries []seqio.Seq) (*Results, error) {
-	if err := opt.Validate(); err != nil {
-		return nil, err
-	}
-	m, err := upc.NewMachine(mach)
-	if err != nil {
-		return nil, err
-	}
+// simIndex is the simulated engine's counterpart of ThreadedIndex: the
+// product of the index-construction half of the pipeline (§III), consumed
+// by the query half (§IV). It shares the machine whose virtual clocks the
+// two halves charge in sequence.
+type simIndex struct {
+	ft *FragmentTable
+	ix *dht.Index
+	g  *cache.Group
+}
 
+// simBuildIndex runs the build half of the simulated pipeline: parallel
+// target I/O, seed extraction, distributed index construction (aggregating
+// stores), and single-copy marking.
+func simBuildIndex(m *upc.Machine, mach upc.MachineConfig, opt Options, targets []seqio.Seq) (*simIndex, error) {
 	// The fragment table is built regardless of the exact-match setting so
 	// ablation runs share an identical workload decomposition; only the
 	// single-copy marking phase and the fast path are gated on ExactMatch.
 	ft := BuildFragmentTable(targets, opt.K, opt.FragmentLen, mach.Threads)
 
-	maxLoc := 0
-	if opt.MaxSeedHits > 0 {
+	maxLoc := opt.MaxLocList
+	if maxLoc == 0 && opt.MaxSeedHits > 0 {
 		maxLoc = opt.MaxSeedHits + 1
 	}
 	ix, err := dht.New(mach, dht.Config{K: opt.K, Mode: opt.Mode, S: opt.AggS, MaxLocList: maxLoc}, ft.NumFragments())
@@ -39,8 +40,6 @@ func Run(mach upc.MachineConfig, opt Options, targets, queries []seqio.Seq) (*Re
 		return nil, err
 	}
 	g := cache.NewGroup(mach, opt.SeedCacheBytes, opt.TargetCacheBytes)
-
-	res := &Results{TotalReads: len(queries)}
 
 	// Targets are distributed by bases, not by count: each thread reads an
 	// equally sized slice of the target file (§II-A).
@@ -99,6 +98,13 @@ func Run(mach upc.MachineConfig, opt Options, targets, queries []seqio.Seq) (*Re
 		m.RunPhase(PhaseMark, func(th *upc.Thread) { ix.MarkSingleCopy(th) })
 	}
 
+	return &simIndex{ft: ft, ix: ix, g: g}, nil
+}
+
+// simQuery runs the query half of the simulated pipeline against a built
+// index: parallel query I/O, the load-balancing permutation, and the
+// aligning phase. Per-thread results land in perThread.
+func simQuery(m *upc.Machine, mach upc.MachineConfig, opt Options, six *simIndex, queries []seqio.Seq, perThread []threadStats) {
 	// ---- Phase 5: read query sequences (parallel I/O) ----
 	queryBytes := opt.QueryBytesOnDisk
 	if queryBytes == 0 {
@@ -126,29 +132,53 @@ func Run(mach upc.MachineConfig, opt Options, targets, queries []seqio.Seq) (*Re
 	}
 
 	// ---- Phase 6: align ----
-	perThread := make([]threadStats, mach.Threads)
 	m.RunPhase(PhaseAlign, func(th *upc.Thread) {
 		st := &perThread[th.ID]
 		if opt.CollectAlignments {
 			st.alignments = []Alignment{}
 		}
-		qp := newQueryProcessor(mach, opt, simAccess{ix: ix, g: g}, ft)
+		qp := newQueryProcessor(mach, opt, simAccess{ix: six.ix, g: six.g}, six.ft)
 		lo, hi := mach.PartitionRange(len(order), th.ID)
 		for i := lo; i < hi; i++ {
 			qi := order[i]
 			qp.process(th, st, qi, queries[qi].Seq)
 		}
 	})
+}
+
+// Run executes the full merAligner pipeline (Algorithm 1) on the simulated
+// PGAS machine: parallel target I/O, seed extraction, distributed seed-index
+// construction, single-copy marking, parallel query I/O, and the aligning
+// phase. All data structures are real; time is simulated (see package upc).
+// Like RunThreaded, Run is the build and query halves composed in sequence
+// on one machine.
+func Run(mach upc.MachineConfig, opt Options, targets, queries []seqio.Seq) (*Results, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := upc.NewMachine(mach)
+	if err != nil {
+		return nil, err
+	}
+
+	six, err := simBuildIndex(m, mach, opt, targets)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Results{TotalReads: len(queries)}
+	perThread := make([]threadStats, mach.Threads)
+	simQuery(m, mach, opt, six, queries, perThread)
 
 	// ---- Merge ----
 	mergeThreadStats(res, perThread, opt.CollectAlignments)
 	res.Phases = m.Phases()
 	res.SeedLookups = m.TotalCounters().SeedLookups
-	res.SeedCache = g.SeedCounters()
-	res.TargetCache = g.TargetCounters()
-	res.IndexStats = ix.Stats()
-	res.CommSeedLookupMax = g.CommSeedMax()
-	res.CommFetchTargetMax = g.CommTargetMax()
+	res.SeedCache = six.g.SeedCounters()
+	res.TargetCache = six.g.TargetCounters()
+	res.IndexStats = six.ix.Stats()
+	res.CommSeedLookupMax = six.g.CommSeedMax()
+	res.CommFetchTargetMax = six.g.CommTargetMax()
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -12,13 +13,13 @@ import (
 	"github.com/lbl-repro/meraligner/internal/upc"
 )
 
-// This file implements the shared-memory execution engine: the same
-// seed-and-extend pipeline as Run, executed by a pool of real goroutines
-// against a sharded in-memory seed index (dht.Sharded) instead of the
-// simulated PGAS machine. Phase times are genuine wall-clock measurements
-// (the merAligner configuration of Fig 11: one node, 1-24 cores); event
-// counters (seed lookups, SW cells, memcmp bytes) are measured identically
-// to the simulated engine.
+// This file holds the shared plumbing of the threaded execution engine —
+// the worker pool, the wall-clock phase recorder, and the index adapter —
+// plus RunThreaded, the one-shot entry point. The engine itself is split
+// into its two halves in index.go: BuildIndex (seed-index construction,
+// §III) and ThreadedIndex.Query (the aligning phase, §IV). RunThreaded
+// composes them, so a one-shot run and a build-once/serve-many service
+// execute literally the same code.
 //
 // The engine mirrors the paper's structure phase by phase:
 //
@@ -67,6 +68,17 @@ const (
 // chunk-at-a-time from a shared atomic cursor (guided self-scheduling, the
 // shared-memory analogue of the paper's per-thread block partition).
 func runPool(workers, n, chunk int, fn func(w, lo, hi int)) {
+	runPoolCtx(context.Background(), workers, n, chunk, fn)
+}
+
+// runPoolCtx is runPool with cooperative cancellation: workers re-check ctx
+// before every chunk claim and stop claiming once it is done (a background
+// context's nil done channel never fires, so uncancellable pools pay only
+// the polling select). In-flight chunks finish — chunks are small
+// (extractChunk/alignBatch items) — so the pool drains promptly rather than
+// mid-item.
+func runPoolCtx(ctx context.Context, workers, n, chunk int, fn func(w, lo, hi int)) {
+	done := ctx.Done()
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -74,6 +86,11 @@ func runPool(workers, n, chunk int, fn func(w, lo, hi int)) {
 		go func(w int) {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				lo := int(cursor.Add(int64(chunk))) - chunk
 				if lo >= n {
 					return
@@ -122,117 +139,29 @@ func (r *realPhases) run(name string, threads []*upc.Thread, fn func()) {
 // core count, Fig 11); workers <= 0 is an error. Alignments are identical
 // to Run's on the same inputs; Results.Phases carry measured wall-clock
 // times in both Wall and RealWall.
+//
+// RunThreaded is BuildIndex + ThreadedIndex.Query composed: services that
+// reuse one index across many query batches call the two halves directly.
 func RunThreaded(workers int, opt Options, targets, queries []seqio.Seq) (*Results, error) {
-	if workers <= 0 {
-		return nil, fmt.Errorf("core: threads must be positive, got %d", workers)
-	}
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	// Cost constants are still consulted by the shared per-query code (it
-	// charges virtual clocks nobody reads in this mode); counters are real.
-	costs := upc.Edison(workers)
-	costs.PPN = workers
-
-	threads := make([]*upc.Thread, workers)
-	for w := range threads {
-		threads[w] = upc.NewStandaloneThread(costs, w)
+	iopt := opt.IndexOptions
+	if iopt.MaxLocList == 0 && opt.MaxSeedHits > 0 {
+		// One-shot runs know the sensitivity threshold at build time, so
+		// they can cap stored location lists just past it (the pre-split
+		// engine's memory behavior). Persistent indexes keep full lists.
+		iopt.MaxLocList = opt.MaxSeedHits + 1
 	}
-	rec := &realPhases{}
-	res := &Results{TotalReads: len(queries)}
-
-	// Fragment the targets exactly as the simulated engine does (same
-	// worker count ⇒ same data ownership labels; contents do not depend on
-	// the partition).
-	ft := BuildFragmentTable(targets, opt.K, opt.FragmentLen, workers)
-
-	maxLoc := 0
-	if opt.MaxSeedHits > 0 {
-		maxLoc = opt.MaxSeedHits + 1
-	}
-	totalSeeds := 0
-	for f := 0; f < ft.NumFragments(); f++ {
-		if n := int(ft.Frags[f].Len) - opt.K + 1; n > 0 {
-			totalSeeds += n
-		}
-	}
-	sx, err := dht.NewSharded(dht.ShardedConfig{
-		K: opt.K, S: opt.AggS, MaxLocList: maxLoc,
-		Shards: dht.DefaultShards(workers),
-	}, ft.NumFragments(), totalSeeds, workers)
+	ix, err := BuildIndex(workers, iopt, targets)
 	if err != nil {
 		return nil, err
 	}
-
-	// ---- Phase 1: extract seeds and stage into the sharded index ----
-	builders := make([]*dht.ShardedBuilder, workers)
-	for w := range builders {
-		builders[w] = sx.NewBuilder()
+	res, err := ix.Query(context.Background(), workers, opt.QueryOptions, queries)
+	if err != nil {
+		return nil, err
 	}
-	rec.run(PhaseExtract, threads, func() {
-		kbufs := make([][]kmer.Kmer, workers)
-		runPool(workers, ft.NumFragments(), extractChunk, func(w, lo, hi int) {
-			b := builders[w]
-			for f := lo; f < hi; f++ {
-				kbufs[w] = kmer.Extract(ft.FragSeq(int32(f)), opt.K, kbufs[w][:0])
-				for off, s := range kbufs[w] {
-					canon, rc := s.Canonical(opt.K)
-					b.Add(dht.SeedEntry{Seed: canon, Loc: dht.Loc{
-						Frag: int32(f),
-						Off:  int32(off),
-						RC:   rc,
-					}})
-				}
-			}
-		})
-		for _, b := range builders {
-			b.Flush()
-		}
-	})
-
-	// ---- Phase 2: drain shards into local buckets (lock-free) ----
-	rec.run(PhaseDrain, threads, func() {
-		runPool(workers, sx.Shards(), 1, func(w, lo, hi int) {
-			for s := lo; s < hi; s++ {
-				sx.DrainShard(s)
-			}
-		})
-		sx.ReleaseArena()
-	})
-
-	// ---- Phase 3: mark single-copy-seed fragments (§IV-A) ----
-	if opt.ExactMatch {
-		rec.run(PhaseMark, threads, func() {
-			runPool(workers, sx.Shards(), 1, func(w, lo, hi int) {
-				for s := lo; s < hi; s++ {
-					sx.MarkShard(s)
-				}
-			})
-		})
-	}
-
-	// ---- Phase 4: align query batches ----
-	perThread := make([]threadStats, workers)
-	rec.run(PhaseAlign, threads, func() {
-		qps := make([]*queryProcessor, workers)
-		runPool(workers, len(queries), alignBatch, func(w, lo, hi int) {
-			if qps[w] == nil {
-				qps[w] = newQueryProcessor(costs, opt, threadedAccess{sx: sx}, ft)
-			}
-			st := &perThread[w]
-			if opt.CollectAlignments && st.alignments == nil {
-				st.alignments = []Alignment{}
-			}
-			for qi := lo; qi < hi; qi++ {
-				qps[w].process(threads[w], st, int32(qi), queries[qi].Seq)
-			}
-		})
-	})
-
-	mergeThreadStats(res, perThread, opt.CollectAlignments)
-	res.Phases = rec.phases
-	res.SeedLookups = rec.total.SeedLookups
-	res.IndexStats = sx.Stats()
+	res.Phases = append(ix.BuildPhases(), res.Phases...)
 	return res, nil
 }
 

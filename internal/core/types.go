@@ -21,11 +21,13 @@ import (
 	"github.com/lbl-repro/meraligner/internal/upc"
 )
 
-// Options configures a merAligner run. The zero value is not usable; start
-// from DefaultOptions.
-type Options struct {
-	K       int           // seed length (paper: 51 for human/wheat, 19 for E. coli)
-	Scoring align.Scoring // Smith-Waterman parameters
+// IndexOptions is the build-time half of a merAligner configuration: every
+// knob that shapes the seed index itself — the fragment table, the
+// distributed hash table, the single-copy marking, and the cache budgets
+// sized against that index. Two runs with equal IndexOptions over the same
+// targets build byte-identical indexes, whatever their query-time settings.
+type IndexOptions struct {
+	K int // seed length (paper: 51 for human/wheat, 19 for E. coli)
 
 	// Distributed index construction.
 	Mode dht.BuildMode // Aggregating (default) or FineGrained (Fig 8 ablation)
@@ -35,15 +37,35 @@ type Options struct {
 	SeedCacheBytes   int64
 	TargetCacheBytes int64
 
-	// Exact-match optimization (Fig 10 ablation).
+	// Exact-match optimization (Fig 10 ablation): marking single-copy
+	// fragments is an index-construction phase, so the fast path can only
+	// be used at query time when the index was built with it.
 	ExactMatch  bool
 	FragmentLen int // target fragmentation length F (0 disables fragmentation)
+
+	// MaxLocList caps the stored location list per seed (0 = store every
+	// occurrence). Occurrence COUNTS stay exact either way, so the §IV-C
+	// MaxSeedHits threshold still filters correctly — but a query may only
+	// use MaxSeedHits <= MaxLocList (enforced by Query), since a seed
+	// passing the threshold must have its complete list. One-shot runs set
+	// this to MaxSeedHits+1 automatically; persistent indexes meant to
+	// serve arbitrary thresholds should leave it 0.
+	MaxLocList int
+}
+
+// QueryOptions is the query-time half of a merAligner configuration: the
+// knobs of the aligning phase only. Different Align calls against the same
+// resident index may use different QueryOptions.
+type QueryOptions struct {
+	Scoring align.Scoring // Smith-Waterman parameters
 
 	// Sensitivity threshold: seeds occurring more often than this are
 	// skipped during candidate generation (0 = unlimited) — §IV-C.
 	MaxSeedHits int
 
 	// Load balancing (Table I): permute the query order before chunking.
+	// Only the simulated engine's static partition needs it; the threaded
+	// engine balances with dynamic work claims.
 	Permute     bool
 	PermuteSeed int64
 
@@ -62,12 +84,6 @@ type Options struct {
 	// Disable for large simulated runs where only statistics matter.
 	CollectAlignments bool
 
-	// QueryBytesOnDisk/TargetBytesOnDisk let callers charge the I/O phases
-	// with realistic on-disk sizes (e.g. SeqDB files); when zero, the
-	// packed in-memory sizes are charged.
-	QueryBytesOnDisk  int64
-	TargetBytesOnDisk int64
-
 	// Extend replaces the seed-extension engine (§VIII: "the Striped
 	// Smith-Waterman local alignment engine could easily be replaced with
 	// any other local alignment software tool"). nil uses the built-in
@@ -75,45 +91,107 @@ type Options struct {
 	Extend ExtendFunc
 }
 
+// Options configures a one-shot merAligner run: both halves of the
+// configuration plus the I/O accounting knobs of the simulated engine. The
+// zero value is not usable; start from DefaultOptions.
+type Options struct {
+	IndexOptions
+	QueryOptions
+
+	// QueryBytesOnDisk/TargetBytesOnDisk let callers charge the I/O phases
+	// with realistic on-disk sizes (e.g. SeqDB files); when zero, the
+	// packed in-memory sizes are charged.
+	QueryBytesOnDisk  int64
+	TargetBytesOnDisk int64
+}
+
 // ExtendFunc is a pluggable seed-extension engine: it locally aligns query
 // against target given a seed match of length k at query offset qOff and
 // target offset tOff, searching a window widened by pad.
 type ExtendFunc func(query, target []byte, qOff, tOff, k int, sc align.Scoring, pad int) align.Result
 
-// DefaultOptions returns the paper's configuration for a given seed length.
-func DefaultOptions(k int) Options {
-	return Options{
+// DefaultIndexOptions returns the paper's build-time configuration for a
+// given seed length.
+func DefaultIndexOptions(k int) IndexOptions {
+	return IndexOptions{
 		K:                k,
-		Scoring:          align.DefaultScoring,
 		Mode:             dht.Aggregating,
 		AggS:             1000,
 		SeedCacheBytes:   16 << 20, // scaled-down analogue of 16 GB/node
 		TargetCacheBytes: 6 << 20,  // scaled-down analogue of 6 GB/node
 		ExactMatch:       true,
 		FragmentLen:      2000,
-		MaxSeedHits:      1000,
-		Permute:          true,
-		PermuteSeed:      12345,
-		SeedStride:       1,
-		ExtendPad:        24,
 	}
 }
 
-// Validate reports option errors.
-func (o Options) Validate() error {
+// DefaultQueryOptions returns the paper's query-time configuration.
+func DefaultQueryOptions() QueryOptions {
+	return QueryOptions{
+		Scoring:     align.DefaultScoring,
+		MaxSeedHits: 1000,
+		Permute:     true,
+		PermuteSeed: 12345,
+		SeedStride:  1,
+		ExtendPad:   24,
+	}
+}
+
+// DefaultOptions returns the paper's configuration for a given seed length.
+func DefaultOptions(k int) Options {
+	return Options{
+		IndexOptions: DefaultIndexOptions(k),
+		QueryOptions: DefaultQueryOptions(),
+	}
+}
+
+// Validate reports build-time option errors.
+func (o IndexOptions) Validate() error {
 	if o.K <= 0 || o.K > 64 {
 		return fmt.Errorf("core: K=%d out of range 1..64", o.K)
 	}
+	if o.FragmentLen != 0 && o.FragmentLen <= o.K {
+		return fmt.Errorf("core: FragmentLen %d must exceed K %d", o.FragmentLen, o.K)
+	}
+	if o.MaxLocList < 0 {
+		return fmt.Errorf("core: negative MaxLocList")
+	}
+	return nil
+}
+
+// Validate reports query-time option errors.
+func (o QueryOptions) Validate() error {
 	if err := o.Scoring.Validate(); err != nil {
 		return err
 	}
 	if o.SeedStride < 0 {
 		return fmt.Errorf("core: negative SeedStride")
 	}
-	if o.FragmentLen != 0 && o.FragmentLen <= o.K {
-		return fmt.Errorf("core: FragmentLen %d must exceed K %d", o.FragmentLen, o.K)
+	return nil
+}
+
+// checkQueryCompat reports the one cross-half constraint: a truncated index
+// (MaxLocList > 0) cannot serve a MaxSeedHits threshold that needs complete
+// location lists — a seed passing the threshold must have every stored
+// occurrence. Enforced up front by Options.Validate for one-shot runs and
+// per call by ThreadedIndex.Query for resident indexes.
+func (o IndexOptions) checkQueryCompat(q QueryOptions) error {
+	if o.MaxLocList > 0 && (q.MaxSeedHits == 0 || q.MaxSeedHits > o.MaxLocList) {
+		return fmt.Errorf("core: MaxSeedHits %d needs complete location lists but the index stores at most %d (IndexOptions.MaxLocList)",
+			q.MaxSeedHits, o.MaxLocList)
 	}
 	return nil
+}
+
+// Validate reports option errors in either half, plus the cross-half
+// truncation/threshold constraint a one-shot run can check up front.
+func (o Options) Validate() error {
+	if err := o.IndexOptions.Validate(); err != nil {
+		return err
+	}
+	if err := o.QueryOptions.Validate(); err != nil {
+		return err
+	}
+	return o.IndexOptions.checkQueryCompat(o.QueryOptions)
 }
 
 func (o Options) minScore() int {

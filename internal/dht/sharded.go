@@ -66,6 +66,10 @@ type Sharded struct {
 	// located in it; cleared with atomic stores during MarkShard.
 	singleCopy   []int32
 	numFragments int
+
+	// sealed is set by Seal once construction completes; from then on the
+	// table is immutable and safe for unsynchronized concurrent lookups.
+	sealed atomic.Bool
 }
 
 // DefaultShards picks a shard count for a worker count: enough partitions
@@ -137,6 +141,7 @@ type ShardedBuilder struct {
 
 // NewBuilder returns a staging builder for one worker goroutine.
 func (sx *Sharded) NewBuilder() *ShardedBuilder {
+	sx.mustBeMutable("NewBuilder")
 	return &ShardedBuilder{sx: sx, bufs: make([][]SeedEntry, sx.cfg.Shards)}
 }
 
@@ -159,6 +164,7 @@ func (b *ShardedBuilder) ship(dst int, batch []SeedEntry) {
 	if len(batch) == 0 {
 		return
 	}
+	b.sx.mustBeMutable("ShardedBuilder ship")
 	sx := b.sx
 	n := int64(len(batch))
 	off := sx.cursor.Add(n) - n
@@ -199,6 +205,7 @@ func (sx *Sharded) groupSegments() {
 // given shard; different shards drain concurrently with no coordination
 // beyond the one-time segment grouping.
 func (sx *Sharded) DrainShard(s int) {
+	sx.mustBeMutable("DrainShard")
 	sx.groupOnce.Do(sx.groupSegments)
 	var es []SeedEntry
 	for _, sg := range sx.segsByShard[s] {
@@ -218,10 +225,53 @@ func (sx *Sharded) ReleaseArena() {
 	sx.segsByShard = nil
 }
 
+// Seal marks construction complete: the staging arena is released and the
+// table becomes immutable, so any number of goroutines may Lookup without
+// synchronization for the rest of the index's life. Further builder or
+// drain activity is a bug; NewBuilder, builder ships (Add on a full
+// buffer, Flush), DrainShard, and MarkShard panic after Seal.
+func (sx *Sharded) Seal() {
+	sx.ReleaseArena()
+	sx.sealed.Store(true)
+}
+
+// Sealed reports whether Seal has been called.
+func (sx *Sharded) Sealed() bool { return sx.sealed.Load() }
+
+func (sx *Sharded) mustBeMutable(op string) {
+	if sx.sealed.Load() {
+		panic("dht: " + op + " on a sealed index")
+	}
+}
+
+// ResidentBytes estimates the steady-state memory footprint of the sealed
+// table: bucket entries, location lists, and the per-shard hash maps. It is
+// the number a serving process should budget per resident index (the build
+// arena is already released by Seal).
+func (sx *Sharded) ResidentBytes() int64 {
+	const (
+		entryBytes = 8 + 3*8 + 8 // kmer + locs slice header + count/padding
+		locBytes   = 12          // Frag, Off int32 + RC bool, padded
+		mapBytes   = 24          // rough per-entry map overhead (key+value+meta)
+	)
+	var n int64
+	for i := range sx.shards {
+		bt := &sx.shards[i]
+		n += int64(len(bt.e)) * entryBytes
+		n += int64(len(bt.m)) * mapBytes
+		for j := range bt.e {
+			n += int64(len(bt.e[j].locs)) * locBytes
+		}
+	}
+	n += int64(len(sx.singleCopy)) * 4
+	return n
+}
+
 // MarkShard implements §IV-A for shard s: every seed occurring more than
 // once clears the single_copy flag of each fragment it appears in. Flag
 // writes are idempotent atomic stores, so shards mark concurrently.
 func (sx *Sharded) MarkShard(s int) {
+	sx.mustBeMutable("MarkShard")
 	bt := &sx.shards[s]
 	for i := range bt.e {
 		ent := &bt.e[i]

@@ -1,0 +1,84 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"github.com/lbl-repro/meraligner/internal/core"
+)
+
+// Serve measures the build-once/serve-many API (post-paper: the production
+// serving shape the ROADMAP targets, and the reason MICA-style servers keep
+// one resident index). The same read set is split into batches and aligned
+// twice: rebuilding the index for every batch (the one-shot RunThreaded
+// shape) versus building once and streaming every batch through the
+// resident index. All times are real host measurements.
+func Serve(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID:    "serve",
+		Title: "Build-once/serve-many vs rebuild-per-batch (real wall-clock)",
+		Paper: "post-paper experiment: a resident index amortizes §III construction across batches; " +
+			"rebuild-per-batch pays it every time",
+		Headers: []string{"batches", "rebuild (s)", "resident (s)", "speedup", "build share"},
+	}
+	ds, err := mkData(cfg.ecoliProfile())
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	opt := core.DefaultOptions(19)
+	opt.MaxSeedHits = 200
+
+	counts := []int{2, 4, 8}
+	if cfg.Quick {
+		counts = []int{2, 4}
+	}
+	ctx := context.Background()
+	for _, nb := range counts {
+		batches := SplitBatches(len(ds.Reads), nb)
+
+		var rebuild float64
+		for _, b := range batches {
+			res, err := core.RunThreaded(workers, opt, ds.Contigs, ds.Reads[b[0]:b[1]])
+			if err != nil {
+				return nil, err
+			}
+			rebuild += res.TotalRealWall()
+		}
+
+		ix, err := core.BuildIndex(workers, opt.IndexOptions, ds.Contigs)
+		if err != nil {
+			return nil, err
+		}
+		resident := ix.BuildWall()
+		for _, b := range batches {
+			res, err := ix.Query(ctx, workers, opt.QueryOptions, ds.Reads[b[0]:b[1]])
+			if err != nil {
+				return nil, err
+			}
+			resident += res.TotalRealWall()
+		}
+
+		rep.AddRow(fmt.Sprint(nb), secs(rebuild), secs(resident),
+			ratio(rebuild, resident),
+			fmt.Sprintf("%.0f%%", 100*ix.BuildWall()/resident))
+	}
+	rep.Note("rebuild = N one-shot RunThreaded calls; resident = one BuildIndex + N Query calls on the same index")
+	rep.Note("speedup grows with batch count toward (build+align)/align; the recorded CI baseline is BENCH_serve.json")
+	return rep, nil
+}
+
+// SplitBatches cuts [0, n) into nb near-equal contiguous ranges (shared
+// with the repo-level serve benchmark).
+func SplitBatches(n, nb int) [][2]int {
+	out := make([][2]int, 0, nb)
+	for i := 0; i < nb; i++ {
+		lo, hi := n*i/nb, n*(i+1)/nb
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+package seqio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+)
+
+// MaybeDecompress sniffs r for the gzip magic bytes and returns a buffered
+// reader serving the decompressed stream when present, or the original
+// bytes when not, plus whether gzip was detected. Sniffing only peeks, so
+// for a plain file the underlying reader's byte offset semantics (e.g.
+// ReadAt on an *os.File) are unaffected.
+func MaybeDecompress(r io.Reader) (*bufio.Reader, bool, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	magic, err := br.Peek(2)
+	if err != nil || len(magic) < 2 || magic[0] != 0x1f || magic[1] != 0x8b {
+		// Short or unreadable streams pass through: the format parser
+		// reports the real error with format context.
+		return br, false, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, false, err
+	}
+	return bufio.NewReader(zr), true, nil
+}

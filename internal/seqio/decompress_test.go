@@ -1,0 +1,63 @@
+package seqio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestMaybeDecompress(t *testing.T) {
+	plain := ">a\nACGTACGT\n"
+
+	// Plain text passes through untouched.
+	r, wasGzip, err := MaybeDecompress(strings.NewReader(plain))
+	if err != nil || wasGzip {
+		t.Fatalf("plain: gzip=%v err=%v", wasGzip, err)
+	}
+	got, _ := io.ReadAll(r)
+	if string(got) != plain {
+		t.Fatalf("plain passthrough mangled: %q", got)
+	}
+
+	// Gzipped content is detected and decompressed.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	io.WriteString(zw, plain)
+	zw.Close()
+	r, wasGzip, err = MaybeDecompress(&buf)
+	if err != nil || !wasGzip {
+		t.Fatalf("gzip: gzip=%v err=%v", wasGzip, err)
+	}
+	got, err = io.ReadAll(r)
+	if err != nil || string(got) != plain {
+		t.Fatalf("gzip roundtrip: %q err=%v", got, err)
+	}
+
+	// Short and empty streams fall through to the parser.
+	for _, in := range []string{"", "A"} {
+		r, wasGzip, err = MaybeDecompress(strings.NewReader(in))
+		if err != nil || wasGzip {
+			t.Fatalf("short %q: gzip=%v err=%v", in, wasGzip, err)
+		}
+		got, _ = io.ReadAll(r)
+		if string(got) != in {
+			t.Fatalf("short %q passthrough mangled: %q", in, got)
+		}
+	}
+
+	// A gzip parse pipeline: ReadFasta over the decompressed stream.
+	buf.Reset()
+	zw = gzip.NewWriter(&buf)
+	io.WriteString(zw, plain)
+	zw.Close()
+	r, _, err = MaybeDecompress(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := ReadFasta(r, ParseOptions{})
+	if err != nil || len(seqs) != 1 || seqs[0].Seq.String() != "ACGTACGT" {
+		t.Fatalf("gzipped FASTA parse: %v %v", seqs, err)
+	}
+}

@@ -5,7 +5,14 @@
 // paper's aggregating-stores optimization, per-node software caches, an
 // exact-match fast path, and striped Smith-Waterman.
 //
-// Two execution modes are exposed:
+// The primary API is persistent: Build constructs the seed index over the
+// targets exactly once, and the resulting Aligner serves any number of
+// query batches — concurrently, with per-call context cancellation:
+//
+//	a, err := meraligner.Build(8, meraligner.DefaultIndexOptions(19), targets)
+//	res, err := a.Align(ctx, reads, meraligner.DefaultQueryOptions())
+//
+// Two one-shot convenience wrappers run both halves for a single batch:
 //
 //   - Align runs the full pipeline on a simulated PGAS machine (any number
 //     of "cores" on 24-core nodes with an Edison-like cost model); results
@@ -14,13 +21,11 @@
 //
 //   - AlignThreaded runs the identical pipeline with real goroutines on the
 //     host and reports measured wall-clock phase times (the paper's
-//     single-node shared-memory configuration).
+//     single-node shared-memory configuration). It is exactly Build
+//     followed by one Align call.
 //
-// The quickest start:
-//
-//	res, err := meraligner.AlignThreaded(8, meraligner.DefaultOptions(19), targets, reads)
-//
-// where targets and reads are seqio.Seq slices (see ReadFasta/ReadFastq).
+// targets and reads are seqio.Seq slices (see ReadFasta/ReadQueries, which
+// read FASTA/FASTQ/SeqDB and transparently decompress gzip).
 package meraligner
 
 import (
@@ -63,34 +68,49 @@ func Align(mach Machine, opt Options, targets, queries []Seq) (*Results, error) 
 
 // AlignThreaded runs the pipeline with real goroutines on the host (the
 // single-node shared-memory mode); Results phase stats carry genuine
-// wall-clock times in RealWall.
+// wall-clock times in RealWall. It is a one-shot convenience wrapper:
+// exactly Build followed by a single (*Aligner).Align call. Services that
+// align many batches should call those two halves directly and reuse the
+// index.
 func AlignThreaded(threads int, opt Options, targets, queries []Seq) (*Results, error) {
 	return core.RunThreaded(threads, opt, targets, queries)
 }
 
-// ReadFasta loads targets (contigs) from a FASTA file. Ambiguous bases (N)
-// are replaced with A, as the assembly pipeline does before alignment.
+// ReadFasta loads targets (contigs) from a FASTA file, transparently
+// decompressing gzip (sniffed by magic bytes). Ambiguous bases (N) are
+// replaced with A, as the assembly pipeline does before alignment.
 func ReadFasta(path string) ([]Seq, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return seqio.ReadFasta(f, seqio.ParseOptions{ReplaceN: true})
+	r, _, err := seqio.MaybeDecompress(f)
+	if err != nil {
+		return nil, err
+	}
+	return seqio.ReadFasta(r, seqio.ParseOptions{ReplaceN: true})
 }
 
-// ReadQueries loads reads from FASTQ or SeqDB (detected by content).
+// ReadQueries loads reads from FASTQ or SeqDB (detected by content), with
+// transparent gzip decompression for the text formats. SeqDB is a
+// random-access container and cannot be read through gzip.
 func ReadQueries(path string) ([]Seq, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var magic [4]byte
-	if _, err := f.ReadAt(magic[:], 0); err != nil && err != io.EOF {
+	r, wasGzip, err := seqio.MaybeDecompress(f)
+	if err != nil {
 		return nil, err
 	}
-	if string(magic[:]) == "MSDB" {
+	magic, _ := r.Peek(4)
+	if string(magic) == "MSDB" {
+		if wasGzip {
+			return nil, fmt.Errorf("meraligner: %s: gzipped SeqDB is not supported (SeqDB needs random access; decompress it first)", path)
+		}
+		// SeqDB reads by offset (ReadAt), unaffected by the sniffing above.
 		db, err := seqio.OpenSeqDB(f)
 		if err != nil {
 			return nil, err
@@ -105,7 +125,7 @@ func ReadQueries(path string) ([]Seq, error) {
 		}
 		return out, nil
 	}
-	return seqio.ReadFastq(f, seqio.ParseOptions{ReplaceN: true})
+	return seqio.ReadFastq(r, seqio.ParseOptions{ReplaceN: true})
 }
 
 // AlignFiles reads targets (FASTA) and queries (FASTQ or SeqDB) from disk
@@ -127,77 +147,19 @@ func AlignFiles(threads int, opt Options, targetPath, queryPath string) (*Result
 }
 
 // WriteSAM writes the collected alignments as a SAM stream with @SQ headers
-// for the targets. Reads with no alignment get an unmapped record. The
-// best-scoring alignment of each read is primary; the rest are flagged
-// secondary.
+// for the targets: NewSAMStream + one WriteBatch + Flush. Reads with no
+// alignment get an unmapped record; the best-scoring alignment of each read
+// is primary, the rest are flagged secondary; NM tags are computed from the
+// cigar and the sequences.
 func WriteSAM(w io.Writer, res *Results, targets, queries []Seq) error {
-	sw, err := seqio.NewSAMWriter(w, targets, "meraligner", "1.0")
+	s, err := NewSAMStream(w, targets)
 	if err != nil {
 		return err
 	}
-	// Group alignments per query (they are sorted by query after a run).
-	byQuery := make(map[int32][]Alignment, len(queries))
-	for _, a := range res.Alignments {
-		byQuery[a.Query] = append(byQuery[a.Query], a)
+	if err := s.WriteBatch(res, queries); err != nil {
+		return err
 	}
-	for qi := range queries {
-		q := queries[qi]
-		as := byQuery[int32(qi)]
-		if len(as) == 0 {
-			if err := sw.Write(seqio.SAMRecord{
-				QName: q.Name, Flag: seqio.FlagUnmapped,
-				Seq: q.Seq.String(), Qual: string(q.Qual),
-				TagAS: -1, TagNM: -1,
-			}); err != nil {
-				return err
-			}
-			continue
-		}
-		best := 0
-		for i, a := range as {
-			if a.Score > as[best].Score {
-				best = i
-			}
-		}
-		for i, a := range as {
-			flag := 0
-			seq := q.Seq
-			if a.RC {
-				flag |= seqio.FlagReverse
-				seq = seq.ReverseComplement()
-			}
-			if i != best {
-				flag |= seqio.FlagSecondary
-			}
-			qual := string(q.Qual)
-			if a.RC && qual != "" {
-				b := []byte(qual)
-				for l, r := 0, len(b)-1; l < r; l, r = l+1, r-1 {
-					b[l], b[r] = b[r], b[l]
-				}
-				qual = string(b)
-			}
-			mapq := 60
-			if len(as) > 1 {
-				mapq = 3
-			}
-			rec := seqio.SAMRecord{
-				QName: q.Name, Flag: flag,
-				RName: targets[a.Target].Name,
-				Pos:   int(a.TStart) + 1, MapQ: mapq,
-				Cigar: a.Cigar,
-				Seq:   seq.String(), Qual: qual,
-				TagAS: int(a.Score), TagNM: -1,
-			}
-			if rec.Cigar == "" {
-				rec.Cigar = fmt.Sprintf("%dM", a.QEnd-a.QStart)
-			}
-			if err := sw.Write(rec); err != nil {
-				return err
-			}
-		}
-	}
-	return sw.Flush()
+	return s.Flush()
 }
 
 // WriteAlignments writes alignments in a simple tab-separated format:

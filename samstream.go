@@ -1,0 +1,199 @@
+package meraligner
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/lbl-repro/meraligner/internal/align"
+	"github.com/lbl-repro/meraligner/internal/dna"
+	"github.com/lbl-repro/meraligner/internal/seqio"
+)
+
+// SAMStream writes SAM output incrementally: the header once at creation,
+// then one WriteBatch call per aligned query batch. A batches-mode server
+// holds one SAMStream for the life of an output and streams every batch
+// through it, so output memory stays O(batch) instead of O(total reads).
+//
+// Records carry a real NM (edit distance) tag computed from the cigar and
+// the sequences, and local alignments get soft clips so the cigar spans the
+// full read — valid SAM for downstream tools.
+type SAMStream struct {
+	sw      *seqio.SAMWriter
+	targets []Seq
+}
+
+// NewSAMStream writes the @HD/@SQ/@PG header for targets and returns the
+// stream. The same targets must be the set the alignments refer to.
+func NewSAMStream(w io.Writer, targets []Seq) (*SAMStream, error) {
+	sw, err := seqio.NewSAMWriter(w, targets, "meraligner", "1.0")
+	if err != nil {
+		return nil, err
+	}
+	return &SAMStream{sw: sw, targets: targets}, nil
+}
+
+// WriteBatch emits one record set for a batch: alignments in res refer to
+// queries by index into this batch's slice. Reads with no alignment get an
+// unmapped record; the best-scoring alignment of each read is primary, the
+// rest are flagged secondary.
+func (s *SAMStream) WriteBatch(res *Results, queries []Seq) error {
+	// Group alignments per query (they are sorted by query after a run).
+	byQuery := make(map[int32][]Alignment, len(queries))
+	for _, a := range res.Alignments {
+		byQuery[a.Query] = append(byQuery[a.Query], a)
+	}
+	for qi := range queries {
+		if err := s.writeQuery(queries[qi], byQuery[int32(qi)]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output; call once after the final batch.
+func (s *SAMStream) Flush() error { return s.sw.Flush() }
+
+func (s *SAMStream) writeQuery(q Seq, as []Alignment) error {
+	if len(as) == 0 {
+		return s.sw.Write(seqio.SAMRecord{
+			QName: q.Name, Flag: seqio.FlagUnmapped,
+			Seq: q.Seq.String(), Qual: string(q.Qual),
+			TagAS: -1, TagNM: -1,
+		})
+	}
+	best := 0
+	for i, a := range as {
+		if a.Score > as[best].Score {
+			best = i
+		}
+	}
+	L := q.Seq.Len()
+	var fwdCodes, rcCodes []byte // lazily unpacked per strand
+	for i, a := range as {
+		flag := 0
+		seq := q.Seq
+		if a.RC {
+			flag |= seqio.FlagReverse
+			seq = seq.ReverseComplement()
+		}
+		if i != best {
+			flag |= seqio.FlagSecondary
+		}
+		qual := string(q.Qual)
+		if a.RC && qual != "" {
+			b := []byte(qual)
+			for l, r := 0, len(b)-1; l < r; l, r = l+1, r-1 {
+				b[l], b[r] = b[r], b[l]
+			}
+			qual = string(b)
+		}
+		mapq := 60
+		if len(as) > 1 {
+			mapq = 3
+		}
+		body := a.Cigar
+		if body == "" {
+			body = fmt.Sprintf("%dM", a.QEnd-a.QStart)
+		}
+		nm := -1
+		if ops, ok := parseCigar(body); ok {
+			qc := fwdCodes
+			if a.RC {
+				if rcCodes == nil {
+					rcCodes = seq.Codes()
+				}
+				qc = rcCodes
+			} else {
+				if fwdCodes == nil {
+					fwdCodes = q.Seq.Codes()
+					qc = fwdCodes
+				}
+			}
+			tSeq := s.targets[a.Target].Seq
+			if int(a.TStart) >= 0 && int(a.TEnd) <= tSeq.Len() && a.TStart <= a.TEnd {
+				if v, ok := editDistance(ops, qc, int(a.QStart), tSeq, int(a.TStart), int(a.TEnd)); ok {
+					nm = v
+				}
+			}
+		}
+		// Soft-clip the unaligned read ends so the cigar spans the read.
+		cigar := body
+		if a.QStart > 0 {
+			cigar = fmt.Sprintf("%dS%s", a.QStart, cigar)
+		}
+		if int(a.QEnd) < L {
+			cigar = fmt.Sprintf("%s%dS", cigar, L-int(a.QEnd))
+		}
+		if err := s.sw.Write(seqio.SAMRecord{
+			QName: q.Name, Flag: flag,
+			RName: s.targets[a.Target].Name,
+			Pos:   int(a.TStart) + 1, MapQ: mapq,
+			Cigar: cigar,
+			Seq:   seq.String(), Qual: qual,
+			TagAS: int(a.Score), TagNM: nm,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseCigar decodes a SAM-style run-length cigar of M/I/D operations.
+func parseCigar(s string) (align.Cigar, bool) {
+	var out align.Cigar
+	n, digits := 0, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+			digits = true
+			continue
+		}
+		if !digits || n == 0 || (c != 'M' && c != 'I' && c != 'D') {
+			return nil, false
+		}
+		out = append(out, align.CigarOp{Op: c, Len: n})
+		n, digits = 0, false
+	}
+	return out, !digits && len(out) > 0
+}
+
+// editDistance walks the cigar over the aligned-strand query codes qc
+// (starting at qStart) and the target window [tStart, tEnd) of t, counting
+// mismatches in M runs plus all inserted and deleted bases — the SAM NM
+// tag. Target bases are read in place through CodeAt, so the output hot
+// path allocates nothing per record. Reports false when the cigar
+// oversteps either sequence.
+func editDistance(ops align.Cigar, qc []byte, qStart int, t dna.Packed, tStart, tEnd int) (int, bool) {
+	qp, tp, nm := qStart, tStart, 0
+	for _, op := range ops {
+		switch op.Op {
+		case 'M':
+			if qp+op.Len > len(qc) || tp+op.Len > tEnd {
+				return 0, false
+			}
+			for i := 0; i < op.Len; i++ {
+				if qc[qp+i] != t.CodeAt(tp+i) {
+					nm++
+				}
+			}
+			qp += op.Len
+			tp += op.Len
+		case 'I': // extra query bases relative to the target
+			if qp+op.Len > len(qc) {
+				return 0, false
+			}
+			nm += op.Len
+			qp += op.Len
+		case 'D': // target bases skipped by the query
+			if tp+op.Len > tEnd {
+				return 0, false
+			}
+			nm += op.Len
+			tp += op.Len
+		default:
+			return 0, false
+		}
+	}
+	return nm, true
+}
