@@ -22,6 +22,20 @@ import (
 type (
 	IndexOptions = core.IndexOptions
 	QueryOptions = core.QueryOptions
+
+	// QueryStatus and QueryStat surface per-query admission and accounting:
+	// Results.TooShort lists reads shorter than K (typed QueryTooShort
+	// status instead of a silent drop), and Results.PerQuery carries one
+	// QueryStat per read when QueryOptions.CollectPerQuery is set — the
+	// latency source behind a service's p50/p99 reporting.
+	QueryStatus = core.QueryStatus
+	QueryStat   = core.QueryStat
+)
+
+// Per-query statuses (see Results.TooShort and Results.PerQuery).
+const (
+	QueryOK       = core.QueryOK
+	QueryTooShort = core.QueryTooShort
 )
 
 // DefaultIndexOptions returns the paper's build-time configuration for seed
@@ -64,6 +78,11 @@ func BuildFiles(threads int, opt IndexOptions, targetPath string) (*Aligner, err
 	return Build(threads, opt, targets)
 }
 
+// alignSerialMax is the batch size at or below which Align skips the worker
+// pool and aligns in-line on the calling goroutine: single-read and tiny
+// service requests are latency-bound, and pool setup dwarfs their work.
+const alignSerialMax = 16
+
 // Align aligns one batch of queries against the resident index (the
 // aligning phase of Algorithm 1 with the exact-match fast path, seed-hit
 // threshold, and striped Smith-Waterman). It is safe to call concurrently:
@@ -72,7 +91,14 @@ func BuildFiles(threads int, opt IndexOptions, targetPath string) (*Aligner, err
 // query batches and returns ctx.Err(). Results carry this call's
 // wall-clock align-phase stat; alignments are byte-identical to a one-shot
 // AlignThreaded run over the same inputs and options.
+//
+// Tiny batches (at most alignSerialMax reads) take a cheap serial path with
+// no worker pool — same algorithm, same results, a fraction of the per-call
+// overhead. Use AlignWorkers to force a pool of a specific size.
 func (a *Aligner) Align(ctx context.Context, queries []Seq, opt QueryOptions) (*Results, error) {
+	if len(queries) <= alignSerialMax {
+		return a.ix.QuerySerial(ctx, opt, queries)
+	}
 	return a.ix.Query(ctx, a.threads, opt, queries)
 }
 
@@ -86,6 +112,10 @@ func (a *Aligner) AlignWorkers(ctx context.Context, workers int, queries []Seq, 
 // Targets returns the target set the index was built over (needed by the
 // SAM writers).
 func (a *Aligner) Targets() []Seq { return a.ix.Targets() }
+
+// Threads returns the Build-time worker-pool size — the default pool of
+// each Align call (services sizing their own pools start from it).
+func (a *Aligner) Threads() int { return a.threads }
 
 // IndexOptions returns the build-time options of the resident index.
 func (a *Aligner) IndexOptions() IndexOptions { return a.ix.Options() }

@@ -1,0 +1,206 @@
+package meraligner_test
+
+// Benchmarks and the recorded baseline of the merserved serving layer: the
+// dynamic micro-batcher coalescing concurrent single-read requests into
+// shared engine calls versus one engine call per request (the naive server
+// shape). The measurement drives the service's in-process serving path
+// (service.Server.AlignBatched) — identical admission, batching, and demux
+// to POST /v1/align with the HTTP transport (which costs the same in both
+// modes) excluded. The loopback-HTTP view of the same comparison is the
+// merbench "service" experiment.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/internal/genome"
+	"github.com/lbl-repro/meraligner/internal/service"
+)
+
+// serviceWorkload is the serving data set: a short-read (36bp) profile —
+// the regime where per-call engine overhead rivals per-read align work, so
+// serving single reads uncoalesced visibly wastes the engine.
+func serviceWorkload(tb testing.TB) (*meraligner.Aligner, []meraligner.Seq) {
+	tb.Helper()
+	p := genome.EColiLike()
+	p.GenomeLen = 120_000
+	p.Depth = 3
+	p.ReadLen = 36
+	p.InsertMean = 0
+	p.Seed = 11
+	ds, err := genome.Generate(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	al, err := meraligner.Build(2, meraligner.DefaultIndexOptions(19), ds.Contigs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	reads := ds.Reads
+	if len(reads) > 4000 {
+		reads = reads[:4000]
+	}
+	return al, reads
+}
+
+// serveSingleReads pushes every read through the service as its own
+// single-read request from `clients` concurrent submitters and returns the
+// wall seconds plus the server's observed mean batch size.
+func serveSingleReads(tb testing.TB, al *meraligner.Aligner, reads []meraligner.Seq, clients int, coalesce bool) (wallS, meanBatch float64) {
+	tb.Helper()
+	qopt := meraligner.DefaultQueryOptions()
+	qopt.MaxSeedHits = 200
+	cfg := service.Config{
+		Aligner:    al,
+		Query:      qopt,
+		Workers:    2,
+		QueueReads: len(reads) + 1,
+	}
+	if coalesce {
+		cfg.MaxBatch = 256
+		cfg.MaxWait = 2 * time.Millisecond
+	} else {
+		cfg.MaxBatch = 1 // one engine call per request: the naive shape
+		cfg.MaxWait = -1 // and no window-holding at all
+	}
+	srv, err := service.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var next atomic.Int64
+	errs := make([]error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reads) {
+					return
+				}
+				if _, err := srv.AlignBatched(ctx, reads[i:i+1]); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	st := srv.Snapshot()
+	if err := srv.Drain(ctx); err != nil {
+		tb.Fatal(err)
+	}
+	return wall, st.MeanBatchReads
+}
+
+const serviceClients = 16
+
+// BenchmarkServiceMicroBatching runs the two serving shapes side by side;
+// the coalesced row must stay well ahead (see BENCH_service.json).
+func BenchmarkServiceMicroBatching(b *testing.B) {
+	al, reads := serviceWorkload(b)
+	for _, mode := range []struct {
+		name     string
+		coalesce bool
+	}{
+		{"per-request", false},
+		{"coalesced", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var readsDone, wall float64
+			for i := 0; i < b.N; i++ {
+				w, mean := serveSingleReads(b, al, reads, serviceClients, mode.coalesce)
+				wall += w
+				readsDone += float64(len(reads))
+				if i == 0 {
+					b.ReportMetric(mean, "reads/batch")
+				}
+			}
+			b.ReportMetric(readsDone/wall, "reads/s")
+		})
+	}
+}
+
+// TestRecordServiceBaseline writes BENCH_service.json — the committed
+// micro-batching baseline — when MERALIGNER_RECORD_BASELINE=1:
+//
+//	MERALIGNER_RECORD_BASELINE=1 go test -run TestRecordServiceBaseline .
+func TestRecordServiceBaseline(t *testing.T) {
+	if os.Getenv("MERALIGNER_RECORD_BASELINE") == "" {
+		t.Skip("set MERALIGNER_RECORD_BASELINE=1 to (re)record BENCH_service.json")
+	}
+	al, reads := serviceWorkload(t)
+
+	measure := func(coalesce bool) (bestWall, meanBatch float64) {
+		for i := 0; i < 3; i++ {
+			wall, mean := serveSingleReads(t, al, reads, serviceClients, coalesce)
+			if bestWall == 0 || wall < bestWall {
+				bestWall, meanBatch = wall, mean
+			}
+		}
+		return bestWall, meanBatch
+	}
+	uncoalescedS, _ := measure(false)
+	coalescedS, meanBatch := measure(true)
+
+	baseline := struct {
+		Workload       string  `json:"workload"`
+		Reads          int     `json:"reads"`
+		Clients        int     `json:"clients"`
+		K              int     `json:"k"`
+		Workers        int     `json:"workers"`
+		HostCPUs       int     `json:"host_cpus"`
+		GoOS           string  `json:"goos"`
+		GoArch         string  `json:"goarch"`
+		UncoalescedS   float64 `json:"uncoalesced_single_read_s"`
+		UncoalescedRPS float64 `json:"uncoalesced_reads_per_s"`
+		CoalescedS     float64 `json:"coalesced_s"`
+		CoalescedRPS   float64 `json:"coalesced_reads_per_s"`
+		MeanBatchReads float64 `json:"coalesced_mean_batch_reads"`
+		Speedup        float64 `json:"speedup"`
+		Description    string  `json:"description"`
+	}{
+		Workload: "ecoli-like 120kb, depth 3, 36bp reads, k=19",
+		Reads:    len(reads), Clients: serviceClients, K: 19, Workers: 2,
+		HostCPUs: runtime.NumCPU(), GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		UncoalescedS: uncoalescedS, UncoalescedRPS: float64(len(reads)) / uncoalescedS,
+		CoalescedS: coalescedS, CoalescedRPS: float64(len(reads)) / coalescedS,
+		MeanBatchReads: meanBatch,
+		Speedup:        uncoalescedS / coalescedS,
+		Description: "merserved micro-batching baseline: N concurrent clients each submit " +
+			"single-read requests through the service's serving path (AlignBatched — identical " +
+			"admission/batching/demux to POST /v1/align, HTTP transport excluded since it costs " +
+			"the same in both modes). uncoalesced_single_read_s is MaxBatch=1 (one engine call " +
+			"per request, the naive server); coalesced_s is continuous micro-batching (MaxBatch " +
+			"256 / MaxWait 2ms); best of 3 each. Coalesced must stay >= 2x ahead — regressions " +
+			"mean the batcher is adding latency instead of amortizing per-call engine overhead",
+	}
+	out, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_service.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recorded BENCH_service.json:\n%s", out)
+	if baseline.Speedup < 2 {
+		t.Errorf("coalesced speedup %.2fx < 2x over uncoalesced single-read serving", baseline.Speedup)
+	}
+}

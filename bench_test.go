@@ -1,4 +1,4 @@
-package meraligner
+package meraligner_test
 
 // One benchmark per table and figure of the paper's evaluation (§VI), each
 // regenerating the corresponding experiment on a smoke-test workload via
@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	meraligner "github.com/lbl-repro/meraligner"
 	"github.com/lbl-repro/meraligner/internal/expt"
 	"github.com/lbl-repro/meraligner/internal/genome"
 )
@@ -86,11 +87,11 @@ func BenchmarkPipelineSimulated(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	mach := Edison(48)
-	opt := DefaultOptions(31)
+	mach := meraligner.Edison(48)
+	opt := meraligner.DefaultOptions(31)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Align(mach, opt, ds.Contigs, ds.Reads); err != nil {
+		if _, err := meraligner.Align(mach, opt, ds.Contigs, ds.Reads); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,10 +106,10 @@ func BenchmarkPipelineThreaded(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	opt := DefaultOptions(31)
+	opt := meraligner.DefaultOptions(31)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := AlignThreaded(8, opt, ds.Contigs, ds.Reads); err != nil {
+		if _, err := meraligner.AlignThreaded(8, opt, ds.Contigs, ds.Reads); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -135,12 +136,12 @@ func engineWorkload(tb testing.TB) *genome.DataSet {
 // recorded baseline.
 func BenchmarkEngines(b *testing.B) {
 	ds := engineWorkload(b)
-	opt := DefaultOptions(31)
+	opt := meraligner.DefaultOptions(31)
 
 	b.Run("sim-48threads", func(b *testing.B) {
-		mach := Edison(48)
+		mach := meraligner.Edison(48)
 		for i := 0; i < b.N; i++ {
-			if _, err := Align(mach, opt, ds.Contigs, ds.Reads); err != nil {
+			if _, err := meraligner.Align(mach, opt, ds.Contigs, ds.Reads); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -153,7 +154,7 @@ func BenchmarkEngines(b *testing.B) {
 		b.Run(fmt.Sprintf("threaded-%dw", w), func(b *testing.B) {
 			var reads, wall float64
 			for i := 0; i < b.N; i++ {
-				res, err := AlignThreaded(w, opt, ds.Contigs, ds.Reads)
+				res, err := meraligner.AlignThreaded(w, opt, ds.Contigs, ds.Reads)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -174,7 +175,7 @@ func TestRecordEngineBaseline(t *testing.T) {
 		t.Skip("set MERALIGNER_RECORD_BASELINE=1 to (re)record BENCH_threaded.json")
 	}
 	ds := engineWorkload(t)
-	opt := DefaultOptions(31)
+	opt := meraligner.DefaultOptions(31)
 
 	type engineRow struct {
 		Workers      int     `json:"workers"`
@@ -203,7 +204,7 @@ func TestRecordEngineBaseline(t *testing.T) {
 			"meaningful; re-record on a multicore host before judging scaling regressions",
 	}
 
-	sim, err := Align(Edison(48), opt, ds.Contigs, ds.Reads)
+	sim, err := meraligner.Align(meraligner.Edison(48), opt, ds.Contigs, ds.Reads)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,9 +215,9 @@ func TestRecordEngineBaseline(t *testing.T) {
 		sweep = append(sweep, n)
 	}
 	for _, w := range sweep {
-		var best *Results
+		var best *meraligner.Results
 		for i := 0; i < 3; i++ {
-			res, err := AlignThreaded(w, opt, ds.Contigs, ds.Reads)
+			res, err := meraligner.AlignThreaded(w, opt, ds.Contigs, ds.Reads)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -270,15 +271,15 @@ func serveBatchBounds(n int) [][2]int { return expt.SplitBatches(n, serveBatches
 // recorded baseline is BENCH_serve.json.
 func BenchmarkBuildOnceServeMany(b *testing.B) {
 	ds := serveWorkload(b)
-	opt := DefaultOptions(31)
-	qopt := DefaultQueryOptions()
+	opt := meraligner.DefaultOptions(31)
+	qopt := meraligner.DefaultQueryOptions()
 	bounds := serveBatchBounds(len(ds.Reads))
 	workers := runtime.NumCPU()
 
 	b.Run("rebuild-per-batch", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, bd := range bounds {
-				if _, err := AlignThreaded(workers, opt, ds.Contigs, ds.Reads[bd[0]:bd[1]]); err != nil {
+				if _, err := meraligner.AlignThreaded(workers, opt, ds.Contigs, ds.Reads[bd[0]:bd[1]]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -286,7 +287,7 @@ func BenchmarkBuildOnceServeMany(b *testing.B) {
 	})
 	b.Run("resident-index", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			a, err := Build(workers, opt.IndexOptions, ds.Contigs)
+			a, err := meraligner.Build(workers, opt.IndexOptions, ds.Contigs)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -308,8 +309,8 @@ func TestRecordServeBaseline(t *testing.T) {
 		t.Skip("set MERALIGNER_RECORD_BASELINE=1 to (re)record BENCH_serve.json")
 	}
 	ds := serveWorkload(t)
-	opt := DefaultOptions(31)
-	qopt := DefaultQueryOptions()
+	opt := meraligner.DefaultOptions(31)
+	qopt := meraligner.DefaultQueryOptions()
 	bounds := serveBatchBounds(len(ds.Reads))
 	workers := runtime.NumCPU()
 
@@ -329,7 +330,7 @@ func TestRecordServeBaseline(t *testing.T) {
 
 	rebuild := measure(func() error {
 		for _, bd := range bounds {
-			if _, err := AlignThreaded(workers, opt, ds.Contigs, ds.Reads[bd[0]:bd[1]]); err != nil {
+			if _, err := meraligner.AlignThreaded(workers, opt, ds.Contigs, ds.Reads[bd[0]:bd[1]]); err != nil {
 				return err
 			}
 		}
@@ -340,7 +341,7 @@ func TestRecordServeBaseline(t *testing.T) {
 	var resident, buildWall float64
 	for i := 0; i < 3; i++ {
 		start := time.Now()
-		a, err := Build(workers, opt.IndexOptions, ds.Contigs)
+		a, err := meraligner.Build(workers, opt.IndexOptions, ds.Contigs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -403,11 +404,11 @@ func BenchmarkReadsPerSecond(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	opt := DefaultOptions(51)
+	opt := meraligner.DefaultOptions(51)
 	b.ResetTimer()
 	var reads, wall float64
 	for i := 0; i < b.N; i++ {
-		res, err := AlignThreaded(runtime.NumCPU(), opt, ds.Contigs, ds.Reads)
+		res, err := meraligner.AlignThreaded(runtime.NumCPU(), opt, ds.Contigs, ds.Reads)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,319 @@
+// Package client is the Go client of merserved — the merAligner network
+// alignment service — and the home of its JSON wire schema. The service
+// (internal/service) and this package share these types, so the wire
+// contract lives in exactly one place.
+//
+// A Client talks to one server:
+//
+//	c := client.New("http://127.0.0.1:8490")
+//	resp, err := c.Align(ctx, client.AlignRequest{Reads: []client.Read{
+//		{Name: "r1", Seq: "ACGTACGT..."},
+//	}})
+//
+// Single-read and small-batch calls are coalesced server-side by the
+// dynamic micro-batcher, so many concurrent Clients share one resident
+// engine call per batching window. Overload surfaces as *RetryError (HTTP
+// 429 with Retry-After); other failures as *StatusError.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	meraligner "github.com/lbl-repro/meraligner"
+)
+
+// Read is one query read on the wire.
+type Read struct {
+	Name string `json:"name"`
+	Seq  string `json:"seq"`
+	Qual string `json:"qual,omitempty"`
+}
+
+// AlignRequest is the JSON body of POST /v1/align and /v1/align/stream.
+// The same endpoints also accept a raw FASTQ body (gzip transparently
+// sniffed) with any non-JSON content type.
+type AlignRequest struct {
+	Reads []Read `json:"reads"`
+}
+
+// Alignment is one reported hit of a read, in wire terms: the target is
+// named, the strand is "+"/"-", and intervals are half-open as in the
+// native API.
+type Alignment struct {
+	Target string `json:"target"`
+	Strand string `json:"strand"`
+	Score  int    `json:"score"`
+	QStart int    `json:"qstart"`
+	QEnd   int    `json:"qend"`
+	TStart int    `json:"tstart"`
+	TEnd   int    `json:"tend"`
+	Cigar  string `json:"cigar,omitempty"`
+	Exact  bool   `json:"exact,omitempty"`
+}
+
+// Read statuses on the wire (ReadResult.Status).
+const (
+	StatusOK       = "ok"        // at least one alignment reported
+	StatusUnmapped = "unmapped"  // aligned nowhere
+	StatusTooShort = "too_short" // shorter than the seed length K
+)
+
+// ReadResult is one read's outcome. Alignments are ordered as the engine
+// reports them; the best-scoring one is the primary SAM record.
+type ReadResult struct {
+	Name       string      `json:"name"`
+	Status     string      `json:"status"`
+	Alignments []Alignment `json:"alignments,omitempty"`
+}
+
+// AlignResponse is the JSON body of a successful POST /v1/align; on
+// /v1/align/stream the same ReadResult objects arrive as NDJSON lines.
+type AlignResponse struct {
+	Reads []ReadResult `json:"reads"`
+}
+
+// ErrorResponse is the JSON body of a non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// TooShort names the reads shorter than the seed length K when the
+	// request was rejected with 400 for that reason.
+	TooShort []string `json:"too_short,omitempty"`
+}
+
+// Stats is the JSON body of GET /v1/stats: the service's live counters,
+// micro-batcher observations, and latency quantiles, plus the resident
+// index's identity.
+type Stats struct {
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+
+	// Request accounting.
+	Requests int64 `json:"requests"`
+	Rejected int64 `json:"rejected"` // 429s (admission queue full)
+	Canceled int64 `json:"canceled"` // client disconnects
+	Reads    int64 `json:"reads"`    // reads accepted into the engine
+	TooShort int64 `json:"too_short_reads"`
+
+	// Micro-batcher observations. MeanBatchReads > 1 is the signature of
+	// coalescing actually happening under concurrent single-read load.
+	Batches          int64   `json:"batches"`
+	BatchedReads     int64   `json:"batched_reads"`
+	CoalescedBatches int64   `json:"coalesced_batches"` // batches gluing >= 2 requests
+	MeanBatchReads   float64 `json:"mean_batch_reads"`
+	MaxBatchReads    int64   `json:"max_batch_reads"`
+	QueueReads       int64   `json:"queue_reads"` // queued right now
+
+	// Latency quantiles: request wall time (enqueue to response ready) and
+	// per-read engine time (from the engine's per-query stats).
+	RequestP50Ms   float64 `json:"request_p50_ms"`
+	RequestP99Ms   float64 `json:"request_p99_ms"`
+	AlignReadP50Us float64 `json:"align_read_p50_us"`
+	AlignReadP99Us float64 `json:"align_read_p99_us"`
+
+	// Resident index.
+	K             int   `json:"k"`
+	DistinctSeeds int64 `json:"distinct_seeds"`
+	TotalLocs     int64 `json:"total_locs"`
+	ResidentBytes int64 `json:"resident_bytes"`
+
+	// Effective batching knobs.
+	MaxBatch  int     `json:"max_batch"`
+	MaxWaitMs float64 `json:"max_wait_ms"`
+}
+
+// FromSeqs converts native reads to wire reads.
+func FromSeqs(reads []meraligner.Seq) []Read {
+	out := make([]Read, len(reads))
+	for i, r := range reads {
+		out[i] = Read{Name: r.Name, Seq: r.Seq.String(), Qual: string(r.Qual)}
+	}
+	return out
+}
+
+// RetryError is an HTTP 429: the service's admission queue is full. Back
+// off for After and retry.
+type RetryError struct {
+	After time.Duration
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("client: server overloaded, retry after %s", e.After)
+}
+
+// StatusError is any other non-2xx response.
+type StatusError struct {
+	Code     int
+	Message  string
+	TooShort []string // read names, when the 400 was a too-short rejection
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Message)
+}
+
+// Client talks to one merserved instance. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transport limits, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a Client for the service at base (e.g. "http://host:8490").
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: base, hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Align posts one batch and returns the per-read results.
+func (c *Client) Align(ctx context.Context, req AlignRequest) (*AlignResponse, error) {
+	body, err := c.post(ctx, "/v1/align", req, "application/json")
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	var out AlignResponse
+	if err := json.NewDecoder(body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// AlignSAM posts one batch and returns the response as a SAM document
+// (header plus one record set), byte-identical to a local WriteSAM over a
+// direct Align call.
+func (c *Client) AlignSAM(ctx context.Context, req AlignRequest) ([]byte, error) {
+	body, err := c.post(ctx, "/v1/align", req, "text/x-sam")
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	return io.ReadAll(body)
+}
+
+// AlignStream posts one batch to the streaming endpoint and calls fn for
+// each ReadResult as it arrives (NDJSON). fn returning an error aborts the
+// stream and surfaces that error.
+func (c *Client) AlignStream(ctx context.Context, req AlignRequest, fn func(ReadResult) error) error {
+	body, err := c.post(ctx, "/v1/align/stream", req, "application/x-ndjson")
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var rr ReadResult
+		if err := json.Unmarshal(sc.Bytes(), &rr); err != nil {
+			return fmt.Errorf("client: decoding stream line: %w", err)
+		}
+		if err := fn(rr); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Stats fetches the service's live statistics.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.asError(resp)
+	}
+	var out Stats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding stats: %w", err)
+	}
+	return &out, nil
+}
+
+// Health probes /healthz: nil when serving, an error when unreachable or
+// draining.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.asError(resp)
+	}
+	return nil
+}
+
+// post sends an AlignRequest and returns the response body on 200, or a
+// typed error otherwise.
+func (c *Client) post(ctx context.Context, path string, req AlignRequest, accept string) (io.ReadCloser, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", accept)
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, c.asError(resp)
+	}
+	return resp.Body, nil
+}
+
+// asError converts a non-2xx response into *RetryError or *StatusError.
+func (c *Client) asError(resp *http.Response) error {
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after := time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.ParseFloat(s, 64); err == nil && secs > 0 {
+				after = time.Duration(secs * float64(time.Second))
+			}
+		}
+		return &RetryError{After: after}
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var er ErrorResponse
+	if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+		return &StatusError{Code: resp.StatusCode, Message: er.Error, TooShort: er.TooShort}
+	}
+	return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(raw))}
+}

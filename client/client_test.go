@@ -1,0 +1,86 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fake returns a client against a handler.
+func fake(t *testing.T, h http.HandlerFunc) *Client {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return New(ts.URL)
+}
+
+func TestRetryErrorFrom429(t *testing.T) {
+	c := fake(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	_, err := c.Align(context.Background(), AlignRequest{Reads: []Read{{Name: "r", Seq: "ACGT"}}})
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v, want RetryError", err)
+	}
+	if re.After != 2*time.Second {
+		t.Fatalf("Retry-After parsed as %s, want 2s", re.After)
+	}
+}
+
+func TestStatusErrorCarriesTooShortDetail(t *testing.T) {
+	c := fake(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "too short", TooShort: []string{"stub"}})
+	})
+	_, err := c.Align(context.Background(), AlignRequest{Reads: []Read{{Name: "stub", Seq: "A"}}})
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want StatusError", err)
+	}
+	if se.Code != http.StatusBadRequest || len(se.TooShort) != 1 || se.TooShort[0] != "stub" {
+		t.Fatalf("StatusError lost detail: %+v", se)
+	}
+}
+
+func TestStatusErrorFromOpaqueBody(t *testing.T) {
+	c := fake(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "kaboom", http.StatusInternalServerError)
+	})
+	err := c.Health(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusInternalServerError || se.Message != "kaboom" {
+		t.Fatalf("opaque error mapped to %v", err)
+	}
+}
+
+func TestAlignStreamDecodesNDJSON(t *testing.T) {
+	c := fake(t, func(w http.ResponseWriter, r *http.Request) {
+		var req AlignRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("server decode: %v", err)
+		}
+		enc := json.NewEncoder(w)
+		for _, rd := range req.Reads {
+			enc.Encode(ReadResult{Name: rd.Name, Status: StatusUnmapped})
+		}
+	})
+	var got []string
+	err := c.AlignStream(context.Background(),
+		AlignRequest{Reads: []Read{{Name: "a", Seq: "ACGT"}, {Name: "b", Seq: "ACGT"}}},
+		func(rr ReadResult) error {
+			got = append(got, rr.Name)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("streamed %v, want [a b]", got)
+	}
+}

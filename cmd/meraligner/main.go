@@ -30,6 +30,8 @@ import (
 	"strings"
 
 	"github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/internal/buildinfo"
+	"github.com/lbl-repro/meraligner/internal/seqio"
 )
 
 func main() {
@@ -48,11 +50,17 @@ func main() {
 		minScore    = flag.Int("min-score", 0, "minimum alignment score (0 = seed length)")
 		noExact     = flag.Bool("no-exact", false, "disable the exact-match optimization (§IV-A)")
 		noPermute   = flag.Bool("no-permute", false, "disable load-balancing permutation (§IV-B, sim engine)")
-		outPath     = flag.String("o", "", "output file (default stdout)")
+		outPath     = flag.String("o", "", "output file (default stdout; a .gz suffix gzip-compresses)")
 		samOut      = flag.Bool("sam", false, "emit SAM instead of tab-separated alignments")
 		verbose     = flag.Bool("v", false, "print build/align timing summary to stderr")
 	)
+	bi := buildinfo.Register(flag.CommandLine)
 	flag.Parse()
+	stopProfile, err := bi.Apply("meraligner")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfile()
 	if *targetsPath == "" || (*queriesPath == "") == (*batchList == "") {
 		fmt.Fprintln(os.Stderr, "need -targets and exactly one of -queries / -batches")
 		flag.Usage()
@@ -79,14 +87,17 @@ func main() {
 		iopt.MaxLocList = *maxHits + 1
 	}
 
-	out := os.Stdout
+	var out io.Writer = os.Stdout
+	var outClose io.Closer // gzip stream to finish before the file closes
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		out = f
+		wc, _ := seqio.MaybeCompress(*outPath, f) // .gz suffix → gzip output
+		defer wc.Close()
+		out, outClose = wc, wc
 	}
 
 	// Simulated engine: one-shot pipeline, unchanged semantics.
@@ -158,12 +169,18 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	// die flushes the shared SAM stream before exiting so records of the
-	// batches that DID succeed are not lost in the writer's buffer.
+	// die flushes the shared SAM stream (and finishes any gzip stream,
+	// since log.Fatalf skips the deferred Close) before exiting, so records
+	// of the batches that DID succeed are not lost in the writers' buffers.
 	die := func(format string, args ...any) {
 		if stream != nil {
 			if ferr := stream.Flush(); ferr != nil {
 				log.Printf("flushing SAM stream: %v", ferr)
+			}
+		}
+		if outClose != nil {
+			if cerr := outClose.Close(); cerr != nil {
+				log.Printf("closing output: %v", cerr)
 			}
 		}
 		log.Fatalf(format, args...)

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/lbl-repro/meraligner/internal/buildinfo"
 	"github.com/lbl-repro/meraligner/internal/expt"
 )
 
@@ -30,7 +31,7 @@ func main() {
 	log.SetPrefix("merbench: ")
 
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig1, fig7-fig11, table1, table2, serve) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (fig1, fig7-fig11, table1, table2, serve, service) or 'all'")
 		quick      = flag.Bool("quick", false, "smoke-test workload sizes")
 		coreScale  = flag.Int("core-scale", 0, "divide the paper's core counts by this (0 = default 16)")
 		workers    = flag.Int("workers", 0, "host worker goroutines (0 = NumCPU)")
@@ -39,7 +40,13 @@ func main() {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		outPath    = flag.String("o", "", "also write the reports to this file")
 	)
+	bi := buildinfo.Register(flag.CommandLine)
 	flag.Parse()
+	stopProfile, err := bi.Apply("merbench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfile()
 
 	if *list {
 		for _, e := range expt.Experiments {

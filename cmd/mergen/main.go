@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"github.com/lbl-repro/meraligner/internal/buildinfo"
 	"github.com/lbl-repro/meraligner/internal/genome"
 	"github.com/lbl-repro/meraligner/internal/seqio"
 )
@@ -35,7 +36,13 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		outPrefix = flag.String("out-prefix", "workload", "output prefix: <p>.contigs.fa, <p>.reads.fq, <p>.genome.fa")
 	)
+	bi := buildinfo.Register(flag.CommandLine)
 	flag.Parse()
+	stopProfile, err := bi.Apply("mergen")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfile()
 
 	var p genome.Profile
 	switch *profile {

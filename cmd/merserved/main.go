@@ -1,0 +1,150 @@
+// Command merserved serves merAligner over HTTP: it builds the seed index
+// over the target contigs exactly once, keeps it resident, and answers
+// alignment requests forever — coalescing concurrent small requests into
+// shared engine calls with a dynamic micro-batcher (see internal/service).
+//
+// Usage:
+//
+//	merserved -targets contigs.fa [-k 51] [-threads N] [-addr :8490]
+//	          [-max-batch 256] [-max-wait 2ms] [-queue 1024]
+//	          [-max-hits 1000] [-min-score 0] [-no-exact] [-v]
+//
+// Endpoints: POST /v1/align (JSON or FASTQ in; JSON, or SAM with
+// Accept: text/x-sam, out), POST /v1/align/stream (NDJSON/SAM chunks),
+// GET /v1/stats, /healthz, /metrics. Responses honor Accept-Encoding:
+// gzip. SIGINT/SIGTERM drain gracefully: health flips to 503, queued
+// requests finish, then the listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/internal/buildinfo"
+	"github.com/lbl-repro/meraligner/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("merserved: ")
+
+	var (
+		targetsPath = flag.String("targets", "", "FASTA file of target sequences (contigs)")
+		k           = flag.Int("k", 51, "seed length (1-64)")
+		threads     = flag.Int("threads", runtime.NumCPU(), "worker threads (index build and engine pool)")
+		addr        = flag.String("addr", ":8490", "listen address (use :0 for a random port)")
+		maxBatch    = flag.Int("max-batch", 256, "max reads per coalesced engine call")
+		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "max wait behind a busy engine before an overlapping engine call (negative disables window-holding)")
+		queueReads  = flag.Int("queue", 0, "admission bound on queued reads (0 = 4*max-batch)")
+		maxHits     = flag.Int("max-hits", 1000, "max alignments per seed (0 = unlimited, §IV-C)")
+		minScore    = flag.Int("min-score", 0, "minimum alignment score (0 = seed length)")
+		noExact     = flag.Bool("no-exact", false, "disable the exact-match optimization (§IV-A)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM")
+		verbose     = flag.Bool("v", false, "log per-request summaries")
+	)
+	bi := buildinfo.Register(flag.CommandLine)
+	flag.Parse()
+	stopProfile, err := bi.Apply("merserved")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfile()
+
+	if *targetsPath == "" {
+		fmt.Fprintln(os.Stderr, "need -targets")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	iopt := meraligner.DefaultIndexOptions(*k)
+	iopt.ExactMatch = !*noExact
+	qopt := meraligner.DefaultQueryOptions()
+	qopt.MaxSeedHits = *maxHits
+	qopt.MinScore = *minScore
+
+	buildStart := time.Now()
+	al, err := meraligner.BuildFiles(*threads, iopt, *targetsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := al.IndexStats()
+	log.Printf("index built in %.3fs: %d targets, %d distinct seeds, %d locations, ~%d MiB resident",
+		time.Since(buildStart).Seconds(), len(al.Targets()), st.DistinctSeeds, st.TotalLocs, al.ResidentBytes()>>20)
+
+	srv, err := service.New(service.Config{
+		Aligner:    al,
+		Query:      qopt,
+		MaxBatch:   *maxBatch,
+		MaxWait:    *maxWait,
+		QueueReads: *queueReads,
+		Workers:    *threads,
+		Version:    buildinfo.Version,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+
+	var handler http.Handler = srv
+	if *verbose {
+		handler = logRequests(srv)
+	}
+	hs := &http.Server{Handler: handler}
+
+	// Graceful drain: stop admission, flush the batcher, then close the
+	// listener so in-flight responses finish writing.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Restore default signal handling: a second SIGINT/SIGTERM during the
+	// drain kills the process instead of being swallowed.
+	stopSignals()
+	log.Printf("signal received, draining (deadline %s)", *drainWait)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	clean := true
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v (in-flight work aborted)", err)
+		clean = false
+	}
+	if err := hs.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+		clean = false
+	}
+	if !clean {
+		stopProfile()
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}
+
+// logRequests is a minimal access log for -v.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %.1fms", r.Method, r.URL.Path, float64(time.Since(start).Microseconds())/1e3)
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"github.com/lbl-repro/meraligner/internal/buildinfo"
 	"github.com/lbl-repro/meraligner/internal/seqio"
 )
 
@@ -28,7 +29,13 @@ func main() {
 		info    = flag.Bool("info", false, "print SeqDB metadata")
 		chunk   = flag.Int("chunk", 4096, "records per chunk when writing SeqDB")
 	)
+	bi := buildinfo.Register(flag.CommandLine)
 	flag.Parse()
+	stopProfile, err := bi.Apply("seqdb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfile()
 	args := flag.Args()
 
 	switch {

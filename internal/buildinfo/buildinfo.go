@@ -1,0 +1,91 @@
+// Package buildinfo carries the ldflags-injected version string and the
+// -version / -cpuprofile flag plumbing shared by every command:
+//
+//	bi := buildinfo.Register(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := bi.Apply("meraligner")   // prints and exits on -version
+//	if err != nil { log.Fatal(err) }
+//	defer stop()                          // flushes the CPU profile
+//
+// Release builds inject the version with:
+//
+//	go build -ldflags "-X github.com/lbl-repro/meraligner/internal/buildinfo.Version=v1.2.3" ./cmd/...
+package buildinfo
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+)
+
+// Version is "dev" unless overridden at link time (see the package doc).
+var Version = "dev"
+
+// String renders the full version line: the injected version, the VCS
+// revision when the binary was built from a checkout, and the toolchain.
+func String() string {
+	rev := ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var hash, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				hash = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if hash != "" {
+			if len(hash) > 12 {
+				hash = hash[:12]
+			}
+			rev = fmt.Sprintf(" (%s%s)", hash, dirty)
+		}
+	}
+	return fmt.Sprintf("%s%s %s %s/%s", Version, rev, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// Flags holds the registered flag values until Apply.
+type Flags struct {
+	version    bool
+	cpuProfile string
+}
+
+// Register adds -version and -cpuprofile to fs. Call before fs is parsed.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.version, "version", false, "print version and exit")
+	fs.StringVar(&f.cpuProfile, "cpuprofile", "", "write a CPU profile to this file (flushed on clean exit)")
+	return f
+}
+
+// Apply acts on the parsed flags: -version prints one line and exits 0;
+// -cpuprofile starts profiling and the returned stop function flushes it.
+// stop is never nil.
+func (f *Flags) Apply(name string) (stop func(), err error) {
+	if f.version {
+		fmt.Printf("%s %s\n", name, String())
+		os.Exit(0)
+	}
+	stop = func() {}
+	if f.cpuProfile != "" {
+		out, err := os.Create(f.cpuProfile)
+		if err != nil {
+			return stop, fmt.Errorf("creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(out); err != nil {
+			out.Close()
+			return stop, fmt.Errorf("starting CPU profile: %w", err)
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			out.Close()
+		}
+	}
+	return stop, nil
+}

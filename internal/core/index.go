@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/lbl-repro/meraligner/internal/dht"
+	"github.com/lbl-repro/meraligner/internal/dna"
 	"github.com/lbl-repro/meraligner/internal/kmer"
 	"github.com/lbl-repro/meraligner/internal/seqio"
 	"github.com/lbl-repro/meraligner/internal/upc"
@@ -199,6 +201,12 @@ func (ix *ThreadedIndex) Query(ctx context.Context, workers int, opt QueryOption
 	rec := &realPhases{}
 	res := &Results{TotalReads: len(queries)}
 
+	var perQuery []QueryStat
+	if opt.CollectPerQuery {
+		// Indexed by query: each query is processed exactly once, so the
+		// slots are written without contention.
+		perQuery = make([]QueryStat, len(queries))
+	}
 	perThread := make([]threadStats, workers)
 	rec.run(PhaseAlign, threads, func() {
 		qps := make([]*queryProcessor, workers)
@@ -211,7 +219,11 @@ func (ix *ThreadedIndex) Query(ctx context.Context, workers int, opt QueryOption
 				st.alignments = []Alignment{}
 			}
 			for qi := lo; qi < hi; qi++ {
-				qps[w].process(threads[w], st, int32(qi), queries[qi].Seq)
+				if perQuery == nil {
+					qps[w].process(threads[w], st, int32(qi), queries[qi].Seq)
+					continue
+				}
+				processStat(qps[w], threads[w], st, int32(qi), queries[qi].Seq, ix.opt.K, &perQuery[qi])
 			}
 		})
 	})
@@ -223,5 +235,81 @@ func (ix *ThreadedIndex) Query(ctx context.Context, workers int, opt QueryOption
 	res.Phases = rec.phases
 	res.SeedLookups = rec.total.SeedLookups
 	res.IndexStats = ix.stats
+	res.PerQuery = perQuery
+	return res, nil
+}
+
+// processStat runs process for one query and fills its QueryStat from the
+// deltas of the thread's accumulating counters.
+func processStat(qp *queryProcessor, th *upc.Thread, st *threadStats, qi int32, q dna.Packed, k int, out *QueryStat) {
+	swc, aln, exa := st.swCalls, st.totalAlignments, st.exact
+	slk := th.Counters.SeedLookups
+	start := time.Now()
+	qp.process(th, st, qi, q)
+	out.Nanos = time.Since(start).Nanoseconds()
+	out.SWCalls = int32(st.swCalls - swc)
+	out.SeedLookups = int32(th.Counters.SeedLookups - slk)
+	out.Alignments = int32(st.totalAlignments - aln)
+	out.Exact = st.exact > exa
+	if q.Len() < k {
+		out.Status = QueryTooShort
+	}
+}
+
+// QuerySerial is the low-latency path for tiny batches: it aligns queries
+// on the calling goroutine with one reusable processor — no worker pool, no
+// chunk scheduling — checking ctx between queries. A network service
+// answering single-read requests is bound by per-call overhead, not
+// parallel throughput; this path strips the overhead while producing
+// Results identical to Query's on the same input (same algorithm, same
+// canonical merge).
+func (ix *ThreadedIndex) QuerySerial(ctx context.Context, opt QueryOptions, queries []seqio.Seq) (*Results, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ix.opt.checkQueryCompat(opt); err != nil {
+		return nil, err
+	}
+	full := Options{IndexOptions: ix.opt, QueryOptions: opt}
+	costs := upc.Edison(1)
+	costs.PPN = 1
+	th := upc.NewStandaloneThread(costs, 0)
+	rec := &realPhases{}
+	res := &Results{TotalReads: len(queries)}
+
+	var perQuery []QueryStat
+	if opt.CollectPerQuery {
+		perQuery = make([]QueryStat, len(queries))
+	}
+	perThread := make([]threadStats, 1)
+	rec.run(PhaseAlign, []*upc.Thread{th}, func() {
+		qp := newQueryProcessor(costs, full, threadedAccess{sx: ix.sx}, ix.ft)
+		st := &perThread[0]
+		if opt.CollectAlignments {
+			st.alignments = []Alignment{}
+		}
+		done := ctx.Done()
+		for qi := range queries {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if perQuery == nil {
+				qp.process(th, st, int32(qi), queries[qi].Seq)
+				continue
+			}
+			processStat(qp, th, st, int32(qi), queries[qi].Seq, ix.opt.K, &perQuery[qi])
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	mergeThreadStats(res, perThread, opt.CollectAlignments)
+	res.Phases = rec.phases
+	res.SeedLookups = rec.total.SeedLookups
+	res.IndexStats = ix.stats
+	res.PerQuery = perQuery
 	return res, nil
 }

@@ -190,6 +190,7 @@ type threadStats struct {
 	totalAlignments int64
 	swCalls         int64
 	alignments      []Alignment
+	tooShort        []int32 // query indices shorter than K
 }
 
 // mergeThreadStats folds per-thread aligning-phase results into res and, when
@@ -206,7 +207,10 @@ func mergeThreadStats(res *Results, perThread []threadStats, collected bool) {
 		if st.alignments != nil {
 			res.Alignments = append(res.Alignments, st.alignments...)
 		}
+		res.TooShort = append(res.TooShort, st.tooShort...)
 	}
+	res.TooShortReads = len(res.TooShort)
+	sort.Slice(res.TooShort, func(i, j int) bool { return res.TooShort[i] < res.TooShort[j] })
 	if collected {
 		sortAlignments(res.Alignments)
 	}

@@ -71,6 +71,11 @@ func (qp *queryProcessor) process(th *upc.Thread, st *threadStats, qi int32, q d
 	opt := &qp.opt
 	L := q.Len()
 	if L < opt.K {
+		// No complete seed fits: the read cannot be aligned. Record the
+		// typed status instead of silently dropping it, so callers (the
+		// service layer in particular) can distinguish "bad input" from
+		// "aligned nowhere".
+		st.tooShort = append(st.tooShort, qi)
 		return
 	}
 	mach := &qp.costs

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Slice returns the results of queries [lo, hi) of this batch as a
+// standalone Results with query indices rebased to start at zero — the
+// demux primitive for coalesced service batches: a micro-batcher that glued
+// several requests' reads into one engine call hands each request back its
+// own window, indistinguishable from a direct Align over just those reads.
+//
+// Per-query fields (Alignments, TooShort, PerQuery) are narrowed and
+// re-indexed; per-query counters (AlignedReads, ExactPathReads,
+// TotalAlignments) are recomputed from the window. SWCalls and SeedLookups
+// are recovered from PerQuery when it was collected and are zero otherwise
+// (the engine only tracks them per call). Call-level snapshots — Phases,
+// cache counters, IndexStats, the communication split — describe the whole
+// engine call the window was part of and are carried through as-is.
+//
+// Slice requires the batch to have been run with CollectAlignments (the
+// alignment records are the only per-query source of the counters); it
+// relies on Results.Alignments being in the canonical sorted order every
+// engine produces.
+func (r *Results) Slice(lo, hi int) *Results {
+	if lo < 0 || hi < lo || hi > r.TotalReads {
+		panic(fmt.Sprintf("core: Slice [%d,%d) out of range of %d reads", lo, hi, r.TotalReads))
+	}
+	out := &Results{
+		Phases:             r.Phases,
+		TotalReads:         hi - lo,
+		SeedCache:          r.SeedCache,
+		TargetCache:        r.TargetCache,
+		IndexStats:         r.IndexStats,
+		CommSeedLookupMax:  r.CommSeedLookupMax,
+		CommFetchTargetMax: r.CommFetchTargetMax,
+	}
+
+	a := r.Alignments
+	i := sort.Search(len(a), func(i int) bool { return a[i].Query >= int32(lo) })
+	j := sort.Search(len(a), func(i int) bool { return a[i].Query >= int32(hi) })
+	if j > i {
+		out.Alignments = make([]Alignment, j-i)
+		copy(out.Alignments, a[i:j])
+	}
+	out.TotalAlignments = int64(j - i)
+	lastQ := int32(-1)
+	for k := range out.Alignments {
+		al := &out.Alignments[k]
+		al.Query -= int32(lo)
+		if al.Query != lastQ {
+			out.AlignedReads++
+			lastQ = al.Query
+		}
+		if al.Exact {
+			// The fast path reports exactly one alignment per resolved read.
+			out.ExactPathReads++
+		}
+	}
+
+	for _, qi := range r.TooShort {
+		if qi >= int32(lo) && qi < int32(hi) {
+			out.TooShort = append(out.TooShort, qi-int32(lo))
+		}
+	}
+	out.TooShortReads = len(out.TooShort)
+
+	if r.PerQuery != nil {
+		out.PerQuery = make([]QueryStat, hi-lo)
+		copy(out.PerQuery, r.PerQuery[lo:hi])
+		for _, s := range out.PerQuery {
+			out.SWCalls += int64(s.SWCalls)
+			out.SeedLookups += int64(s.SeedLookups)
+		}
+	}
+	return out
+}

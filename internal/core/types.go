@@ -84,6 +84,13 @@ type QueryOptions struct {
 	// Disable for large simulated runs where only statistics matter.
 	CollectAlignments bool
 
+	// CollectPerQuery retains one QueryStat per query in Results.PerQuery
+	// (status, alignment count, Smith-Waterman calls, wall nanoseconds) —
+	// the per-read latency source behind a service's p50/p99 reporting.
+	// Honored by the threaded engine (Query/QuerySerial); the simulated
+	// engine ignores it, since its per-query time is virtual.
+	CollectPerQuery bool
+
 	// Extend replaces the seed-extension engine (§VIII: "the Striped
 	// Smith-Waterman local alignment engine could easily be replaced with
 	// any other local alignment software tool"). nil uses the built-in
@@ -208,6 +215,43 @@ func (o Options) stride() int {
 	return o.SeedStride
 }
 
+// QueryStatus classifies how the aligning phase admitted one query.
+type QueryStatus uint8
+
+const (
+	// QueryOK: the query entered the aligning phase normally (it may still
+	// have found no alignment — that is "unmapped", not a status).
+	QueryOK QueryStatus = iota
+
+	// QueryTooShort marks a read shorter than the seed length K: it carries
+	// no complete seed, so the engine cannot align it at all. Callers
+	// serving untrusted input (the network service) map this to a client
+	// error instead of conflating it with "aligned nowhere".
+	QueryTooShort
+)
+
+// String returns the lowercase wire name of the status.
+func (s QueryStatus) String() string {
+	switch s {
+	case QueryOK:
+		return "ok"
+	case QueryTooShort:
+		return "too_short"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// QueryStat is one query's aligning-phase account, collected when
+// QueryOptions.CollectPerQuery is set on a threaded-engine call.
+type QueryStat struct {
+	Status      QueryStatus
+	Alignments  int32 // reported alignments for this query
+	Exact       bool  // resolved entirely by the exact-match fast path
+	SWCalls     int32 // Smith-Waterman invocations
+	SeedLookups int32 // seed-index lookups
+	Nanos       int64 // wall nanoseconds spent aligning this query
+}
+
 // Alignment is one reported query-to-target local alignment.
 type Alignment struct {
 	Query  int32 // query index
@@ -231,9 +275,19 @@ type Results struct {
 	TotalReads      int
 	AlignedReads    int // reads with >= 1 reported alignment
 	ExactPathReads  int // reads resolved entirely by the fast path
+	TooShortReads   int // reads shorter than K (no complete seed; not aligned)
 	TotalAlignments int64
 	SWCalls         int64
 	SeedLookups     int64
+
+	// TooShort lists the query indices (sorted) of reads shorter than the
+	// seed length K. Such reads cannot be aligned; they are reported here —
+	// and as QueryTooShort in PerQuery — instead of being silently dropped.
+	TooShort []int32
+
+	// PerQuery holds one stat record per query, indexed by query, when
+	// QueryOptions.CollectPerQuery was set on a threaded-engine call.
+	PerQuery []QueryStat
 
 	SeedCache   cache.CounterSnapshot
 	TargetCache cache.CounterSnapshot

@@ -17,6 +17,7 @@ var Experiments = []struct {
 	{"table2", Table2, "end-to-end comparison vs pMap+BWA-mem/Bowtie2"},
 	{"fig11", Fig11, "single-node real-parallelism comparison on E. coli"},
 	{"serve", Serve, "build-once/serve-many vs rebuild-per-batch (post-paper)"},
+	{"service", Service, "merserved micro-batching: coalesced vs per-request serving (post-paper)"},
 }
 
 // Run executes the experiment with the given id.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"compress/gzip"
 	"io"
+	"strings"
 )
 
 // MaybeDecompress sniffs r for the gzip magic bytes and returns a buffered
@@ -27,4 +28,22 @@ func MaybeDecompress(r io.Reader) (*bufio.Reader, bool, error) {
 		return nil, false, err
 	}
 	return bufio.NewReader(zr), true, nil
+}
+
+// nopWriteCloser adapts a plain writer to MaybeCompress's interface.
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+// MaybeCompress is the write-side counterpart of MaybeDecompress's
+// magic-byte sniffing: when path carries the .gz suffix the returned writer
+// gzip-compresses into w, otherwise it passes through. The caller must
+// Close the returned writer before closing w — for the gzip case that
+// flush writes the stream trailer; for the pass-through case Close is a
+// no-op, so the underlying file is never double-closed.
+func MaybeCompress(path string, w io.Writer) (io.WriteCloser, bool) {
+	if strings.HasSuffix(strings.ToLower(path), ".gz") {
+		return gzip.NewWriter(w), true
+	}
+	return nopWriteCloser{w}, false
 }

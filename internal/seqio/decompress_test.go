@@ -61,3 +61,47 @@ func TestMaybeDecompress(t *testing.T) {
 		t.Fatalf("gzipped FASTA parse: %v %v", seqs, err)
 	}
 }
+
+func TestMaybeCompressRoundTrip(t *testing.T) {
+	// .gz path: output must decompress back through MaybeDecompress.
+	var buf bytes.Buffer
+	wc, compressed := MaybeCompress("out.sam.gz", &buf)
+	if !compressed {
+		t.Fatal("MaybeCompress(.gz) did not compress")
+	}
+	if _, err := io.WriteString(wc, "@HD\tVN:1.6\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, wasGzip, err := MaybeDecompress(bytes.NewReader(buf.Bytes()))
+	if err != nil || !wasGzip {
+		t.Fatalf("round-trip sniff failed: gzip=%v err=%v", wasGzip, err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "@HD\tVN:1.6\n" {
+		t.Fatalf("round-trip content %q err=%v", got, err)
+	}
+
+	// Plain path: pass-through, and Close must not touch the underlying
+	// writer.
+	var plain bytes.Buffer
+	wc, compressed = MaybeCompress("out.sam", &plain)
+	if compressed {
+		t.Fatal("MaybeCompress(plain) compressed")
+	}
+	io.WriteString(wc, "x")
+	if err := wc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != "x" {
+		t.Fatalf("pass-through wrote %q", plain.String())
+	}
+
+	// Suffix matching is case-insensitive, as the read side's sniffing is
+	// content-based and never cares about case either.
+	if _, compressed = MaybeCompress("OUT.SAM.GZ", io.Discard); !compressed {
+		t.Fatal("MaybeCompress(.GZ) did not compress")
+	}
+}

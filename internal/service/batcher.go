@@ -1,0 +1,388 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	meraligner "github.com/lbl-repro/meraligner"
+)
+
+// The dynamic micro-batcher: the core of merserved. Single-read and
+// small-batch requests are queued and coalesced into shared engine calls;
+// every member request then demuxes its own window of the shared Results.
+// This is the MICA/SNAP serving shape over the paper's resident index:
+// per-call engine overhead (pool spawn, phase accounting, stats merge) is
+// paid once per coalesced call instead of once per request, so single-read
+// throughput tracks the batch path's.
+//
+// Batching is continuous, not clocked: when the engine is idle, the next
+// queued request dispatches immediately (an idle engine is never held
+// hostage to a timer), and while an engine call is in flight new arrivals
+// accumulate — the following call takes them all, up to maxBatch reads.
+// Under concurrent load batches grow to the arrival rate with no tuning.
+// The two knobs bound the trade: maxBatch caps reads per engine call, and
+// maxWait caps how long a queued request may wait for a busy engine before
+// an overlapping call is dispatched anyway (so one slow mega-batch cannot
+// stall the queue).
+//
+// Admission control is a bound on queued reads: a submit that would push
+// the queue past capacity is rejected immediately (the handler turns that
+// into 429 + Retry-After), so latency stays bounded instead of the queue
+// growing without limit under overload.
+
+// Sentinel errors the handlers translate to HTTP statuses.
+var (
+	ErrOverloaded = errors.New("service: admission queue full")
+	ErrDraining   = errors.New("service: draining")
+)
+
+// alignFunc runs one coalesced engine call.
+type alignFunc func(ctx context.Context, reads []meraligner.Seq) (*meraligner.Results, error)
+
+// window is one request's view of a coalesced engine call: the shared
+// Results and read slice of the whole call, plus this request's query
+// range. Slice() rebases the range into a standalone per-request Results;
+// SAM rendering streams the range straight from the shared Results via
+// SAMStream.WriteRange.
+type window struct {
+	res   *meraligner.Results
+	reads []meraligner.Seq
+	lo    int
+	hi    int
+}
+
+// slice returns the request's own Results, rebased to its reads.
+func (w *window) slice() *meraligner.Results { return w.res.Slice(w.lo, w.hi) }
+
+// pending is one queued request.
+type pending struct {
+	ctx   context.Context
+	reads []meraligner.Seq
+	win   *window
+	err   error
+	done  chan struct{}
+}
+
+// batcherStats are the micro-batcher's observation hooks (filled by the
+// server's stats collector).
+type batcherStats interface {
+	observeBatch(requests, reads int)
+	observeCanceled()
+}
+
+type batcher struct {
+	align    alignFunc
+	maxBatch int
+	maxWait  time.Duration
+	capacity int // admission bound on queued reads
+	base     context.Context
+	st       batcherStats
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast on queue/inflight transitions
+	queue    []*pending
+	queued   int // reads queued
+	inflight int // engine calls running
+	closed   bool
+
+	wake    chan struct{} // 1-buffered dispatcher kick
+	stopped chan struct{} // dispatcher exited
+}
+
+func newBatcher(base context.Context, align alignFunc, maxBatch int, maxWait time.Duration, capacity int, st batcherStats) *batcher {
+	b := &batcher{
+		align:    align,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		capacity: capacity,
+		base:     base,
+		st:       st,
+		wake:     make(chan struct{}, 1),
+		stopped:  make(chan struct{}),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	go b.run()
+	return b
+}
+
+// queuedReads reports the reads currently waiting (for stats).
+func (b *batcher) queuedReads() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.queued
+}
+
+// isClosed reports whether drain has started.
+func (b *batcher) isClosed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// inflightCalls reports engine calls currently running (for tests/stats).
+func (b *batcher) inflightCalls() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inflight
+}
+
+// enterDirect/exitDirect bracket an engine call the batcher did not
+// dispatch (the big-request direct path): the shared inflight count keeps
+// window-holding honest — queued small requests coalesce behind a big
+// direct call instead of dispatching into an already-saturated engine —
+// and makes drain wait for direct calls too.
+func (b *batcher) enterDirect() {
+	b.mu.Lock()
+	b.inflight++
+	b.mu.Unlock()
+}
+
+func (b *batcher) exitDirect() {
+	b.mu.Lock()
+	b.inflight--
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	b.kick() // the engine may be idle now: let a held window dispatch
+}
+
+// submit enqueues one request's reads and blocks until its batch completes
+// or ctx is done. On success the returned window gives the request its
+// share of the coalesced call.
+func (b *batcher) submit(ctx context.Context, reads []meraligner.Seq) (*window, error) {
+	p := &pending{ctx: ctx, reads: reads, done: make(chan struct{})}
+	b.mu.Lock()
+	switch {
+	case b.closed:
+		b.mu.Unlock()
+		return nil, ErrDraining
+	case b.queued+len(reads) > b.capacity:
+		b.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	b.queue = append(b.queue, p)
+	b.queued += len(reads)
+	b.mu.Unlock()
+	b.kick()
+
+	select {
+	case <-p.done:
+		return p.win, p.err
+	case <-ctx.Done():
+		// The dispatcher observes the dead ctx at take or demux time and
+		// discards this request's share; batchmates are unaffected.
+		return nil, ctx.Err()
+	}
+}
+
+// kick nudges the dispatcher without blocking; coalesced signals are fine —
+// the dispatcher always rechecks the queue.
+func (b *batcher) kick() {
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+}
+
+// closeNow stops admission without waiting: the dispatcher flushes any
+// remaining queue (against a presumably-canceled base context) and exits.
+// Hard-stop companion of drain; safe to call more than once.
+func (b *batcher) closeNow() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.kick()
+}
+
+// drain stops admission and flushes: queued requests still execute (in
+// final batches), in-flight calls finish. It returns when the batcher is
+// empty or ctx expires — on expiry the base context should be canceled by
+// the caller to abort in-flight engine calls.
+func (b *batcher) drain(ctx context.Context) error {
+	b.closeNow()
+
+	idle := make(chan struct{})
+	go func() {
+		b.mu.Lock()
+		for len(b.queue) > 0 || b.inflight > 0 {
+			b.cond.Wait()
+		}
+		b.mu.Unlock()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		<-b.stopped
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run is the dispatcher: one goroutine owning batch formation. Executions
+// are spawned asynchronously so arrivals keep accumulating while an engine
+// call is in flight — the source of the coalescing.
+func (b *batcher) run() {
+	defer close(b.stopped)
+	for {
+		if !b.waitForWork() {
+			return
+		}
+		b.waitWindow()
+		batch, reads := b.take()
+		if len(batch) > 0 {
+			go b.execute(batch, reads)
+		}
+	}
+}
+
+// waitForWork blocks until the queue is nonempty; false means closed with
+// an empty queue (time to exit).
+func (b *batcher) waitForWork() bool {
+	for {
+		b.mu.Lock()
+		n, closed := len(b.queue), b.closed
+		b.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+		if closed {
+			return false
+		}
+		<-b.wake
+	}
+}
+
+// waitWindow holds the queue open for coalescing while the engine is busy:
+// it returns as soon as the engine is idle (an overlapping call may start
+// immediately), when maxBatch reads are queued, when maxWait has elapsed
+// since the window opened (bounding the wait behind one slow call), or
+// when the batcher is draining (drain flushes immediately).
+func (b *batcher) waitWindow() {
+	if b.maxWait <= 0 {
+		return
+	}
+	timer := time.NewTimer(b.maxWait)
+	defer timer.Stop()
+	for {
+		b.mu.Lock()
+		ready := b.queued >= b.maxBatch || b.closed || b.inflight == 0
+		b.mu.Unlock()
+		if ready {
+			return
+		}
+		select {
+		case <-timer.C:
+			return
+		case <-b.wake:
+		}
+	}
+}
+
+// take pops the next coalesced batch: pendings in arrival order up to
+// maxBatch reads (a lone oversized request still goes through whole).
+// Requests whose context died while queued are completed with their
+// context's error and never reach the engine.
+func (b *batcher) take() ([]*pending, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var batch []*pending
+	reads := 0
+	for len(b.queue) > 0 {
+		p := b.queue[0]
+		if err := p.ctx.Err(); err != nil {
+			b.pop()
+			p.err = err
+			close(p.done)
+			if b.st != nil {
+				b.st.observeCanceled()
+			}
+			continue
+		}
+		if reads > 0 && reads+len(p.reads) > b.maxBatch {
+			break
+		}
+		b.pop()
+		batch = append(batch, p)
+		reads += len(p.reads)
+	}
+	if len(batch) > 0 {
+		b.inflight++
+	}
+	b.cond.Broadcast()
+	return batch, reads
+}
+
+// pop removes the queue head (caller holds mu).
+func (b *batcher) pop() {
+	p := b.queue[0]
+	b.queue[0] = nil
+	b.queue = b.queue[1:]
+	b.queued -= len(p.reads)
+}
+
+// execute runs one coalesced engine call and demuxes the shared Results to
+// every member. A member whose client disconnected mid-flight gets its
+// context error (its share is discarded); the others are untouched.
+func (b *batcher) execute(batch []*pending, reads int) {
+	all := make([]meraligner.Seq, 0, reads)
+	for _, p := range batch {
+		all = append(all, p.reads...)
+	}
+	ctx, cancel := groupContext(b.base, batch)
+	res, err := b.align(ctx, all)
+	cancel()
+	if err == nil && b.st != nil {
+		// Only completed calls count, matching the direct path — failed or
+		// fully-canceled batches served nothing.
+		b.st.observeBatch(len(batch), reads)
+	}
+
+	lo := 0
+	for _, p := range batch {
+		hi := lo + len(p.reads)
+		switch {
+		case err != nil:
+			p.err = err
+		case p.ctx.Err() != nil:
+			p.err = p.ctx.Err()
+			if b.st != nil {
+				b.st.observeCanceled()
+			}
+		default:
+			p.win = &window{res: res, reads: all, lo: lo, hi: hi}
+		}
+		close(p.done)
+		lo = hi
+	}
+
+	b.mu.Lock()
+	b.inflight--
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	b.kick() // the engine may be idle now: let a held window dispatch
+}
+
+// groupContext derives the engine context of one coalesced call: it dies
+// when the server's base context does, or when every member request's own
+// context is done — one surviving client keeps the batch alive; a lone
+// disconnect never kills its batchmates' work.
+func groupContext(base context.Context, batch []*pending) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(base)
+	var left atomic.Int32
+	left.Store(int32(len(batch)))
+	for _, p := range batch {
+		go func(done <-chan struct{}) {
+			select {
+			case <-done:
+				if left.Add(-1) == 0 {
+					cancel()
+				}
+			case <-ctx.Done():
+			}
+		}(p.ctx.Done())
+	}
+	return ctx, cancel
+}

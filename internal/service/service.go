@@ -1,0 +1,626 @@
+// Package service implements merserved: an HTTP/JSON alignment service
+// over one resident Aligner. The seed index is built exactly once (by the
+// caller, via meraligner.Build); the service then serves alignment traffic
+// against it forever — the network face of the paper's build-once/
+// serve-many design, shaped like the SNAP/MICA servers the ROADMAP points
+// at: many small requests funneled onto one resident many-core engine.
+//
+// Endpoints:
+//
+//	POST /v1/align        one batch in (JSON or FASTQ), results out
+//	                      (JSON, or SAM with Accept: text/x-sam)
+//	POST /v1/align/stream chunked results as they are computed
+//	                      (NDJSON, or SAM with Accept: text/x-sam)
+//	GET  /v1/stats        live counters, batcher observations, latency
+//	GET  /healthz         200 while serving, 503 while draining
+//	GET  /metrics         Prometheus text exposition
+//
+// Small requests are coalesced by the dynamic micro-batcher (batcher.go);
+// requests of MaxBatch reads or more skip the queue and run directly with
+// the request's own context. Responses are byte-identical to a local Align
+// call over the same reads. Accept-Encoding: gzip is honored on every
+// response body.
+package service
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/client"
+	"github.com/lbl-repro/meraligner/internal/dna"
+	"github.com/lbl-repro/meraligner/internal/seqio"
+)
+
+// Config shapes one Server. Aligner is required; everything else defaults.
+type Config struct {
+	Aligner *meraligner.Aligner
+	Query   meraligner.QueryOptions // CollectAlignments/CollectPerQuery are forced on
+
+	// Micro-batcher knobs: the latency/throughput trade. Batching is
+	// continuous — an idle engine dispatches immediately, and arrivals
+	// coalesce while a call is in flight. MaxBatch caps reads per engine
+	// call; MaxWait caps how long a queued request waits behind a busy
+	// engine before an overlapping call dispatches anyway (zero means the
+	// 2ms default; negative disables window-holding). MaxBatch 1 is the
+	// no-coalescing ablation (one engine call per request) the service
+	// benchmark measures against.
+	MaxBatch int           // default 256
+	MaxWait  time.Duration // default 2ms; < 0 disables window-holding
+
+	// Admission control: reads allowed in the queue before new requests
+	// are rejected with 429. Default 4*MaxBatch.
+	QueueReads int
+
+	// Workers is the engine pool size of coalesced calls (default: the
+	// Aligner's build-time thread count, via AlignWorkers 0 = Build's).
+	Workers int
+
+	// RetryAfter is the backoff hint sent with 429s. Default 500ms.
+	RetryAfter time.Duration
+
+	// MaxRequestBytes bounds a request body. Default 64 MiB.
+	MaxRequestBytes int64
+
+	// Version is reported in /v1/stats (ldflags-injected by cmd/merserved).
+	Version string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	switch {
+	case c.MaxWait == 0:
+		c.MaxWait = 2 * time.Millisecond
+	case c.MaxWait < 0:
+		c.MaxWait = 0 // explicit opt-out of window-holding
+	}
+	if c.QueueReads <= 0 {
+		c.QueueReads = 4 * c.MaxBatch
+	}
+	if c.QueueReads < c.MaxBatch {
+		// A queue smaller than MaxBatch would permanently 429 requests
+		// sized between the two (too big to ever queue, too small for the
+		// direct path) even on an idle server.
+		c.QueueReads = c.MaxBatch
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 500 * time.Millisecond
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the HTTP handler. Create with New, serve with net/http, stop
+// with Drain (graceful) and Close (hard).
+type Server struct {
+	cfg     Config
+	al      *meraligner.Aligner
+	qopt    meraligner.QueryOptions
+	k       int
+	targets []meraligner.Seq
+	mux     *http.ServeMux
+	bat     *batcher
+	st      *serverStats
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+}
+
+// New builds a Server over cfg.Aligner. The index must already be built;
+// New does no heavy work.
+func New(cfg Config) (*Server, error) {
+	if cfg.Aligner == nil {
+		return nil, errors.New("service: Config.Aligner is required")
+	}
+	cfg = cfg.withDefaults()
+	qopt := cfg.Query
+	qopt.CollectAlignments = true // responses need the records
+	qopt.CollectPerQuery = true   // stats need per-read latency
+	s := &Server{
+		cfg:     cfg,
+		al:      cfg.Aligner,
+		qopt:    qopt,
+		k:       cfg.Aligner.IndexOptions().K,
+		targets: cfg.Aligner.Targets(),
+		st:      newServerStats(),
+	}
+	if s.cfg.Workers <= 0 {
+		s.cfg.Workers = cfg.Aligner.Threads()
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.bat = newBatcher(s.baseCtx, s.alignBatch, cfg.MaxBatch, cfg.MaxWait, cfg.QueueReads, s.st)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/align", s.handleAlign)
+	mux.HandleFunc("POST /v1/align/stream", s.handleAlignStream)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool { return s.bat.isClosed() }
+
+// Drain gracefully stops the service: admission closes (healthz and new
+// align requests answer 503), queued requests still execute, in-flight
+// engine calls finish. When ctx expires first, in-flight work is aborted
+// via the base context and ctx's error is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	if err := s.bat.drain(ctx); err != nil {
+		s.cancel() // abort in-flight engine calls
+		return err
+	}
+	return nil
+}
+
+// Close hard-stops: cancels every in-flight engine call and stops the
+// batcher's dispatcher (queued requests fail fast against the dead base
+// context). Use after a failed Drain or for tests.
+func (s *Server) Close() {
+	s.cancel()
+	s.bat.closeNow()
+}
+
+// alignBatch is the batcher's engine call.
+func (s *Server) alignBatch(ctx context.Context, reads []meraligner.Seq) (*meraligner.Results, error) {
+	res, err := s.al.AlignWorkers(ctx, s.cfg.Workers, reads, s.qopt)
+	if err == nil {
+		s.st.observePerQuery(res.PerQuery)
+	}
+	return res, err
+}
+
+// ---- request parsing ----
+
+// parseReads decodes the request body into native reads: a JSON
+// AlignRequest when the content type says JSON, a FASTQ document otherwise
+// (gzip sniffed transparently, matching the CLI's file handling). Bodies
+// over MaxRequestBytes surface as *http.MaxBytesError (parseStatus maps
+// them to 413).
+func (s *Server) parseReads(w http.ResponseWriter, r *http.Request) ([]meraligner.Seq, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	ct := r.Header.Get("Content-Type")
+	if strings.Contains(ct, "json") {
+		var req client.AlignRequest
+		dec := json.NewDecoder(body)
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("decoding JSON request: %w", err)
+		}
+		reads := make([]meraligner.Seq, len(req.Reads))
+		for i, wr := range req.Reads {
+			seq, err := packWire(wr.Seq)
+			if err != nil {
+				return nil, fmt.Errorf("read %q: %w", wr.Name, err)
+			}
+			reads[i] = meraligner.Seq{Name: wr.Name, Seq: seq, Qual: []byte(wr.Qual)}
+		}
+		return reads, nil
+	}
+	br, wasGzip, err := seqio.MaybeDecompress(body)
+	if err != nil {
+		return nil, fmt.Errorf("decompressing request body: %w", err)
+	}
+	var rd io.Reader = br
+	if wasGzip {
+		// MaxBytesReader bounded only the compressed bytes; cap the
+		// decompressed stream too, or a small gzip bomb expands unbounded.
+		// 8x leaves room for FASTQ's honest ~4x gzip ratio.
+		rd = &capReader{r: br, n: 8 * s.cfg.MaxRequestBytes}
+	}
+	reads, err := seqio.ReadFastq(rd, seqio.ParseOptions{ReplaceN: true})
+	if err != nil {
+		return nil, fmt.Errorf("parsing FASTQ request body: %w", err)
+	}
+	return reads, nil
+}
+
+// errDecompressedTooLarge marks a gzipped body whose expansion exceeded the
+// decompressed-size cap; parseStatus maps it to 413 like its compressed
+// counterpart.
+var errDecompressedTooLarge = errors.New("decompressed request body too large")
+
+// capReader fails (rather than silently truncating) once n bytes have been
+// read — the decompressed-stream counterpart of http.MaxBytesReader.
+type capReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *capReader) Read(p []byte) (int, error) {
+	if c.n <= 0 {
+		return 0, errDecompressedTooLarge
+	}
+	if int64(len(p)) > c.n {
+		p = p[:c.n]
+	}
+	m, err := c.r.Read(p)
+	c.n -= int64(m)
+	return m, err
+}
+
+// parseStatus maps a request-parse failure to its HTTP status: 413 when
+// the body exceeded MaxRequestBytes compressed or its decompressed cap
+// (split the batch and retry), 400 for malformed input (don't retry).
+func parseStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) || errors.Is(err, errDecompressedTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// packWire packs a wire sequence, replacing ambiguous N bases with A (the
+// pipeline's convention for every other input path).
+func packWire(seq string) (dna.Packed, error) {
+	b := []byte(seq)
+	for i, c := range b {
+		if c == 'N' || c == 'n' {
+			b[i] = 'A'
+		}
+	}
+	return dna.PackBytes(b)
+}
+
+// admit validates a parsed batch: non-empty, and every read long enough to
+// carry a seed. Too-short reads are a client error (HTTP 400) carrying the
+// typed per-read detail — the service-side face of the engine's
+// QueryTooShort status (same rule: length < K).
+func (s *Server) admit(reads []meraligner.Seq) *client.ErrorResponse {
+	if len(reads) == 0 {
+		return &client.ErrorResponse{Error: "empty request: no reads"}
+	}
+	var short []string
+	for i := range reads {
+		if reads[i].Seq.Len() < s.k {
+			short = append(short, reads[i].Name)
+		}
+	}
+	if short != nil {
+		s.st.tooShort.Add(int64(len(short)))
+		return &client.ErrorResponse{
+			Error:    fmt.Sprintf("%d read(s) shorter than the seed length K=%d cannot be aligned", len(short), s.k),
+			TooShort: short,
+		}
+	}
+	return nil
+}
+
+// ---- /v1/align ----
+
+func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{Error: "draining"})
+		return
+	}
+	reads, err := s.parseReads(w, r)
+	if err != nil {
+		s.writeError(w, r, parseStatus(err), &client.ErrorResponse{Error: err.Error()})
+		return
+	}
+	if er := s.admit(reads); er != nil {
+		s.writeError(w, r, http.StatusBadRequest, er)
+		return
+	}
+	win, err := s.serve(r.Context(), reads)
+	if err != nil {
+		s.engineError(w, r, err)
+		return
+	}
+
+	if wantsSAM(r) {
+		s.writeSAM(w, r, win)
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, s.buildResponse(win))
+}
+
+// serve is the request-serving core shared by the HTTP handler and
+// AlignBatched: big requests run directly with the caller's context (no
+// coalescing to gain; a disconnect cancels the engine call itself), small
+// requests go through the micro-batcher. Request accounting and latency
+// observation happen here so both faces report identically.
+func (s *Server) serve(ctx context.Context, reads []meraligner.Seq) (*window, error) {
+	start := time.Now()
+	var win *window
+	if len(reads) >= s.cfg.MaxBatch {
+		res, err := s.alignDirect(ctx, reads)
+		if err != nil {
+			return nil, err
+		}
+		win = &window{res: res, reads: reads, lo: 0, hi: len(reads)}
+	} else {
+		var err error
+		if win, err = s.bat.submit(ctx, reads); err != nil {
+			return nil, err
+		}
+	}
+	// Counted only on success: requests/reads are served work, not offered
+	// load (rejections are the separate `rejected` counter).
+	s.st.requests.Add(1)
+	s.st.reads.Add(int64(len(reads)))
+	s.st.reqLatency.observe(time.Since(start).Nanoseconds())
+	return win, nil
+}
+
+// AlignBatched submits one request's reads through the service exactly as
+// POST /v1/align does — micro-batching, admission control, stats — but
+// in-process, with no HTTP in the path. Embedders and the service
+// benchmark use it to measure or reuse the serving core directly. Errors:
+// ErrOverloaded (the 429 case), ErrDraining (the 503 case), or the
+// caller's context error.
+func (s *Server) AlignBatched(ctx context.Context, reads []meraligner.Seq) (*meraligner.Results, error) {
+	if s.Draining() {
+		return nil, ErrDraining
+	}
+	win, err := s.serve(ctx, reads)
+	if err != nil {
+		return nil, err
+	}
+	return win.slice(), nil
+}
+
+// alignDirect runs one uncoalesced engine call and counts it as a batch of
+// one request (so stats stay comparable across paths). It registers with
+// the batcher's inflight count, so queued small requests coalesce behind
+// it and drain waits for it.
+func (s *Server) alignDirect(ctx context.Context, reads []meraligner.Seq) (*meraligner.Results, error) {
+	s.bat.enterDirect()
+	defer s.bat.exitDirect()
+	res, err := s.alignBatch(ctx, reads)
+	if err == nil {
+		s.st.observeBatch(1, len(reads))
+	}
+	return res, err
+}
+
+// engineError maps batcher/engine failures onto HTTP statuses.
+func (s *Server) engineError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.st.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.writeError(w, r, http.StatusTooManyRequests, &client.ErrorResponse{Error: "overloaded: admission queue full"})
+	case errors.Is(err, ErrDraining):
+		s.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{Error: "draining"})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Client is gone; nothing useful to write. net/http drops the
+		// connection. (Counted by the batcher when it noticed first.)
+	default:
+		s.writeError(w, r, http.StatusInternalServerError, &client.ErrorResponse{Error: err.Error()})
+	}
+}
+
+// buildResponse renders a window as the JSON wire response.
+func (s *Server) buildResponse(win *window) *client.AlignResponse {
+	res := win.slice()
+	reads := win.reads[win.lo:win.hi]
+	out := &client.AlignResponse{Reads: make([]client.ReadResult, len(reads))}
+	for i := range reads {
+		out.Reads[i] = client.ReadResult{Name: reads[i].Name, Status: client.StatusUnmapped}
+	}
+	for _, a := range res.Alignments {
+		rr := &out.Reads[a.Query]
+		rr.Status = client.StatusOK
+		strand := "+"
+		if a.RC {
+			strand = "-"
+		}
+		rr.Alignments = append(rr.Alignments, client.Alignment{
+			Target: s.targets[a.Target].Name,
+			Strand: strand,
+			Score:  int(a.Score),
+			QStart: int(a.QStart), QEnd: int(a.QEnd),
+			TStart: int(a.TStart), TEnd: int(a.TEnd),
+			Cigar: a.Cigar,
+			Exact: a.Exact,
+		})
+	}
+	for _, qi := range res.TooShort {
+		out.Reads[qi].Status = client.StatusTooShort
+	}
+	return out
+}
+
+// writeSAM streams a window's records as a SAM document straight from the
+// shared coalesced Results (SAMStream.WriteRange) — no per-request slicing.
+func (s *Server) writeSAM(w http.ResponseWriter, r *http.Request, win *window) {
+	w.Header().Set("Content-Type", "text/x-sam")
+	body, finish := s.maybeGzip(w, r)
+	stream, err := meraligner.NewSAMStream(body, s.targets)
+	if err == nil {
+		err = stream.WriteRange(win.res, win.reads, win.lo, win.hi)
+	}
+	if err == nil {
+		err = stream.Flush()
+	}
+	if err == nil {
+		err = finish()
+	}
+	_ = err // headers are gone; nothing more to report to the client
+}
+
+// ---- /v1/align/stream ----
+
+// handleAlignStream aligns the batch in MaxBatch-read chunks, flushing each
+// chunk's results as soon as the engine returns them: NDJSON ReadResult
+// lines, or an incrementally-written SAM document under Accept: text/x-sam.
+// The request's own context is propagated into every chunk's engine call,
+// so a disconnect cancels the remaining work.
+func (s *Server) handleAlignStream(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{Error: "draining"})
+		return
+	}
+	reads, err := s.parseReads(w, r)
+	if err != nil {
+		s.writeError(w, r, parseStatus(err), &client.ErrorResponse{Error: err.Error()})
+		return
+	}
+	if er := s.admit(reads); er != nil {
+		s.writeError(w, r, http.StatusBadRequest, er)
+		return
+	}
+	start := time.Now()
+
+	sam := wantsSAM(r)
+	if sam {
+		w.Header().Set("Content-Type", "text/x-sam")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	body, finish := s.maybeGzip(w, r)
+	flush := func() {
+		if gz, ok := body.(*gzip.Writer); ok {
+			gz.Flush()
+		}
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+
+	// The SAM header is deferred until the first chunk succeeds, so a
+	// first-chunk admission failure can still answer with a real status.
+	var stream *meraligner.SAMStream
+	enc := json.NewEncoder(body)
+	// Chunks ride the micro-batcher like any other request, so streams are
+	// subject to the same admission bound (and partial chunks coalesce with
+	// other traffic). One chunk is in flight per stream at a time — the
+	// stream's own backpressure.
+	chunkSize := min(s.cfg.MaxBatch, s.cfg.QueueReads)
+	wrote := false
+	for lo := 0; lo < len(reads); lo += chunkSize {
+		hi := min(lo+chunkSize, len(reads))
+		chunk := reads[lo:hi]
+		win, aerr := s.bat.submit(r.Context(), chunk)
+		if aerr != nil {
+			if !wrote {
+				// Nothing sent yet: a real status can still go out.
+				s.engineError(w, r, aerr)
+				return
+			}
+			if errors.Is(aerr, ErrOverloaded) {
+				s.st.rejected.Add(1)
+			}
+			// Mid-stream with the client still healthy: a plain return
+			// would end the chunked body cleanly and the truncation would
+			// be invisible. Abort the connection so the client sees a
+			// transport error, not a short success.
+			panic(http.ErrAbortHandler)
+		}
+		s.st.reads.Add(int64(len(chunk)))
+		if sam {
+			if stream == nil {
+				if stream, err = meraligner.NewSAMStream(body, s.targets); err != nil {
+					return
+				}
+			}
+			if err := stream.WriteRange(win.res, win.reads, win.lo, win.hi); err != nil {
+				return
+			}
+			if err := stream.Flush(); err != nil {
+				return
+			}
+		} else {
+			for _, rr := range s.buildResponse(win).Reads {
+				if err := enc.Encode(rr); err != nil {
+					return
+				}
+			}
+		}
+		wrote = true
+		flush()
+	}
+	s.st.requests.Add(1) // served in full (chunk reads counted as they went)
+	s.st.reqLatency.observe(time.Since(start).Nanoseconds())
+	_ = finish()
+}
+
+// ---- observability endpoints ----
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	body, finish := s.maybeGzip(w, r)
+	writeMetrics(body, s.Snapshot())
+	_ = finish()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+// Snapshot returns the current wire Stats (the /v1/stats body), also
+// available in-process for embedders and benchmarks.
+func (s *Server) Snapshot() client.Stats {
+	st := s.st.snapshot()
+	st.Version = s.cfg.Version
+	st.Draining = s.Draining()
+	st.QueueReads = int64(s.bat.queuedReads())
+	st.K = s.k
+	ix := s.al.IndexStats()
+	st.DistinctSeeds = int64(ix.DistinctSeeds)
+	st.TotalLocs = int64(ix.TotalLocs)
+	st.ResidentBytes = s.al.ResidentBytes()
+	st.MaxBatch = s.cfg.MaxBatch
+	st.MaxWaitMs = float64(s.cfg.MaxWait) / float64(time.Millisecond)
+	return st
+}
+
+// ---- response plumbing ----
+
+// maybeGzip wraps the response in gzip when the client accepts it. finish
+// closes the gzip stream (a no-op otherwise); call it once after the last
+// body write.
+func (s *Server) maybeGzip(w http.ResponseWriter, r *http.Request) (io.Writer, func() error) {
+	if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		return w, func() error { return nil }
+	}
+	w.Header().Set("Content-Encoding", "gzip")
+	w.Header().Add("Vary", "Accept-Encoding")
+	gz := gzip.NewWriter(w)
+	return gz, gz.Close
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	body, finish := s.maybeGzip(w, r)
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
+	_ = json.NewEncoder(body).Encode(v)
+	_ = finish()
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, code int, er *client.ErrorResponse) {
+	s.writeJSON(w, r, code, er)
+}
+
+// wantsSAM reports whether the request asked for SAM output.
+func wantsSAM(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "sam")
+}

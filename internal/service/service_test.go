@@ -1,0 +1,707 @@
+package service
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/client"
+	"github.com/lbl-repro/meraligner/internal/genome"
+)
+
+// ---- shared fixture: one resident aligner for every test ----
+
+var (
+	fixOnce    sync.Once
+	fixAligner *meraligner.Aligner
+	fixReads   []meraligner.Seq
+	fixErr     error
+)
+
+func fixture(t *testing.T) (*meraligner.Aligner, []meraligner.Seq) {
+	t.Helper()
+	fixOnce.Do(func() {
+		p := genome.EColiLike()
+		p.GenomeLen = 60_000
+		p.Depth = 2
+		p.ContigMean = 10_000
+		p.InsertMean = 0
+		p.Seed = 7
+		ds, err := genome.Generate(p)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixReads = ds.Reads
+		iopt := meraligner.DefaultIndexOptions(19)
+		fixAligner, fixErr = meraligner.Build(2, iopt, ds.Contigs)
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixAligner, fixReads
+}
+
+func queryOpts() meraligner.QueryOptions {
+	q := meraligner.DefaultQueryOptions()
+	q.MaxSeedHits = 200
+	q.CollectAlignments = true
+	return q
+}
+
+// newTestServer builds a Server (tweaked by mod) behind httptest.
+func newTestServer(t *testing.T, mod func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	al, _ := fixture(t)
+	cfg := Config{Aligner: al, Query: queryOpts(), Workers: 2, Version: "test"}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// directSAM renders the SAM document of a direct, uncoalesced Align call —
+// the byte-identity oracle for service responses.
+func directSAM(t *testing.T, al *meraligner.Aligner, reads []meraligner.Seq) []byte {
+	t.Helper()
+	res, err := al.Align(context.Background(), reads, queryOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := meraligner.WriteSAM(&buf, res, al.Targets(), reads); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// ---- end-to-end acceptance: coalescing, byte identity, stats ----
+
+func TestConcurrentSingleReadsCoalesceAndMatchDirectAlign(t *testing.T) {
+	al, reads := fixture(t)
+	const n = 8
+	if len(reads) < n {
+		t.Fatalf("fixture too small: %d reads", len(reads))
+	}
+	_, ts := newTestServer(t, func(c *Config) {
+		c.MaxBatch = n
+		c.MaxWait = 500 * time.Millisecond
+	})
+	cl := client.New(ts.URL)
+
+	// The byte-identity oracle: one direct, uncoalesced Align per read,
+	// rendered to SAM. Computed up front so worker goroutines never touch t.
+	wants := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wants[i] = directSAM(t, al, []meraligner.Seq{reads[i]})
+	}
+
+	// Batching is continuous: coalescing needs requests to overlap an
+	// in-flight engine call, so on a slow host one round of n concurrent
+	// posts may land fully serialized. Every round re-checks byte identity;
+	// rounds repeat (bounded) until the stats show a coalesced batch.
+	const maxRounds = 10
+	rounds := 0
+	var st *client.Stats
+	for ; rounds < maxRounds; rounds++ {
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got, err := cl.AlignSAM(context.Background(), client.AlignRequest{
+					Reads: client.FromSeqs([]meraligner.Seq{reads[i]}),
+				})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if !bytes.Equal(got, wants[i]) {
+					errs[i] = fmt.Errorf("read %d: service SAM diverges from direct Align\ngot:\n%s\nwant:\n%s", i, got, wants[i])
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var err error
+		if st, err = cl.Stats(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if st.MaxBatchReads >= 2 {
+			break
+		}
+	}
+	if st.MaxBatchReads < 2 {
+		t.Fatalf("no coalescing observed in %d rounds of %d concurrent single-read posts: %+v", maxRounds, n, st)
+	}
+	if st.CoalescedBatches < 1 {
+		t.Fatalf("stats report no coalesced batches: %+v", st)
+	}
+	if want := int64((rounds + 1) * n); st.Requests != want || st.Reads != want {
+		t.Fatalf("request accounting off: requests=%d reads=%d, want %d each", st.Requests, st.Reads, want)
+	}
+	if st.RequestP50Ms <= 0 || st.AlignReadP50Us <= 0 {
+		t.Fatalf("latency quantiles missing: %+v", st)
+	}
+	if st.K != 19 || st.ResidentBytes <= 0 || st.DistinctSeeds <= 0 {
+		t.Fatalf("index identity missing from stats: %+v", st)
+	}
+}
+
+func TestAlignJSONResponse(t *testing.T) {
+	al, reads := fixture(t)
+	_, ts := newTestServer(t, nil)
+	cl := client.New(ts.URL)
+
+	batch := reads[:5]
+	resp, err := cl.Align(context.Background(), client.AlignRequest{Reads: client.FromSeqs(batch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Reads) != len(batch) {
+		t.Fatalf("got %d read results, want %d", len(resp.Reads), len(batch))
+	}
+	direct, err := al.Align(context.Background(), batch, queryOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perQuery := map[int]int{}
+	for _, a := range direct.Alignments {
+		perQuery[int(a.Query)]++
+	}
+	for i, rr := range resp.Reads {
+		if rr.Name != batch[i].Name {
+			t.Fatalf("read %d name %q, want %q", i, rr.Name, batch[i].Name)
+		}
+		if len(rr.Alignments) != perQuery[i] {
+			t.Fatalf("read %d: %d alignments on the wire, direct Align found %d", i, len(rr.Alignments), perQuery[i])
+		}
+		wantStatus := client.StatusOK
+		if perQuery[i] == 0 {
+			wantStatus = client.StatusUnmapped
+		}
+		if rr.Status != wantStatus {
+			t.Fatalf("read %d status %q, want %q", i, rr.Status, wantStatus)
+		}
+	}
+}
+
+func TestLargeBatchTakesDirectPathWithFastqBody(t *testing.T) {
+	al, reads := fixture(t)
+	_, ts := newTestServer(t, func(c *Config) { c.MaxBatch = 4 })
+
+	// A FASTQ body bigger than MaxBatch exercises the direct (uncoalesced)
+	// path and the text parser at once.
+	batch := reads[:10]
+	var fq bytes.Buffer
+	for _, r := range batch {
+		qual := string(r.Qual)
+		if qual == "" {
+			qual = strings.Repeat("I", r.Seq.Len())
+		}
+		fmt.Fprintf(&fq, "@%s\n%s\n+\n%s\n", r.Name, r.Seq.String(), qual)
+	}
+	resp, err := http.Post(ts.URL+"/v1/align", "text/x-fastq", bytes.NewReader(fq.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out client.AlignResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Reads) != len(batch) {
+		t.Fatalf("got %d results, want %d", len(out.Reads), len(batch))
+	}
+	_ = al
+}
+
+func TestStreamNDJSONAndSAM(t *testing.T) {
+	al, reads := fixture(t)
+	_, ts := newTestServer(t, func(c *Config) { c.MaxBatch = 3 }) // forces multiple chunks
+	cl := client.New(ts.URL)
+
+	batch := reads[:8]
+	var got []client.ReadResult
+	err := cl.AlignStream(context.Background(), client.AlignRequest{Reads: client.FromSeqs(batch)},
+		func(rr client.ReadResult) error {
+			got = append(got, rr)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("streamed %d results, want %d", len(got), len(batch))
+	}
+	for i := range got {
+		if got[i].Name != batch[i].Name {
+			t.Fatalf("stream result %d is %q, want %q (order must be preserved)", i, got[i].Name, batch[i].Name)
+		}
+	}
+
+	// SAM over the stream endpoint must byte-match the direct document.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/align/stream",
+		bytes.NewReader(mustJSON(t, client.AlignRequest{Reads: client.FromSeqs(batch)})))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/x-sam")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	gotSAM, _ := io.ReadAll(resp.Body)
+	if want := directSAM(t, al, batch); !bytes.Equal(gotSAM, want) {
+		t.Fatalf("streamed SAM diverges from direct Align:\ngot:\n%s\nwant:\n%s", gotSAM, want)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// waitUntil polls cond to make ordering-sensitive tests deterministic.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// ---- typed too-short rejection ----
+
+func TestTooShortReads400(t *testing.T) {
+	_, reads := fixture(t)
+	_, ts := newTestServer(t, nil)
+	cl := client.New(ts.URL)
+
+	_, err := cl.Align(context.Background(), client.AlignRequest{Reads: []client.Read{
+		{Name: "ok", Seq: reads[0].Seq.String()},
+		{Name: "stub", Seq: "ACGTACG"}, // 7 < K=19
+	}})
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("got %v, want 400 StatusError", err)
+	}
+	if len(se.TooShort) != 1 || se.TooShort[0] != "stub" {
+		t.Fatalf("too-short detail %v, want [stub]", se.TooShort)
+	}
+}
+
+func TestEngineReportsTypedTooShortStatus(t *testing.T) {
+	al, reads := fixture(t)
+	q := queryOpts()
+	q.CollectPerQuery = true
+	batch := []meraligner.Seq{reads[0], {Name: "tiny", Seq: reads[1].Seq.Slice(0, 7)}, reads[2]}
+	res, err := al.Align(context.Background(), batch, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TooShortReads != 1 || len(res.TooShort) != 1 || res.TooShort[0] != 1 {
+		t.Fatalf("TooShort = %v (%d reads), want index 1", res.TooShort, res.TooShortReads)
+	}
+	if res.PerQuery[1].Status != meraligner.QueryTooShort {
+		t.Fatalf("PerQuery[1].Status = %v, want QueryTooShort", res.PerQuery[1].Status)
+	}
+	if res.PerQuery[0].Status != meraligner.QueryOK || res.PerQuery[2].Status != meraligner.QueryOK {
+		t.Fatalf("long reads mis-statused: %+v", res.PerQuery)
+	}
+	// Slicing keeps the rebased status.
+	s := res.Slice(1, 3)
+	if s.TooShortReads != 1 || s.TooShort[0] != 0 {
+		t.Fatalf("sliced TooShort = %v, want [0]", s.TooShort)
+	}
+}
+
+// ---- admission control ----
+
+func TestAdmissionQueueFull429(t *testing.T) {
+	_, reads := fixture(t)
+	big := len(reads) / 2
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.MaxBatch = big + 4 // the mega-request below takes the direct path
+		c.QueueReads = big + 4
+		c.MaxWait = 5 * time.Second
+	})
+	cl := client.New(ts.URL)
+
+	// A mega-request (direct path, several hundred ms of engine time)
+	// keeps the engine busy; a big batched request then fills the queue
+	// behind it; a third cannot be admitted.
+	mega := make([]meraligner.Seq, 0, 4*len(reads))
+	for i := 0; i < 4; i++ {
+		mega = append(mega, reads...)
+	}
+	busy := make(chan error, 1)
+	go func() {
+		_, err := cl.Align(context.Background(), client.AlignRequest{Reads: client.FromSeqs(mega)})
+		busy <- err
+	}()
+	waitUntil(t, "the engine to go busy", func() bool { return srv.bat.inflightCalls() > 0 })
+	queued := make(chan error, 1)
+	go func() {
+		_, err := cl.Align(context.Background(), client.AlignRequest{Reads: client.FromSeqs(reads[:big])})
+		queued <- err
+	}()
+	waitUntil(t, "the queue to fill", func() bool { return srv.bat.queuedReads() == big })
+
+	_, err := cl.Align(context.Background(), client.AlignRequest{Reads: client.FromSeqs(reads[:8])})
+	var re *client.RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v, want RetryError (429)", err)
+	}
+	if re.After <= 0 {
+		t.Fatalf("429 without a usable Retry-After: %v", re)
+	}
+	if err := <-busy; err != nil {
+		t.Fatalf("busy request failed: %v", err)
+	}
+	if err := <-queued; err != nil {
+		t.Fatalf("queued request failed: %v", err)
+	}
+	st, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected < 1 {
+		t.Fatalf("stats.Rejected = %d, want >= 1", st.Rejected)
+	}
+}
+
+func TestOversizedBody413(t *testing.T) {
+	_, reads := fixture(t)
+	_, ts := newTestServer(t, func(c *Config) { c.MaxRequestBytes = 64 })
+	cl := client.New(ts.URL)
+	_, err := cl.Align(context.Background(), client.AlignRequest{Reads: client.FromSeqs(reads[:4])})
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body returned %v, want 413 (split-and-retry signal, not 400)", err)
+	}
+}
+
+// ---- cancellation ----
+
+// blockingAlign returns an align func whose every call announces itself on
+// starts (handing the test its private release channel) and blocks until
+// released — the deterministic way to hold the engine busy so arrivals
+// coalesce behind it.
+func blockingAlign() (alignFunc, chan chan struct{}) {
+	starts := make(chan chan struct{})
+	return func(ctx context.Context, batch []meraligner.Seq) (*meraligner.Results, error) {
+		release := make(chan struct{})
+		starts <- release
+		select {
+		case <-release:
+			return &meraligner.Results{TotalReads: len(batch)}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}, starts
+}
+
+type batchResult struct {
+	win *window
+	err error
+}
+
+func TestQueuedCancelDropsOnlyThatRequest(t *testing.T) {
+	// A and B queue behind a busy engine; A's client disconnects while
+	// still queued. The next batch must carry only B.
+	align, starts := blockingAlign()
+	b := newBatcher(context.Background(), align, 64, time.Second, 1024, nil)
+	reads := func(n int) []meraligner.Seq { return make([]meraligner.Seq, n) }
+
+	primer := make(chan batchResult, 1)
+	go func() {
+		w, err := b.submit(context.Background(), reads(1))
+		primer <- batchResult{w, err}
+	}()
+	relPrimer := <-starts // engine now busy with the primer
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	resA := make(chan batchResult, 1)
+	resB := make(chan batchResult, 1)
+	go func() {
+		w, err := b.submit(ctxA, reads(1))
+		resA <- batchResult{w, err}
+	}()
+	waitUntil(t, "A to queue", func() bool { return b.queuedReads() == 1 })
+	go func() {
+		w, err := b.submit(context.Background(), reads(2))
+		resB <- batchResult{w, err}
+	}()
+	waitUntil(t, "B to queue", func() bool { return b.queuedReads() == 3 })
+
+	cancelA()
+	ra := <-resA
+	if !errors.Is(ra.err, context.Canceled) {
+		t.Fatalf("canceled request returned %v, want context.Canceled", ra.err)
+	}
+	close(relPrimer)
+	if pr := <-primer; pr.err != nil {
+		t.Fatalf("primer failed: %v", pr.err)
+	}
+	close(<-starts) // release the follow-up batch (B, with A dropped)
+	rb := <-resB
+	if rb.err != nil {
+		t.Fatalf("batchmate failed: %v", rb.err)
+	}
+	if rb.win == nil || rb.win.hi-rb.win.lo != 2 || len(rb.win.reads) != 2 {
+		t.Fatalf("B's window should hold exactly its own 2 reads (A dropped at take): %+v", rb.win)
+	}
+	if err := b.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMidFlightDisconnectCancelsOnlyThatRequest(t *testing.T) {
+	// A and B coalesce into one engine call (formed behind a busy primer);
+	// A's client disconnects while that call is in flight. B's share must
+	// be intact, and the engine context must survive (one member remains).
+	align, starts := blockingAlign()
+	b := newBatcher(context.Background(), align, 8, time.Second, 64, nil)
+	reads := func(n int) []meraligner.Seq { return make([]meraligner.Seq, n) }
+
+	primer := make(chan batchResult, 1)
+	go func() {
+		w, err := b.submit(context.Background(), reads(1))
+		primer <- batchResult{w, err}
+	}()
+	relPrimer := <-starts
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	resA := make(chan batchResult, 1)
+	resB := make(chan batchResult, 1)
+	go func() {
+		w, err := b.submit(ctxA, reads(1))
+		resA <- batchResult{w, err}
+	}()
+	waitUntil(t, "A to queue first", func() bool { return b.queuedReads() == 1 })
+	go func() {
+		w, err := b.submit(context.Background(), reads(2))
+		resB <- batchResult{w, err}
+	}()
+	waitUntil(t, "B to queue behind A", func() bool { return b.queuedReads() == 3 })
+
+	close(relPrimer)
+	relAB := <-starts // the coalesced [A,B] call is now in flight
+	cancelA()
+	ra := <-resA // A unblocks immediately on its own ctx
+	if !errors.Is(ra.err, context.Canceled) {
+		t.Fatalf("canceled member got %v, want context.Canceled", ra.err)
+	}
+	close(relAB)
+	rb := <-resB
+	if rb.err != nil || rb.win == nil {
+		t.Fatalf("surviving member got (%+v, %v), want its window", rb.win, rb.err)
+	}
+	if rb.win.lo != 1 || rb.win.hi != 3 {
+		t.Fatalf("surviving member window [%d,%d), want [1,3)", rb.win.lo, rb.win.hi)
+	}
+	if pr := <-primer; pr.err != nil {
+		t.Fatalf("primer failed: %v", pr.err)
+	}
+	if err := b.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllMembersGoneCancelsEngineCall(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	align := func(ctx context.Context, batch []meraligner.Seq) (*meraligner.Results, error) {
+		entered <- struct{}{}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return &meraligner.Results{TotalReads: len(batch)}, nil
+		}
+	}
+	b := newBatcher(context.Background(), align, 8, 20*time.Millisecond, 64, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.submit(ctx, make([]meraligner.Seq, 1))
+		done <- err
+	}()
+	<-entered
+	cancel() // the only member leaves: the engine call must die with it
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("submit returned %v, want context.Canceled", err)
+	}
+	if err := b.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+}
+
+// ---- drain / health ----
+
+func TestDrainGraceful(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d before drain, want 200", resp.StatusCode)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz %d after drain, want 503", resp.StatusCode)
+	}
+	_, reads := fixture(t)
+	cl := client.New(ts.URL)
+	_, err = cl.Align(context.Background(), client.AlignRequest{Reads: client.FromSeqs(reads[:1])})
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("align after drain returned %v, want 503", err)
+	}
+}
+
+// ---- gzip ----
+
+func TestGzipResponses(t *testing.T) {
+	al, reads := fixture(t)
+	_, ts := newTestServer(t, nil)
+
+	// DisableCompression keeps net/http from hiding the Content-Encoding.
+	hc := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/align",
+		bytes.NewReader(mustJSON(t, client.AlignRequest{Reads: client.FromSeqs(reads[:2])})))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/x-sam")
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ce := resp.Header.Get("Content-Encoding"); ce != "gzip" {
+		t.Fatalf("Content-Encoding %q, want gzip", ce)
+	}
+	zr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := directSAM(t, al, reads[:2]); !bytes.Equal(got, want) {
+		t.Fatalf("gzipped SAM decodes to a different document:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestGzipRequestBodySniffed(t *testing.T) {
+	_, reads := fixture(t)
+	_, ts := newTestServer(t, nil)
+
+	var fq bytes.Buffer
+	zw := gzip.NewWriter(&fq)
+	fmt.Fprintf(zw, "@%s\n%s\n+\n%s\n", reads[0].Name, reads[0].Seq.String(), strings.Repeat("I", reads[0].Seq.Len()))
+	zw.Close()
+	resp, err := http.Post(ts.URL+"/v1/align", "application/octet-stream", &fq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("gzipped FASTQ body rejected: %d %s", resp.StatusCode, body)
+	}
+}
+
+// ---- metrics ----
+
+func TestMetricsExposition(t *testing.T) {
+	_, reads := fixture(t)
+	_, ts := newTestServer(t, nil)
+	cl := client.New(ts.URL)
+	if _, err := cl.Align(context.Background(), client.AlignRequest{Reads: client.FromSeqs(reads[:1])}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"merserved_requests_total 1",
+		"merserved_reads_total 1",
+		"merserved_batches_total",
+		"merserved_resident_bytes",
+		"merserved_request_latency_seconds{quantile=\"0.99\"}",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics lacks %q:\n%s", want, body)
+		}
+	}
+}
+
+// ---- histogram unit ----
+
+func TestHistQuantiles(t *testing.T) {
+	var h hist
+	for i := 1; i <= 1000; i++ {
+		h.observe(int64(i) * 1000) // 1µs .. 1ms
+	}
+	p50 := h.quantile(0.50)
+	p99 := h.quantile(0.99)
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("quantiles disordered: p50=%g p99=%g", p50, p99)
+	}
+	// log2 buckets: p50 must land within a factor-of-2 of the true median.
+	if p50 < 250e3 || p50 > 1.5e6 {
+		t.Fatalf("p50=%gns implausible for a 1µs..1ms uniform ramp", p50)
+	}
+}

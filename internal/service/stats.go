@@ -1,0 +1,163 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/client"
+)
+
+// Lock-free service statistics: atomic counters plus power-of-two latency
+// histograms. Everything here is written on hot paths by many goroutines
+// and read whole by /v1/stats and /metrics, so there are no locks — only
+// atomics; snapshots are merely consistent-enough, which is all an
+// observability endpoint needs.
+
+// hist is a log2-bucketed latency histogram over nanoseconds: bucket i
+// counts observations in [2^i, 2^(i+1)). 63 buckets cover the full int64
+// range, so no observation is ever dropped.
+type hist struct {
+	count   atomic.Int64
+	buckets [63]atomic.Int64
+}
+
+func (h *hist) observe(ns int64) {
+	if ns < 1 {
+		ns = 1
+	}
+	h.buckets[bits.Len64(uint64(ns))-1].Add(1)
+	h.count.Add(1)
+}
+
+// quantile returns an estimate of the q-quantile (0 < q <= 1) in
+// nanoseconds: the geometric midpoint of the bucket holding the target
+// rank. Zero when nothing was observed.
+func (h *hist) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			return 1.5 * float64(int64(1)<<i)
+		}
+	}
+	return 1.5 * float64(int64(1)<<62)
+}
+
+// serverStats aggregates the service's live counters. It implements
+// batcherStats for the micro-batcher's observations.
+type serverStats struct {
+	start time.Time
+
+	requests atomic.Int64 // align requests served to completion (any endpoint)
+	rejected atomic.Int64 // 429s
+	canceled atomic.Int64 // client disconnects (queued or mid-flight)
+	reads    atomic.Int64 // reads accepted into the engine
+	tooShort atomic.Int64 // reads rejected as shorter than K
+
+	batches          atomic.Int64 // engine calls issued by the batcher
+	batchedReads     atomic.Int64 // reads across those calls
+	coalescedBatches atomic.Int64 // calls gluing >= 2 requests
+	maxBatchReads    atomic.Int64 // largest coalesced call seen
+
+	reqLatency hist // request wall time, enqueue -> results ready
+	alignRead  hist // per-read engine nanos (engine PerQuery stats)
+}
+
+func newServerStats() *serverStats { return &serverStats{start: time.Now()} }
+
+func (s *serverStats) observeBatch(requests, reads int) {
+	s.batches.Add(1)
+	s.batchedReads.Add(int64(reads))
+	if requests >= 2 {
+		s.coalescedBatches.Add(1)
+	}
+	for {
+		cur := s.maxBatchReads.Load()
+		if int64(reads) <= cur || s.maxBatchReads.CompareAndSwap(cur, int64(reads)) {
+			return
+		}
+	}
+}
+
+func (s *serverStats) observeCanceled() { s.canceled.Add(1) }
+
+// observePerQuery folds the engine's per-query stats of one call into the
+// per-read latency histogram.
+func (s *serverStats) observePerQuery(pq []meraligner.QueryStat) {
+	for i := range pq {
+		s.alignRead.observe(pq[i].Nanos)
+	}
+}
+
+// snapshot renders the wire Stats (everything except server/index identity,
+// which the Server fills in).
+func (s *serverStats) snapshot() client.Stats {
+	st := client.Stats{
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Requests:         s.requests.Load(),
+		Rejected:         s.rejected.Load(),
+		Canceled:         s.canceled.Load(),
+		Reads:            s.reads.Load(),
+		TooShort:         s.tooShort.Load(),
+		Batches:          s.batches.Load(),
+		BatchedReads:     s.batchedReads.Load(),
+		CoalescedBatches: s.coalescedBatches.Load(),
+		MaxBatchReads:    s.maxBatchReads.Load(),
+		RequestP50Ms:     s.reqLatency.quantile(0.50) / 1e6,
+		RequestP99Ms:     s.reqLatency.quantile(0.99) / 1e6,
+		AlignReadP50Us:   s.alignRead.quantile(0.50) / 1e3,
+		AlignReadP99Us:   s.alignRead.quantile(0.99) / 1e3,
+	}
+	if st.Batches > 0 {
+		st.MeanBatchReads = float64(st.BatchedReads) / float64(st.Batches)
+	}
+	return st
+}
+
+// writeMetrics renders the Prometheus text exposition of one snapshot.
+func writeMetrics(w io.Writer, st client.Stats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("merserved_requests_total", "align requests served to completion", st.Requests)
+	counter("merserved_rejected_total", "requests rejected with 429 (queue full)", st.Rejected)
+	counter("merserved_canceled_total", "requests canceled by client disconnect", st.Canceled)
+	counter("merserved_reads_total", "reads accepted into the engine", st.Reads)
+	counter("merserved_too_short_reads_total", "reads rejected as shorter than K", st.TooShort)
+	counter("merserved_batches_total", "coalesced engine calls", st.Batches)
+	counter("merserved_batched_reads_total", "reads across coalesced engine calls", st.BatchedReads)
+	counter("merserved_coalesced_batches_total", "engine calls serving >= 2 requests", st.CoalescedBatches)
+	gauge("merserved_batch_reads_max", "largest coalesced engine call", float64(st.MaxBatchReads))
+	gauge("merserved_batch_reads_mean", "mean reads per engine call", st.MeanBatchReads)
+	gauge("merserved_queue_reads", "reads queued for the next batching window", float64(st.QueueReads))
+	draining := 0.0
+	if st.Draining {
+		draining = 1
+	}
+	gauge("merserved_draining", "1 while draining (healthz returns 503)", draining)
+	gauge("merserved_resident_bytes", "resident index footprint", float64(st.ResidentBytes))
+	gauge("merserved_uptime_seconds", "seconds since start", st.UptimeSeconds)
+	fmt.Fprintf(w, "# HELP merserved_request_latency_seconds request wall time quantiles\n")
+	fmt.Fprintf(w, "# TYPE merserved_request_latency_seconds summary\n")
+	fmt.Fprintf(w, "merserved_request_latency_seconds{quantile=\"0.5\"} %g\n", st.RequestP50Ms/1e3)
+	fmt.Fprintf(w, "merserved_request_latency_seconds{quantile=\"0.99\"} %g\n", st.RequestP99Ms/1e3)
+	fmt.Fprintf(w, "# HELP merserved_align_read_seconds per-read engine time quantiles\n")
+	fmt.Fprintf(w, "# TYPE merserved_align_read_seconds summary\n")
+	fmt.Fprintf(w, "merserved_align_read_seconds{quantile=\"0.5\"} %g\n", st.AlignReadP50Us/1e6)
+	fmt.Fprintf(w, "merserved_align_read_seconds{quantile=\"0.99\"} %g\n", st.AlignReadP99Us/1e6)
+}

@@ -37,12 +37,28 @@ func NewSAMStream(w io.Writer, targets []Seq) (*SAMStream, error) {
 // unmapped record; the best-scoring alignment of each read is primary, the
 // rest are flagged secondary.
 func (s *SAMStream) WriteBatch(res *Results, queries []Seq) error {
-	// Group alignments per query (they are sorted by query after a run).
-	byQuery := make(map[int32][]Alignment, len(queries))
-	for _, a := range res.Alignments {
-		byQuery[a.Query] = append(byQuery[a.Query], a)
+	return s.WriteRange(res, queries, 0, len(queries))
+}
+
+// WriteRange emits records for the queries [lo, hi) of a batch, reading
+// their alignments straight out of the full batch's res — the rendering
+// half of coalesced-batch demuxing: a server that glued several requests
+// into one engine call streams each request's SAM records from the shared
+// Results without slicing it first. Record content is identical to a
+// WriteBatch over just those queries.
+func (s *SAMStream) WriteRange(res *Results, queries []Seq, lo, hi int) error {
+	if lo < 0 || hi < lo || hi > len(queries) {
+		return fmt.Errorf("meraligner: SAM range [%d,%d) out of range of %d queries", lo, hi, len(queries))
 	}
-	for qi := range queries {
+	// Group the window's alignments per query (they are sorted by query
+	// after a run, but grouping keeps this correct for any order).
+	byQuery := make(map[int32][]Alignment, hi-lo)
+	for _, a := range res.Alignments {
+		if a.Query >= int32(lo) && a.Query < int32(hi) {
+			byQuery[a.Query] = append(byQuery[a.Query], a)
+		}
+	}
+	for qi := lo; qi < hi; qi++ {
 		if err := s.writeQuery(queries[qi], byQuery[int32(qi)]); err != nil {
 			return err
 		}
