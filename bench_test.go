@@ -243,6 +243,103 @@ func TestRecordEngineBaseline(t *testing.T) {
 	t.Logf("recorded BENCH_threaded.json:\n%s", out)
 }
 
+// TestRecordQueryBaseline writes BENCH_query.json — the recorded effect of
+// the hot-path rework (rolling seed scanner, sealed flat seed table,
+// striped-profile reuse) on the PR-1 engine workload at one worker, best of
+// three — when MERALIGNER_RECORD_BASELINE=1:
+//
+//	MERALIGNER_RECORD_BASELINE=1 go test -run TestRecordQueryBaseline .
+//
+// The "before" row is the pre-rework path, measured on the same host at the
+// time of the change; re-recording preserves it from the existing file (or
+// takes MERALIGNER_QUERY_BEFORE_READS_PER_S / _WALL_S overrides after a
+// host change) and refreshes only the "after" row.
+func TestRecordQueryBaseline(t *testing.T) {
+	if os.Getenv("MERALIGNER_RECORD_BASELINE") == "" {
+		t.Skip("set MERALIGNER_RECORD_BASELINE=1 to (re)record BENCH_query.json")
+	}
+	ds := engineWorkload(t)
+	opt := meraligner.DefaultOptions(31)
+
+	type row struct {
+		TotalWallS  float64 `json:"total_wall_s"`
+		AlignWallS  float64 `json:"align_wall_s"`
+		ReadsPerSec float64 `json:"reads_per_s"`
+	}
+	baseline := struct {
+		Workload     string  `json:"workload"`
+		Reads        int     `json:"reads"`
+		K            int     `json:"k"`
+		Workers      int     `json:"workers"`
+		HostCPUs     int     `json:"host_cpus"`
+		GoOS         string  `json:"goos"`
+		GoArch       string  `json:"goarch"`
+		Before       row     `json:"before"`
+		After        row     `json:"after"`
+		Speedup      float64 `json:"speedup"`
+		AlignedReads int     `json:"aligned_reads"`
+		Description  string  `json:"description"`
+	}{
+		Workload: "human-like 200kb, depth 6, k=31 (PR-1 engine workload)",
+		Reads:    len(ds.Reads), K: opt.K, Workers: 1,
+		HostCPUs: runtime.NumCPU(), GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		Description: "query hot-path baseline: before is the pre-rework path " +
+			"(per-seed FromPacked+Canonical, per-shard map lookups, per-candidate " +
+			"profile builds), after is the rolling scanner + sealed flat table + " +
+			"reusable striped profiles; 1 worker, best of 3, same workload and host. " +
+			"Regressions against `after` mean the hot path re-grew per-read work",
+	}
+
+	// Carry the recorded pre-rework measurement forward.
+	if prev, err := os.ReadFile("BENCH_query.json"); err == nil {
+		var old struct {
+			Before row `json:"before"`
+		}
+		if json.Unmarshal(prev, &old) == nil && old.Before.ReadsPerSec > 0 {
+			baseline.Before = old.Before
+		}
+	}
+	if v := os.Getenv("MERALIGNER_QUERY_BEFORE_READS_PER_S"); v != "" {
+		fmt.Sscanf(v, "%f", &baseline.Before.ReadsPerSec)
+	}
+	if v := os.Getenv("MERALIGNER_QUERY_BEFORE_WALL_S"); v != "" {
+		fmt.Sscanf(v, "%f", &baseline.Before.TotalWallS)
+	}
+	if baseline.Before.ReadsPerSec == 0 {
+		t.Fatal("no pre-rework row available: keep the committed BENCH_query.json or set MERALIGNER_QUERY_BEFORE_READS_PER_S")
+	}
+
+	var best *meraligner.Results
+	for i := 0; i < 3; i++ {
+		res, err := meraligner.AlignThreaded(1, opt, ds.Contigs, ds.Reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best == nil || res.TotalRealWall() < best.TotalRealWall() {
+			best = res
+		}
+	}
+	baseline.After = row{
+		TotalWallS:  best.TotalRealWall(),
+		AlignWallS:  best.AlignWall(),
+		ReadsPerSec: float64(best.TotalReads) / best.TotalRealWall(),
+	}
+	baseline.AlignedReads = best.AlignedReads
+	baseline.Speedup = baseline.After.ReadsPerSec / baseline.Before.ReadsPerSec
+
+	out, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_query.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recorded BENCH_query.json:\n%s", out)
+	if baseline.Speedup < 1.3 {
+		t.Errorf("query hot-path speedup %.2fx < 1.3x on the PR-1 workload", baseline.Speedup)
+	}
+}
+
 // serveWorkload is the build-once/serve-many data set: a build-heavy
 // workload (index construction dominates a single batch's align time) split
 // into serveBatches read batches, approximating a service where read

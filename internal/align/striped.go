@@ -109,6 +109,13 @@ type StripedResult struct {
 
 // Profile is a striped query profile reusable across targets — SSW builds
 // it once per read and aligns the read against many candidates.
+//
+// Two usage regimes are supported. A profile built once with NewProfile may
+// be shared: Align is safe for concurrent callers (the 16-bit rescue profile
+// is built under a sync.Once, and each Align call owns its scratch). A
+// profile owned by one goroutine may instead be recycled across queries with
+// Reset and driven through AlignWindow, which reuses profile-owned scratch
+// buffers — the zero-steady-state-allocation path of the query engine.
 type Profile struct {
 	query []byte
 	sc    Scoring
@@ -122,18 +129,42 @@ type Profile struct {
 	once16   sync.Once
 	segLen16 int
 	prof16   [4][]uint64
+	// Reusable kernel scratch for AlignWindow (single-owner use only).
+	h0, h1, ev []uint64
 }
 
 // NewProfile builds the striped query profile.
 func NewProfile(query []byte, sc Scoring) *Profile {
-	p := &Profile{query: query, sc: sc, bias: uint64(sc.Mismatch)}
+	p := &Profile{}
+	p.Reset(query, sc)
+	return p
+}
+
+// grown returns buf resized to n words, reusing its backing array when the
+// capacity allows — the steady-state no-allocation path of Reset/build16.
+func grown(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+// Reset rebuilds the profile in place for a new query (and scoring), reusing
+// every backing array the profile has already grown. After Reset the profile
+// behaves exactly like NewProfile(query, sc); the receiver must not be
+// shared with concurrent Align callers across a Reset.
+func (p *Profile) Reset(query []byte, sc Scoring) {
+	p.query, p.sc, p.bias = query, sc, uint64(sc.Mismatch)
+	p.once16 = sync.Once{}
+	p.segLen16 = 0
 	n := len(query)
 	if n == 0 {
-		return p
+		p.segLen8 = 0
+		return
 	}
 	p.segLen8 = (n + spec8.lanes - 1) / spec8.lanes
 	for c := 0; c < 4; c++ {
-		p.prof8[c] = make([]uint64, p.segLen8)
+		p.prof8[c] = grown(p.prof8[c], p.segLen8)
 		for j := 0; j < p.segLen8; j++ {
 			var w uint64
 			for l := 0; l < spec8.lanes; l++ {
@@ -147,14 +178,13 @@ func NewProfile(query []byte, sc Scoring) *Profile {
 			p.prof8[c][j] = w
 		}
 	}
-	return p
 }
 
 func (p *Profile) build16() {
 	n := len(p.query)
 	p.segLen16 = (n + spec16.lanes - 1) / spec16.lanes
 	for c := 0; c < 4; c++ {
-		p.prof16[c] = make([]uint64, p.segLen16)
+		p.prof16[c] = grown(p.prof16[c], p.segLen16)
 		for j := 0; j < p.segLen16; j++ {
 			var w uint64
 			for l := 0; l < spec16.lanes; l++ {
@@ -172,28 +202,61 @@ func (p *Profile) build16() {
 
 // Align computes the local alignment score of the profile's query against
 // target, using the 8-bit kernel and rescuing with 16-bit on saturation.
+// Safe for concurrent callers on a profile that is not being Reset.
 func (p *Profile) Align(target []byte) StripedResult {
 	if len(p.query) == 0 || len(target) == 0 {
 		return StripedResult{}
 	}
-	score, tEnd, overflow := p.kernel(spec8, p.segLen8, &p.prof8, target)
+	score, tEnd, overflow := p.kernel8(target,
+		make([]uint64, p.segLen8), make([]uint64, p.segLen8), make([]uint64, p.segLen8))
 	if !overflow {
 		return StripedResult{Score: score, TEnd: tEnd, UsedLanes: 8}
 	}
 	p.once16.Do(p.build16)
-	score, tEnd, _ = p.kernel(spec16, p.segLen16, &p.prof16, target)
+	score, tEnd, _ = p.kernel(spec16, p.segLen16, &p.prof16, target,
+		make([]uint64, p.segLen16), make([]uint64, p.segLen16), make([]uint64, p.segLen16))
 	return StripedResult{Score: score, TEnd: tEnd, Overflow: true, UsedLanes: 16}
 }
 
-// kernel is Farrar's striped inner loop for one lane spec.
-func (p *Profile) kernel(s laneSpec, segLen int, prof *[4][]uint64, target []byte) (score, tEnd int, overflow bool) {
+// AlignWindow is Align for a single-owner profile: the kernel runs on
+// profile-owned scratch buffers that are cleared and reused call to call, so
+// aligning one query against many candidate windows performs no allocation
+// after the first call at a given query length. The common 8-bit pass runs
+// the constant-specialized kernel8. Results are identical to Align's. NOT
+// safe for concurrent use.
+func (p *Profile) AlignWindow(target []byte) StripedResult {
+	if len(p.query) == 0 || len(target) == 0 {
+		return StripedResult{}
+	}
+	p.scratch(p.segLen8)
+	score, tEnd, overflow := p.kernel8(target, p.h0, p.h1, p.ev)
+	if !overflow {
+		return StripedResult{Score: score, TEnd: tEnd, UsedLanes: 8}
+	}
+	p.once16.Do(p.build16)
+	p.scratch(p.segLen16)
+	score, tEnd, _ = p.kernel(spec16, p.segLen16, &p.prof16, target, p.h0, p.h1, p.ev)
+	return StripedResult{Score: score, TEnd: tEnd, Overflow: true, UsedLanes: 16}
+}
+
+// scratch readies the reusable kernel buffers: segLen words each, zeroed
+// (the kernel's initial conditions — fresh allocations in Align get this
+// for free).
+func (p *Profile) scratch(segLen int) {
+	p.h0 = grown(p.h0, segLen)
+	p.h1 = grown(p.h1, segLen)
+	p.ev = grown(p.ev, segLen)
+	clear(p.h0)
+	clear(p.h1)
+	clear(p.ev)
+}
+
+// kernel is Farrar's striped inner loop for one lane spec. hStore, hLoad and
+// e are zeroed scratch of segLen words owned by the caller.
+func (p *Profile) kernel(s laneSpec, segLen int, prof *[4][]uint64, target []byte, hStore, hLoad, e []uint64) (score, tEnd int, overflow bool) {
 	vBias := s.fill(p.bias)
 	vGapO := s.fill(uint64(p.sc.GapOpen + p.sc.GapExtend))
 	vGapE := s.fill(uint64(p.sc.GapExtend))
-
-	hStore := make([]uint64, segLen)
-	hLoad := make([]uint64, segLen)
-	e := make([]uint64, segLen)
 
 	var vMaxAll uint64 // running lane-wise max of H over all columns
 	best := uint64(0)

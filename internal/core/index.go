@@ -77,16 +77,16 @@ func BuildIndex(workers int, opt IndexOptions, targets []seqio.Seq) (*ThreadedIn
 		builders[w] = sx.NewBuilder()
 	}
 	rec.run(PhaseExtract, threads, func() {
-		kbufs := make([][]kmer.Kmer, workers)
 		runPool(workers, ft.NumFragments(), extractChunk, func(w, lo, hi int) {
 			b := builders[w]
+			var sc kmer.Scanner // rolling forward+RC windows, O(1) per base
 			for f := lo; f < hi; f++ {
-				kbufs[w] = kmer.Extract(ft.FragSeq(int32(f)), opt.K, kbufs[w][:0])
-				for off, s := range kbufs[w] {
-					canon, rc := s.Canonical(opt.K)
+				sc.Reset(ft.FragSeq(int32(f)), opt.K)
+				for sc.Next() {
+					canon, rc := sc.Canonical()
 					b.Add(dht.SeedEntry{Seed: canon, Loc: dht.Loc{
 						Frag: int32(f),
-						Off:  int32(off),
+						Off:  int32(sc.Offset()),
 						RC:   rc,
 					}})
 				}

@@ -74,15 +74,16 @@ func simBuildIndex(m *upc.Machine, mach upc.MachineConfig, opt Options, targets 
 	m.RunPhase(PhaseExtract, func(th *upc.Thread) {
 		b := ix.NewBuilder(th)
 		lo, hi := mach.PartitionRange(ft.NumFragments(), th.ID)
-		var kbuf []kmer.Kmer
+		var sc kmer.Scanner // rolling forward+RC windows, O(1) per base
 		for f := lo; f < hi; f++ {
-			kbuf = kmer.Extract(ft.FragSeq(int32(f)), opt.K, kbuf[:0])
-			th.Compute(float64(len(kbuf)) * mach.SeedExtractCost)
-			for off, s := range kbuf {
-				canon, rc := s.Canonical(opt.K)
+			seq := ft.FragSeq(int32(f))
+			th.Compute(float64(kmer.Count(seq.Len(), opt.K)) * mach.SeedExtractCost)
+			sc.Reset(seq, opt.K)
+			for sc.Next() {
+				canon, rc := sc.Canonical()
 				b.Add(dht.SeedEntry{Seed: canon, Loc: dht.Loc{
 					Frag: int32(f),
-					Off:  int32(off),
+					Off:  int32(sc.Offset()),
 					RC:   rc,
 				}})
 			}

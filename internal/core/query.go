@@ -17,6 +17,20 @@ type candKey struct {
 	rc     bool
 }
 
+// foundKey identifies a reported alignment for deduplication: alignments
+// reached from different seed diagonals collapse when they share a target,
+// strand and both start coordinates.
+type foundKey struct {
+	target int32
+	tstart int32
+	qstart int32
+	rc     bool
+}
+
+// seenSpill bounds the linear-scan candidate dedupe; the rare query with
+// more live candidates spills into a (reused) map instead of going O(n²).
+const seenSpill = 128
+
 // indexAccess abstracts the seed index and target store behind the aligning
 // phase, so the same per-query algorithm runs against either engine: the
 // simulated PGAS index (dht.Index through the software caches, charging the
@@ -48,21 +62,35 @@ func (a simAccess) FetchTarget(th *upc.Thread, target int32, targetBytes, owner 
 }
 
 // queryProcessor holds the reusable per-thread state of the aligning phase.
+// Every buffer below is recycled query to query, so the steady-state serial
+// path performs zero allocations per read (pinned by BenchmarkQueryNoAlloc).
 type queryProcessor struct {
 	opt   Options
 	acc   indexAccess
 	ft    *FragmentTable
 	costs upc.MachineConfig // cost constants for the hot loop
 
-	fwd, rc []byte // unpacked query codes, forward and reverse complement
-	seen    map[candKey]struct{}
-	found   []align.Result // alignments of the current query (for dedupe)
-	foundRC []bool
-	foundTg []int32
+	scan    kmer.Scanner // rolling seed extraction over the current query
+	fwd, rc []byte       // unpacked query codes, forward and reverse complement
+
+	// Candidate dedupe: a reusable linear-scan slice, spilling into a lazily
+	// allocated map on the rare candidate-heavy query.
+	seenList []candKey
+	seenMap  map[candKey]struct{}
+
+	// Striped profiles, built at most once per (query, strand) and reused
+	// across every candidate window of the query (the SSW lifecycle).
+	profFwd, profRC     align.Profile
+	profFwdOK, profRCOK bool
+
+	found     []align.Result // alignments of the current query
+	foundKeys []foundKey     // their dedupe keys (packed, scanned linearly)
+	foundRC   []bool
+	foundTg   []int32
 }
 
 func newQueryProcessor(mach upc.MachineConfig, opt Options, acc indexAccess, ft *FragmentTable) *queryProcessor {
-	return &queryProcessor{opt: opt, acc: acc, ft: ft, costs: mach, seen: make(map[candKey]struct{}, 16)}
+	return &queryProcessor{opt: opt, acc: acc, ft: ft, costs: mach}
 }
 
 // process aligns one query (Algorithm 1, lines 8-12, plus §IV
@@ -81,21 +109,30 @@ func (qp *queryProcessor) process(th *upc.Thread, st *threadStats, qi int32, q d
 	mach := &qp.costs
 	qp.fwd = q.AppendCodes(qp.fwd[:0])
 	qp.rc = qp.rc[:0]
-	clear(qp.seen)
+	qp.seenList = qp.seenList[:0]
+	if len(qp.seenMap) > 0 {
+		clear(qp.seenMap)
+	}
+	qp.profFwdOK, qp.profRCOK = false, false
 	qp.found = qp.found[:0]
+	qp.foundKeys = qp.foundKeys[:0]
 	qp.foundRC = qp.foundRC[:0]
 	qp.foundTg = qp.foundTg[:0]
+
+	// The scanner maintains the forward and reverse-complement seeds
+	// incrementally; L >= K guarantees at least one position.
+	qp.scan.Reset(q, opt.K)
+	qp.scan.Next()
 
 	// ---- Exact-match fast path (§IV-A) ----
 	firstSeedChecked := false
 	var firstRes dht.LookupResult
 	var firstOK bool
-	var firstCanon kmer.Kmer
 	var firstQRC bool
 	if opt.ExactMatch {
-		s0 := kmer.FromPacked(q, 0, opt.K)
 		th.Compute(mach.SeedExtractCost)
-		firstCanon, firstQRC = s0.Canonical(opt.K)
+		var firstCanon kmer.Kmer
+		firstCanon, firstQRC = qp.scan.Canonical()
 		firstRes, firstOK = qp.acc.Lookup(th, firstCanon)
 		firstSeedChecked = true
 		if firstOK && firstRes.Count == 1 && len(firstRes.Locs) == 1 {
@@ -118,28 +155,23 @@ func (qp *queryProcessor) process(th *upc.Thread, st *threadStats, qi int32, q d
 
 	// ---- General path: every seed, lookup, extend (lines 9-12) ----
 	stride := opt.stride()
-	for qoff := 0; qoff+opt.K <= L; qoff += stride {
-		var res dht.LookupResult
-		var ok bool
-		var qrc bool
-		if firstSeedChecked && qoff == 0 {
-			res, ok, qrc = firstRes, firstOK, firstQRC // reuse the fast-path lookup
-		} else {
-			s := kmer.FromPacked(q, qoff, opt.K)
-			th.Compute(mach.SeedExtractCost)
-			var canon kmer.Kmer
-			canon, qrc = s.Canonical(opt.K)
-			res, ok = qp.acc.Lookup(th, canon)
+	if firstSeedChecked {
+		qp.seedHits(th, st, firstRes, firstOK, firstQRC, 0, L) // reuse the fast-path lookup
+	} else {
+		th.Compute(mach.SeedExtractCost)
+		canon, qrc := qp.scan.Canonical()
+		res, ok := qp.acc.Lookup(th, canon)
+		qp.seedHits(th, st, res, ok, qrc, 0, L)
+	}
+	for qp.scan.Next() {
+		qoff := qp.scan.Offset()
+		if qoff%stride != 0 {
+			continue // the rolling update is O(1); only looked-up seeds pay
 		}
-		if !ok {
-			continue
-		}
-		if opt.MaxSeedHits > 0 && int(res.Count) > opt.MaxSeedHits {
-			continue // §IV-C sensitivity threshold
-		}
-		for _, loc := range res.Locs {
-			qp.candidate(th, st, loc, qrc, qoff, L)
-		}
+		th.Compute(mach.SeedExtractCost)
+		canon, qrc := qp.scan.Canonical()
+		res, ok := qp.acc.Lookup(th, canon)
+		qp.seedHits(th, st, res, ok, qrc, qoff, L)
 	}
 
 	if len(qp.found) > 0 {
@@ -158,6 +190,20 @@ func (qp *queryProcessor) process(th *upc.Thread, st *threadStats, qi int32, q d
 				Cigar: a.Cigar.String(),
 			})
 		}
+	}
+}
+
+// seedHits feeds one seed lookup's hits into candidate generation, applying
+// the §IV-C sensitivity threshold.
+func (qp *queryProcessor) seedHits(th *upc.Thread, st *threadStats, res dht.LookupResult, ok, qrc bool, qoff, L int) {
+	if !ok {
+		return
+	}
+	if qp.opt.MaxSeedHits > 0 && int(res.Count) > qp.opt.MaxSeedHits {
+		return // §IV-C sensitivity threshold
+	}
+	for _, loc := range res.Locs {
+		qp.candidate(th, st, loc, qrc, qoff, L)
 	}
 }
 
@@ -196,9 +242,33 @@ func (qp *queryProcessor) tryExact(th *upc.Thread, loc dht.Loc, qrc bool, L int)
 	}, true
 }
 
+// seenBefore records a candidate key, reporting whether it was already
+// present. Small candidate sets stay in the reusable slice; the rare
+// repeat-heavy query spills into the map (allocated once, cleared lazily).
+func (qp *queryProcessor) seenBefore(key candKey) bool {
+	for i := range qp.seenList {
+		if qp.seenList[i] == key {
+			return true
+		}
+	}
+	if len(qp.seenList) < seenSpill {
+		qp.seenList = append(qp.seenList, key)
+		return false
+	}
+	if qp.seenMap == nil {
+		qp.seenMap = make(map[candKey]struct{}, 2*seenSpill)
+	}
+	if _, dup := qp.seenMap[key]; dup {
+		return true
+	}
+	qp.seenMap[key] = struct{}{}
+	return false
+}
+
 // candidate processes one seed hit on the general path: dedupe by
 // (target, strand, diagonal), fetch the target through the cache, and run
-// striped Smith-Waterman on the seed window.
+// striped Smith-Waterman on the seed window with the query's per-strand
+// reusable profile.
 func (qp *queryProcessor) candidate(th *upc.Thread, st *threadStats, loc dht.Loc, qrc bool, qoff, L int) {
 	frag := qp.ft.Frags[loc.Frag]
 	rc := qrc != loc.RC
@@ -208,16 +278,13 @@ func (qp *queryProcessor) candidate(th *upc.Thread, st *threadStats, loc dht.Loc
 	}
 	seedT := int(frag.Start) + int(loc.Off) // seed position in the target
 	diag := int32(seedT - qoffEff)
-	key := candKey{target: frag.Target, diag: diag, rc: rc}
-	if _, dup := qp.seen[key]; dup {
+	if qp.seenBefore(candKey{target: frag.Target, diag: diag, rc: rc}) {
 		return
 	}
-	qp.seen[key] = struct{}{}
 
 	tcodes := qp.ft.TargetCodes(frag.Target)
 	qp.acc.FetchTarget(th, frag.Target, qp.ft.TargetPackedBytes(frag.Target), qp.ft.Owner(loc.Frag))
 
-	qc := qp.queryCodes(rc, L)
 	winLo := seedT - qoffEff - qp.opt.ExtendPad
 	if winLo < 0 {
 		winLo = 0
@@ -236,10 +303,12 @@ func (qp *queryProcessor) candidate(th *upc.Thread, st *threadStats, loc dht.Loc
 	if st.alignments == nil && qp.opt.Extend == nil {
 		// Statistics-only runs use the striped score kernel (as the real
 		// code does); end-points are derived from the striped result, and
-		// the traceback is skipped entirely.
-		sr := align.StripedScore(qc, tcodes[winLo:winHi], qp.opt.Scoring)
+		// the traceback is skipped entirely. The profile is built once per
+		// (query, strand) and reused across every candidate window.
+		sr := qp.strandProfile(rc, L).AlignWindow(tcodes[winLo:winHi])
 		res = align.Result{Score: sr.Score, TStart: winLo + sr.TEnd, TEnd: winLo + sr.TEnd}
 	} else {
+		qc := qp.queryCodes(rc, L)
 		extend := qp.opt.Extend
 		if extend == nil {
 			extend = align.ExtendSeed
@@ -250,16 +319,35 @@ func (qp *queryProcessor) candidate(th *upc.Thread, st *threadStats, loc dht.Loc
 	if res.Score < qp.opt.minScore() {
 		return
 	}
-	// Dedupe identical alignments reached from different seed diagonals.
-	for i := range qp.found {
-		if qp.foundTg[i] == frag.Target && qp.foundRC[i] == rc &&
-			qp.found[i].TStart == res.TStart && qp.found[i].QStart == res.QStart {
+	// Dedupe identical alignments reached from different seed diagonals:
+	// linear scan over the packed key slice.
+	key := foundKey{target: frag.Target, tstart: int32(res.TStart), qstart: int32(res.QStart), rc: rc}
+	for i := range qp.foundKeys {
+		if qp.foundKeys[i] == key {
 			return
 		}
 	}
 	qp.found = append(qp.found, res)
+	qp.foundKeys = append(qp.foundKeys, key)
 	qp.foundRC = append(qp.foundRC, rc)
 	qp.foundTg = append(qp.foundTg, frag.Target)
+}
+
+// strandProfile returns the striped profile of the query on the requested
+// strand, building (or Reset-recycling) it on first use within the query.
+func (qp *queryProcessor) strandProfile(rc bool, L int) *align.Profile {
+	if rc {
+		if !qp.profRCOK {
+			qp.profRC.Reset(qp.queryCodes(true, L), qp.opt.Scoring)
+			qp.profRCOK = true
+		}
+		return &qp.profRC
+	}
+	if !qp.profFwdOK {
+		qp.profFwd.Reset(qp.fwd, qp.opt.Scoring)
+		qp.profFwdOK = true
+	}
+	return &qp.profFwd
 }
 
 // queryCodes returns the query's code slice on the requested strand,

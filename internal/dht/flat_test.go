@@ -1,0 +1,234 @@
+package dht
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"github.com/lbl-repro/meraligner/internal/kmer"
+)
+
+// sealedWorkload builds a sharded index from a randomized entry set and
+// returns it along with probe seeds: every distinct present seed plus a set
+// of absent ones.
+func sealedWorkload(t *testing.T, seed int64, maxLoc int) (*Sharded, []kmer.Kmer, []kmer.Kmer) {
+	t.Helper()
+	const k, numFrags = 21, 60
+	es := randomEntries(seed, numFrags, 40, 400, k)
+	sx := buildSharded(t, ShardedConfig{K: k, S: 64, MaxLocList: maxLoc, Shards: 16}, es, numFrags, 3)
+
+	present := map[kmer.Kmer]struct{}{}
+	for _, e := range es {
+		present[e.Seed] = struct{}{}
+	}
+	var hits []kmer.Kmer
+	for s := range present {
+		hits = append(hits, s)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	var misses []kmer.Kmer
+	for len(misses) < 200 {
+		s := randomKmer(rng, k)
+		if _, ok := present[s]; !ok {
+			misses = append(misses, s)
+		}
+	}
+	return sx, hits, misses
+}
+
+// TestSealedLookupMatchesBuckets is the compaction parity oracle: for every
+// present seed and a batch of absent ones, the sealed flat table must return
+// exactly the LookupResult the pre-compaction buckets returned — same
+// location lists in the same order, same occurrence counts, same misses.
+func TestSealedLookupMatchesBuckets(t *testing.T) {
+	for _, maxLoc := range []int{0, 3} {
+		sx, hits, misses := sealedWorkload(t, 11, maxLoc)
+
+		type want struct {
+			locs  []Loc
+			count int32
+			ok    bool
+		}
+		expect := make(map[kmer.Kmer]want, len(hits)+len(misses))
+		record := func(s kmer.Kmer) {
+			res, ok := sx.Lookup(s)
+			expect[s] = want{locs: append([]Loc(nil), res.Locs...), count: res.Count, ok: ok}
+		}
+		for _, s := range hits {
+			record(s)
+		}
+		for _, s := range misses {
+			record(s)
+		}
+
+		sx.Seal()
+		for s, w := range expect {
+			res, ok := sx.Lookup(s)
+			if ok != w.ok {
+				t.Fatalf("maxLoc=%d seed %v: sealed ok=%v, buckets ok=%v", maxLoc, s, ok, w.ok)
+			}
+			if res.Count != w.count {
+				t.Fatalf("maxLoc=%d seed %v: sealed count=%d, buckets count=%d", maxLoc, s, res.Count, w.count)
+			}
+			if len(res.Locs) != len(w.locs) || (len(w.locs) > 0 && !reflect.DeepEqual(res.Locs, w.locs)) {
+				t.Fatalf("maxLoc=%d seed %v: sealed locs %v, buckets locs %v", maxLoc, s, res.Locs, w.locs)
+			}
+		}
+	}
+}
+
+// TestSealedLocsCapacityLimited: an append on a returned location list must
+// not clobber the neighbouring entry in the shared arena.
+func TestSealedLocsCapacityLimited(t *testing.T) {
+	sx, hits, _ := sealedWorkload(t, 13, 0)
+	sx.Seal()
+	for _, s := range hits[:10] {
+		res, ok := sx.Lookup(s)
+		if !ok {
+			t.Fatal("present seed missing after seal")
+		}
+		if cap(res.Locs) != len(res.Locs) {
+			t.Fatalf("sealed Locs cap %d > len %d: appends could overwrite the arena",
+				cap(res.Locs), len(res.Locs))
+		}
+	}
+}
+
+// TestSealedStatsMatchBuckets: Stats computed from the flat layout must
+// equal Stats computed from the build-time buckets.
+func TestSealedStatsMatchBuckets(t *testing.T) {
+	sx, _, _ := sealedWorkload(t, 17, 0)
+	before := sx.Stats()
+	sx.Seal()
+	after := sx.Stats()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("stats diverged across Seal:\nbuckets: %+v\nflat:    %+v", before, after)
+	}
+}
+
+// TestResidentBytesExact: the sealed ResidentBytes must equal, byte for
+// byte, what the flat structures actually hold (slot arrays at their
+// allocated length, arenas at capacity, the single-copy flag array).
+func TestResidentBytesExact(t *testing.T) {
+	for _, maxLoc := range []int{0, 5} {
+		sx, _, _ := sealedWorkload(t, 19, maxLoc)
+		sx.Seal()
+
+		var want int64
+		for i := range sx.flat {
+			fs := &sx.flat[i]
+			want += int64(len(fs.slots)) * int64(unsafe.Sizeof(flatEntry{}))
+			want += int64(cap(fs.locs)) * int64(unsafe.Sizeof(Loc{}))
+		}
+		want += int64(len(sx.singleCopy)) * int64(unsafe.Sizeof(int32(0)))
+
+		if got := sx.ResidentBytes(); got != want {
+			t.Fatalf("maxLoc=%d: ResidentBytes=%d, structures hold %d", maxLoc, got, want)
+		}
+
+		// Sanity-bound the number against the content: it must cover at
+		// least the packed payload (slots for every distinct seed + every
+		// stored location) and, with a <= 0.75 load factor plus the power-of-
+		// two rounding, at most ~8x the minimal slot bytes plus the arena.
+		st := sx.Stats()
+		minBytes := int64(st.DistinctSeeds)*int64(unsafe.Sizeof(flatEntry{})) +
+			int64(st.TotalLocs)*int64(unsafe.Sizeof(Loc{}))
+		if got := sx.ResidentBytes(); got < minBytes || got > 8*minBytes+int64(len(sx.singleCopy)*4)+int64(len(sx.flat))*(1<<minFlatBits)*int64(unsafe.Sizeof(flatEntry{})) {
+			t.Fatalf("maxLoc=%d: ResidentBytes=%d implausible for payload %d", maxLoc, got, minBytes)
+		}
+	}
+}
+
+// TestSealIdempotent: a second Seal must be a no-op — recompacting the
+// already-released build buckets would wipe the table.
+func TestSealIdempotent(t *testing.T) {
+	sx, hits, _ := sealedWorkload(t, 23, 0)
+	sx.Seal()
+	before := sx.Stats()
+	sx.Seal()
+	if after := sx.Stats(); !reflect.DeepEqual(before, after) {
+		t.Fatalf("double Seal changed the table:\nfirst:  %+v\nsecond: %+v", before, after)
+	}
+	if _, ok := sx.Lookup(hits[0]); !ok {
+		t.Fatal("present seed lost after double Seal")
+	}
+}
+
+// TestSealedEmptyShards: an index with no entries (or with empty shards)
+// must seal and answer lookups with clean misses.
+func TestSealedEmptyShards(t *testing.T) {
+	sx, err := NewSharded(ShardedConfig{K: 21, Shards: 8}, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < sx.Shards(); s++ {
+		sx.DrainShard(s)
+	}
+	sx.Seal()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		if _, ok := sx.Lookup(randomKmer(rng, 21)); ok {
+			t.Fatal("lookup hit in an empty sealed index")
+		}
+	}
+	if st := sx.Stats(); st.DistinctSeeds != 0 || st.TotalLocs != 0 {
+		t.Fatalf("empty sealed index stats: %+v", st)
+	}
+}
+
+// BenchmarkSealedLookup compares the sealed flat-table probe against the
+// build-time map probe on the same content and probe mix (90% hits).
+func BenchmarkSealedLookup(b *testing.B) {
+	const k, numFrags = 31, 80
+	build := func() (*Sharded, []kmer.Kmer) {
+		rng := rand.New(rand.NewSource(5))
+		pool := make([]kmer.Kmer, 50_000)
+		for i := range pool {
+			pool[i] = randomKmer(rng, k)
+		}
+		es := make([]SeedEntry, 0, 120_000)
+		for i := 0; i < 120_000; i++ {
+			es = append(es, SeedEntry{
+				Seed: pool[rng.Intn(len(pool))],
+				Loc:  Loc{Frag: int32(i % numFrags), Off: int32(i), RC: i%2 == 0},
+			})
+		}
+		sx, err := NewSharded(ShardedConfig{K: k, S: 1000, Shards: 16}, numFrags, len(es), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bd := sx.NewBuilder()
+		for _, e := range es {
+			bd.Add(e)
+		}
+		bd.Flush()
+		for s := 0; s < sx.Shards(); s++ {
+			sx.DrainShard(s)
+		}
+		probes := make([]kmer.Kmer, 4096)
+		for i := range probes {
+			if rng.Intn(10) == 0 {
+				probes[i] = randomKmer(rng, k) // likely miss
+			} else {
+				probes[i] = pool[rng.Intn(len(pool))]
+			}
+		}
+		return sx, probes
+	}
+
+	run := func(b *testing.B, sx *Sharded, probes []kmer.Kmer) {
+		var locs int
+		for i := 0; i < b.N; i++ {
+			res, _ := sx.Lookup(probes[i%len(probes)])
+			locs += len(res.Locs)
+		}
+		_ = locs
+	}
+
+	sxMap, probes := build()
+	b.Run("map", func(b *testing.B) { run(b, sxMap, probes) })
+	sxFlat, _ := build()
+	sxFlat.Seal()
+	b.Run("flat", func(b *testing.B) { run(b, sxFlat, probes) })
+}

@@ -62,6 +62,12 @@ type Sharded struct {
 
 	shards []buckets
 
+	// flat holds the sealed, read-only form of each shard — built by Seal,
+	// after which shards' build structures are released. Publication is
+	// ordinary (non-atomic): Seal happens-before every concurrent Lookup,
+	// because unsynchronized lookups are only legal on a sealed index.
+	flat []flatShard
+
 	// singleCopy[frag] is 1 while every seed of the fragment is uniquely
 	// located in it; cleared with atomic stores during MarkShard.
 	singleCopy   []int32
@@ -225,13 +231,32 @@ func (sx *Sharded) ReleaseArena() {
 	sx.segsByShard = nil
 }
 
-// Seal marks construction complete: the staging arena is released and the
-// table becomes immutable, so any number of goroutines may Lookup without
+// Seal marks construction complete: the staging arena is released, each
+// shard's map+bucket structure is compacted into its flat open-addressing
+// form (see flat.go), the build-time buckets are freed, and the table
+// becomes immutable — any number of goroutines may Lookup without
 // synchronization for the rest of the index's life. Further builder or
 // drain activity is a bug; NewBuilder, builder ships (Add on a full
-// buffer, Flush), DrainShard, and MarkShard panic after Seal.
+// buffer, Flush), DrainShard, and MarkShard panic after Seal. Seal is
+// idempotent: once sealed, further calls are no-ops (the build buckets are
+// already gone, so recompacting would wipe the table).
 func (sx *Sharded) Seal() {
+	if sx.sealed.Load() {
+		return
+	}
 	sx.ReleaseArena()
+	flat := make([]flatShard, len(sx.shards))
+	var wg sync.WaitGroup
+	for i := range sx.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			flat[i] = buildFlat(&sx.shards[i])
+			sx.shards[i] = buckets{} // release the build map and entry slices
+		}(i)
+	}
+	wg.Wait()
+	sx.flat = flat
 	sx.sealed.Store(true)
 }
 
@@ -244,17 +269,24 @@ func (sx *Sharded) mustBeMutable(op string) {
 	}
 }
 
-// ResidentBytes estimates the steady-state memory footprint of the sealed
-// table: bucket entries, location lists, and the per-shard hash maps. It is
-// the number a serving process should budget per resident index (the build
-// arena is already released by Seal).
+// ResidentBytes reports the steady-state memory footprint of the index. On
+// a sealed index it is EXACT for the structures the index owns: the flat
+// slot arrays, the location arenas (allocated at exact capacity), and the
+// single-copy flags — the number a serving process should budget per
+// resident index. Before Seal it falls back to an estimate of the build-time
+// buckets (entries, location slices, map overhead, and the key list).
 func (sx *Sharded) ResidentBytes() int64 {
+	n := int64(len(sx.singleCopy)) * 4
+	if sx.flat != nil {
+		for i := range sx.flat {
+			n += sx.flat[i].residentBytes()
+		}
+		return n
+	}
 	const (
 		entryBytes = 8 + 3*8 + 8 // kmer + locs slice header + count/padding
-		locBytes   = 12          // Frag, Off int32 + RC bool, padded
 		mapBytes   = 24          // rough per-entry map overhead (key+value+meta)
 	)
-	var n int64
 	for i := range sx.shards {
 		bt := &sx.shards[i]
 		n += int64(len(bt.e)) * entryBytes
@@ -263,7 +295,6 @@ func (sx *Sharded) ResidentBytes() int64 {
 			n += int64(len(bt.e[j].locs)) * locBytes
 		}
 	}
-	n += int64(len(sx.singleCopy)) * 4
 	return n
 }
 
@@ -286,9 +317,16 @@ func (sx *Sharded) MarkShard(s int) {
 
 // Lookup probes the table. Safe for concurrent use once construction (all
 // DrainShard/MarkShard calls) has completed; the table is immutable from
-// then on.
+// then on. On a sealed index the probe hits the flat compact layout and the
+// seed is hashed exactly once, shared between shard selection and the
+// in-shard slot index.
 func (sx *Sharded) Lookup(s kmer.Kmer) (LookupResult, bool) {
-	return sx.shards[sx.ShardOf(s)].lookup(s)
+	h := s.Hash()
+	shard := h % uint64(sx.cfg.Shards)
+	if sx.flat != nil {
+		return sx.flat[shard].lookup(s, h)
+	}
+	return sx.shards[shard].lookup(s)
 }
 
 // SingleCopy reports whether every seed of fragment frag is uniquely
@@ -308,9 +346,41 @@ func (sx *Sharded) SingleCopyCount() int {
 	return n
 }
 
-// Stats scans the whole table (host-side).
+// Stats scans the whole table (host-side). It works on both forms: the
+// build-time buckets before Seal and the flat compact layout after.
 func (sx *Sharded) Stats() Stats {
 	st := Stats{MinOwnerSeeds: -1, SingleCopyFrags: sx.SingleCopyCount(), Fragments: sx.numFragments}
+	if sx.flat != nil {
+		for i := range sx.flat {
+			fs := &sx.flat[i]
+			n := 0
+			for j := range fs.slots {
+				e := &fs.slots[j]
+				if e.n == 0 {
+					continue
+				}
+				n++
+				st.TotalLocs += int(e.n)
+				if int(e.n) > st.MaxListLen {
+					st.MaxListLen = int(e.n)
+				}
+				if e.cnt > 1 {
+					st.RepeatSeeds++
+				}
+			}
+			st.DistinctSeeds += n
+			if n > st.MaxOwnerSeeds {
+				st.MaxOwnerSeeds = n
+			}
+			if st.MinOwnerSeeds < 0 || n < st.MinOwnerSeeds {
+				st.MinOwnerSeeds = n
+			}
+		}
+		if st.MinOwnerSeeds < 0 {
+			st.MinOwnerSeeds = 0
+		}
+		return st
+	}
 	for i := range sx.shards {
 		bt := &sx.shards[i]
 		n := len(bt.e)

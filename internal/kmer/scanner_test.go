@@ -1,0 +1,156 @@
+package kmer
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/lbl-repro/meraligner/internal/dna"
+)
+
+// scannerKs covers the three rolling-update regimes: single word (k < 32),
+// the full-word boundary (k = 32), and the two-word case (33..64) including
+// its own boundary (k = 64).
+var scannerKs = []int{1, 2, 5, 19, 31, 32, 33, 34, 51, 63, 64}
+
+// TestScannerMatchesFromPackedCanonical is the parity oracle of the rolling
+// extraction: on random sequences and on sequences exercising every base
+// value, the scanner must emit byte-identical (forward, canonical, strand)
+// triples to the naive FromPacked+Canonical pair at every offset.
+func TestScannerMatchesFromPackedCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seqs := []dna.Packed{
+		dna.MustPack(strings.Repeat("A", 80)),
+		dna.MustPack(strings.Repeat("T", 80)),
+		dna.MustPack(strings.Repeat("ACGT", 40)),
+		dna.MustPack("ACGTTGCAACGTACGTACGTTTTTGGGGCCCCAAAA"),
+	}
+	for i := 0; i < 24; i++ {
+		seqs = append(seqs, dna.Random(rng, 20+rng.Intn(220)))
+	}
+	for _, k := range scannerKs {
+		for si, p := range seqs {
+			var sc Scanner
+			sc.Reset(p, k)
+			want := Count(p.Len(), k)
+			got := 0
+			for sc.Next() {
+				off := sc.Offset()
+				if off != got {
+					t.Fatalf("k=%d seq=%d: offset %d, want %d", k, si, off, got)
+				}
+				ref := FromPacked(p, off, k)
+				if sc.Forward() != ref {
+					t.Fatalf("k=%d seq=%d off=%d: forward %v, want %v", k, si, off, sc.Forward(), ref)
+				}
+				if sc.Reverse() != ref.ReverseComplement(k) {
+					t.Fatalf("k=%d seq=%d off=%d: reverse complement mismatch", k, si, off)
+				}
+				refCanon, refRC := ref.Canonical(k)
+				canon, rc := sc.Canonical()
+				if canon != refCanon || rc != refRC {
+					t.Fatalf("k=%d seq=%d off=%d: canonical (%v,%v), want (%v,%v)",
+						k, si, off, canon, rc, refCanon, refRC)
+				}
+				got++
+			}
+			if got != want {
+				t.Fatalf("k=%d seq=%d: emitted %d seeds, want %d", k, si, got, want)
+			}
+		}
+	}
+}
+
+// TestScannerShortSequence: sequences shorter than k yield no seeds, and a
+// length-k sequence yields exactly one.
+func TestScannerShortSequence(t *testing.T) {
+	var sc Scanner
+	sc.Reset(dna.MustPack("ACGT"), 19)
+	if sc.Next() {
+		t.Fatal("Next on a too-short sequence returned true")
+	}
+	p := dna.MustPack("ACGTACGTACGTACGTACG") // exactly 19 bases
+	sc.Reset(p, 19)
+	if !sc.Next() {
+		t.Fatal("length-k sequence must yield one seed")
+	}
+	if sc.Forward() != FromPacked(p, 0, 19) {
+		t.Fatal("single-seed forward mismatch")
+	}
+	if sc.Next() {
+		t.Fatal("length-k sequence must yield exactly one seed")
+	}
+}
+
+// TestScannerReuse: one scanner value Reset across sequences and seed
+// lengths must behave as a fresh scanner each time.
+func TestScannerReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sc Scanner
+	for trial := 0; trial < 20; trial++ {
+		k := scannerKs[rng.Intn(len(scannerKs))]
+		p := dna.Random(rng, 10+rng.Intn(150))
+		sc.Reset(p, k)
+		n := 0
+		for sc.Next() {
+			canon, rc := sc.Canonical()
+			refCanon, refRC := FromPacked(p, sc.Offset(), k).Canonical(k)
+			if canon != refCanon || rc != refRC {
+				t.Fatalf("trial=%d k=%d off=%d: reused scanner diverged", trial, k, sc.Offset())
+			}
+			n++
+		}
+		if n != Count(p.Len(), k) {
+			t.Fatalf("trial=%d k=%d: %d seeds, want %d", trial, k, n, Count(p.Len(), k))
+		}
+	}
+}
+
+func TestScannerPanicsOnBadK(t *testing.T) {
+	for _, k := range []int{0, -3, MaxK + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Reset(k=%d) did not panic", k)
+				}
+			}()
+			var sc Scanner
+			sc.Reset(dna.MustPack("ACGTACGT"), k)
+		}()
+	}
+}
+
+// BenchmarkSeedScan compares the rolling scanner against the naive per-offset
+// FromPacked+Canonical extraction on both single-word and two-word seed
+// lengths — the kernel behind the query hot path and the index build.
+func BenchmarkSeedScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := dna.Random(rng, 100_000)
+	for _, k := range []int{31, 51} {
+		b.Run(fmt.Sprintf("naive-k%d", k), func(b *testing.B) {
+			b.SetBytes(int64(p.Len()))
+			var sink Kmer
+			for i := 0; i < b.N; i++ {
+				for off := 0; off+k <= p.Len(); off++ {
+					canon, _ := FromPacked(p, off, k).Canonical(k)
+					sink.Lo ^= canon.Lo
+				}
+			}
+			_ = sink
+		})
+		b.Run(fmt.Sprintf("rolling-k%d", k), func(b *testing.B) {
+			b.SetBytes(int64(p.Len()))
+			var sink Kmer
+			var sc Scanner
+			for i := 0; i < b.N; i++ {
+				sc.Reset(p, k)
+				for sc.Next() {
+					canon, _ := sc.Canonical()
+					sink.Lo ^= canon.Lo
+				}
+			}
+			_ = sink
+		})
+	}
+}
