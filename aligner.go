@@ -3,9 +3,11 @@ package meraligner
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"github.com/lbl-repro/meraligner/internal/core"
 	"github.com/lbl-repro/meraligner/internal/dht"
+	"github.com/lbl-repro/meraligner/internal/merx"
 	"github.com/lbl-repro/meraligner/internal/upc"
 )
 
@@ -131,7 +133,71 @@ func (a *Aligner) BuildPhases() []upc.PhaseStat { return a.ix.BuildPhases() }
 func (a *Aligner) BuildWall() float64 { return a.ix.BuildWall() }
 
 // ResidentBytes estimates the memory held by the resident index: the
-// sealed seed table plus the unpacked target codes used for extension.
+// sealed seed table plus the unpacked target codes used for extension. For
+// an Aligner produced by Open, the seed-table portion is file-backed — it
+// lives in the shared page cache rather than this process's heap, and
+// replicas serving the same snapshot on one host pay for it once.
 func (a *Aligner) ResidentBytes() int64 {
 	return a.ix.ResidentBytes() + a.ix.TargetCodesBytes()
 }
+
+// Snapshot persistence: ErrCorruptIndex matches (with errors.Is) every
+// error Open returns for a damaged snapshot — truncated file, checksum
+// mismatch, impossible offsets — and ErrIncompatibleIndex every error for a
+// file this build cannot use: not a .merx snapshot, a future format
+// version, or a different struct layout. The concrete error types carry the
+// failing section and reason.
+var (
+	ErrCorruptIndex      = merx.ErrCorrupt
+	ErrIncompatibleIndex = merx.ErrIncompatible
+)
+
+// Typed snapshot errors: CorruptIndexError names the damaged file section
+// ("header", "section table", "META", "TARG", "DHTS") and the validation
+// that failed; IncompatibleIndexError explains why the file, though
+// possibly intact, cannot be used by this build.
+type (
+	CorruptIndexError      = merx.CorruptError
+	IncompatibleIndexError = merx.IncompatibleError
+)
+
+// Save writes the resident index as a .merx snapshot at path: a versioned,
+// checksummed binary image of the sealed seed table, the packed reference,
+// and the build options (docs/INDEX_FORMAT.md specifies the format). The
+// write is atomic — a temporary file renamed into place — so a crash never
+// leaves a truncated snapshot where Open might find it. The snapshot
+// depends only on the index contents, not on the worker count that built
+// it; a saved-then-opened Aligner produces byte-identical alignments.
+func (a *Aligner) Save(path string) error { return a.ix.Save(path) }
+
+// Open memory-maps a .merx snapshot written by Save and returns a resident
+// Aligner without rebuilding anything: the sealed seed table and the packed
+// reference are used zero-copy from the read-only mapping, so cold start
+// costs milliseconds instead of an index construction, and N replicas
+// opening the same file on one host share a single physical copy of the
+// table through the page cache. The Align-call default worker-pool size is
+// the host CPU count; use OpenThreads to pick another.
+//
+// Damaged files fail with an error matching ErrCorruptIndex (naming the
+// bad section); files this build cannot use fail with one matching
+// ErrIncompatibleIndex. Release the mapping with Close when done.
+func Open(path string) (*Aligner, error) { return OpenThreads(runtime.NumCPU(), path) }
+
+// OpenThreads is Open with an explicit default worker-pool size for Align
+// calls (the role Build's threads parameter plays for built indexes).
+func OpenThreads(threads int, path string) (*Aligner, error) {
+	ix, err := core.LoadIndex(threads, path)
+	if err != nil {
+		return nil, err
+	}
+	return &Aligner{ix: ix, threads: threads}, nil
+}
+
+// Mapped reports whether this Aligner serves a memory-mapped snapshot
+// (true after Open) rather than a heap-built index (false after Build).
+func (a *Aligner) Mapped() bool { return a.ix.Mapped() }
+
+// Close releases the snapshot mapping of an Aligner produced by Open; the
+// Aligner must not be used afterwards. On a Build-produced Aligner it is a
+// no-op, so deferring Close is always safe. Close is idempotent.
+func (a *Aligner) Close() error { return a.ix.Close() }

@@ -145,6 +145,7 @@ type RetryError struct {
 	After time.Duration
 }
 
+// Error formats the overload report including the retry delay.
 func (e *RetryError) Error() string {
 	return fmt.Sprintf("client: server overloaded, retry after %s", e.After)
 }
@@ -156,6 +157,7 @@ type StatusError struct {
 	TooShort []string // read names, when the 400 was a too-short rejection
 }
 
+// Error formats the HTTP status and the server's message.
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Message)
 }

@@ -10,12 +10,20 @@
 // reports simulated phase times — useful for predicting distributed-scale
 // behavior from a laptop.
 //
+// Index snapshots decouple building from serving: -save-index writes the
+// sealed index as a .merx snapshot after building (with or without aligning
+// anything), and -index memory-maps a snapshot instead of building — cold
+// start in milliseconds, with every build-time option restored from the
+// file (-k and -no-exact do not apply). See docs/INDEX_FORMAT.md.
+//
 // Usage:
 //
 //	meraligner -targets contigs.fa -queries reads.fq [-k 51] [-threads N]
 //	           [-engine threaded|sim] [-sim-cores 480] [-max-hits 1000]
 //	           [-min-score 0] [-no-exact] [-sam] [-o out.tsv]
 //	meraligner -targets contigs.fa -batches r1.fq,r2.fq.gz,r3.fq -sam
+//	meraligner -targets contigs.fa -save-index contigs.merx
+//	meraligner -index contigs.merx -queries reads.fq -sam
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"time"
 
 	"github.com/lbl-repro/meraligner"
 	"github.com/lbl-repro/meraligner/internal/buildinfo"
@@ -40,6 +49,8 @@ func main() {
 
 	var (
 		targetsPath = flag.String("targets", "", "FASTA file of target sequences (contigs)")
+		indexPath   = flag.String("index", "", "load a .merx index snapshot instead of building from -targets")
+		saveIndex   = flag.String("save-index", "", "write the sealed index as a .merx snapshot (usable without -queries/-batches)")
 		queriesPath = flag.String("queries", "", "FASTQ or SeqDB file of query reads (one batch)")
 		batchList   = flag.String("batches", "", "comma-separated FASTQ/SeqDB files aligned as successive batches against one resident index")
 		k           = flag.Int("k", 51, "seed length (1-64)")
@@ -61,8 +72,18 @@ func main() {
 		log.Fatal(err)
 	}
 	defer stopProfile()
-	if *targetsPath == "" || (*queriesPath == "") == (*batchList == "") {
-		fmt.Fprintln(os.Stderr, "need -targets and exactly one of -queries / -batches")
+	if (*targetsPath == "") == (*indexPath == "") {
+		fmt.Fprintln(os.Stderr, "need exactly one of -targets (build the index) / -index (load a .merx snapshot)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *queriesPath != "" && *batchList != "" {
+		fmt.Fprintln(os.Stderr, "use at most one of -queries / -batches")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *queriesPath == "" && *batchList == "" && *saveIndex == "" {
+		fmt.Fprintln(os.Stderr, "nothing to do: need -queries, -batches, or -save-index")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -72,6 +93,18 @@ func main() {
 	if *batchList != "" && *engine == "sim" {
 		log.Fatal("-batches requires the threaded engine (the simulator is one-shot)")
 	}
+	if (*indexPath != "" || *saveIndex != "") && *engine == "sim" {
+		log.Fatal("index snapshots require the threaded engine")
+	}
+	if *indexPath != "" {
+		// Build-time options come from the snapshot; catch silently ignored
+		// flags up front.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "k" || f.Name == "no-exact" {
+				log.Fatalf("-%s is a build-time option; it is stored in the snapshot and cannot be set with -index", f.Name)
+			}
+		})
+	}
 
 	iopt := meraligner.DefaultIndexOptions(*k)
 	iopt.ExactMatch = !*noExact
@@ -80,10 +113,11 @@ func main() {
 	qopt.MinScore = *minScore
 	qopt.Permute = !*noPermute
 	qopt.CollectAlignments = true
-	if *batchList == "" && *maxHits > 0 {
+	if *batchList == "" && *saveIndex == "" && *indexPath == "" && *maxHits > 0 {
 		// One-shot runs know the threshold at build time; cap the stored
-		// location lists just past it. Batch mode keeps full lists so the
-		// resident index stays valid for any future threshold.
+		// location lists just past it. Batch mode and saved snapshots keep
+		// full lists so the resident index stays valid for any future
+		// threshold.
 		iopt.MaxLocList = *maxHits + 1
 	}
 
@@ -127,9 +161,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	batches := []string{*queriesPath}
+	var batches []string
+	if *queriesPath != "" {
+		batches = []string{*queriesPath}
+	}
 	if *batchList != "" {
-		batches = batches[:0]
 		for _, p := range strings.Split(*batchList, ",") {
 			if p = strings.TrimSpace(p); p != "" {
 				batches = append(batches, p)
@@ -152,15 +188,37 @@ func main() {
 		f.Close()
 	}
 
-	a, err := meraligner.BuildFiles(*threads, iopt, *targetsPath)
+	var a *meraligner.Aligner
+	if *indexPath != "" {
+		a, err = meraligner.OpenThreads(*threads, *indexPath)
+	} else {
+		a, err = meraligner.BuildFiles(*threads, iopt, *targetsPath)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer a.Close()
 	targets := a.Targets()
 	if *verbose {
 		st := a.IndexStats()
-		fmt.Fprintf(os.Stderr, "index built in %.3fs: %d distinct seeds, %d locations, ~%d MiB resident\n",
-			a.BuildWall(), st.DistinctSeeds, st.TotalLocs, a.ResidentBytes()>>20)
+		verb := "built"
+		if a.Mapped() {
+			verb = "mapped"
+		}
+		fmt.Fprintf(os.Stderr, "index %s in %.3fs (k=%d): %d distinct seeds, %d locations, ~%d MiB resident\n",
+			verb, a.BuildWall(), a.IndexOptions().K, st.DistinctSeeds, st.TotalLocs, a.ResidentBytes()>>20)
+	}
+	if *saveIndex != "" {
+		saveStart := time.Now()
+		if err := a.Save(*saveIndex); err != nil {
+			log.Fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "index snapshot saved to %s in %.3fs\n", *saveIndex, time.Since(saveStart).Seconds())
+		}
+	}
+	if len(batches) == 0 {
+		return // build-and-save only
 	}
 
 	var stream *meraligner.SAMStream

@@ -8,6 +8,13 @@
 //	merserved -targets contigs.fa [-k 51] [-threads N] [-addr :8490]
 //	          [-max-batch 256] [-max-wait 2ms] [-queue 1024]
 //	          [-max-hits 1000] [-min-score 0] [-no-exact] [-v]
+//	merserved -index contigs.merx [-threads N] [-addr :8490] ...
+//
+// With -index the server memory-maps a .merx snapshot written by
+// `meraligner -save-index` instead of building: warm start in
+// milliseconds, and N replicas on one host share a single physical copy of
+// the index through the page cache. Build-time options (-k, -no-exact)
+// come from the snapshot and cannot be overridden.
 //
 // Endpoints: POST /v1/align (JSON or FASTQ in; JSON, or SAM with
 // Accept: text/x-sam, out), POST /v1/align/stream (NDJSON/SAM chunks),
@@ -40,6 +47,7 @@ func main() {
 
 	var (
 		targetsPath = flag.String("targets", "", "FASTA file of target sequences (contigs)")
+		indexPath   = flag.String("index", "", "memory-map a .merx index snapshot instead of building from -targets")
 		k           = flag.Int("k", 51, "seed length (1-64)")
 		threads     = flag.Int("threads", runtime.NumCPU(), "worker threads (index build and engine pool)")
 		addr        = flag.String("addr", ":8490", "listen address (use :0 for a random port)")
@@ -60,10 +68,17 @@ func main() {
 	}
 	defer stopProfile()
 
-	if *targetsPath == "" {
-		fmt.Fprintln(os.Stderr, "need -targets")
+	if (*targetsPath == "") == (*indexPath == "") {
+		fmt.Fprintln(os.Stderr, "need exactly one of -targets (build the index) / -index (map a .merx snapshot)")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *indexPath != "" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "k" || f.Name == "no-exact" {
+				log.Fatalf("-%s is a build-time option; it is stored in the snapshot and cannot be set with -index", f.Name)
+			}
+		})
 	}
 
 	iopt := meraligner.DefaultIndexOptions(*k)
@@ -73,13 +88,23 @@ func main() {
 	qopt.MinScore = *minScore
 
 	buildStart := time.Now()
-	al, err := meraligner.BuildFiles(*threads, iopt, *targetsPath)
+	var al *meraligner.Aligner
+	if *indexPath != "" {
+		al, err = meraligner.OpenThreads(*threads, *indexPath)
+	} else {
+		al, err = meraligner.BuildFiles(*threads, iopt, *targetsPath)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer al.Close()
+	verb := "built"
+	if al.Mapped() {
+		verb = "mapped"
+	}
 	st := al.IndexStats()
-	log.Printf("index built in %.3fs: %d targets, %d distinct seeds, %d locations, ~%d MiB resident",
-		time.Since(buildStart).Seconds(), len(al.Targets()), st.DistinctSeeds, st.TotalLocs, al.ResidentBytes()>>20)
+	log.Printf("index %s in %.3fs (k=%d): %d targets, %d distinct seeds, %d locations, ~%d MiB resident",
+		verb, time.Since(buildStart).Seconds(), al.IndexOptions().K, len(al.Targets()), st.DistinctSeeds, st.TotalLocs, al.ResidentBytes()>>20)
 
 	srv, err := service.New(service.Config{
 		Aligner:    al,

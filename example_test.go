@@ -1,0 +1,96 @@
+package meraligner_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	meraligner "github.com/lbl-repro/meraligner"
+)
+
+// exampleTarget is a fixed 240 bp reference for the runnable examples.
+const exampleTarget = "ACGTGACTTACGGATCAGTCAGGACTATCGGTTACCAGTGACCATTTGGCAGCTAAGGTC" +
+	"CATGGATCCTAGGCATTACGGACCATTGCCAGATCCTTAGGCATCAGTTTACCGGATCAG" +
+	"GCATTAGCGGATCAGTTACGGACCATCAGGCATTACCGGTTAGCATCAGGCATACGGATT" +
+	"CAGGCATTACCGGATCAGTCAGGCATTACGGATCCAGTCAGGCATTAACGGATCAGTCAG"
+
+// mustSeq packs a literal sequence, panicking on typos in the example
+// itself.
+func mustSeq(name, bases string) meraligner.Seq {
+	s, err := meraligner.NewSeq(name, bases)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ExampleAligner_Save builds a small index and persists it as a .merx
+// snapshot — the expensive build happens once, the snapshot serves forever.
+func ExampleAligner_Save() {
+	a, err := meraligner.Build(2, meraligner.DefaultIndexOptions(21),
+		[]meraligner.Seq{mustSeq("contig1", exampleTarget)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "merx")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	path := filepath.Join(dir, "reference.merx")
+	if err := a.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("snapshot saved:", st.Size() > 0)
+	// Output: snapshot saved: true
+}
+
+// ExampleOpen memory-maps a saved snapshot and serves queries from it —
+// the warm-start path every replica takes instead of rebuilding the index.
+func ExampleOpen() {
+	// A snapshot produced earlier (in real deployments, by
+	// `meraligner -save-index` or a previous Aligner.Save).
+	builder, err := meraligner.Build(2, meraligner.DefaultIndexOptions(21),
+		[]meraligner.Seq{mustSeq("contig1", exampleTarget)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "merx")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "reference.merx")
+	if err := builder.Save(path); err != nil {
+		log.Fatal(err)
+	}
+
+	// Cold start: no rebuild, the sealed table is used straight from the
+	// mapped file.
+	a, err := meraligner.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+
+	read := mustSeq("read1", strings.ToUpper(exampleTarget[30:130]))
+	qopt := meraligner.DefaultQueryOptions()
+	qopt.CollectAlignments = true
+	res, err := a.Align(context.Background(), []meraligner.Seq{read}, qopt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mapped:", a.Mapped())
+	fmt.Printf("aligned %d of %d reads\n", res.AlignedReads, res.TotalReads)
+	// Output:
+	// mapped: true
+	// aligned 1 of 1 reads
+}

@@ -1,0 +1,94 @@
+package meraligner_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestPublicSurfaceDocumented enforces the godoc contract on the public
+// packages (the root package and client): every exported type, function,
+// method, const, and var carries a doc comment. CI runs this on every
+// push, so the public surface cannot silently grow undocumented symbols.
+func TestPublicSurfaceDocumented(t *testing.T) {
+	for _, dir := range []string{".", "client"} {
+		missing := undocumentedExports(t, dir)
+		for _, m := range missing {
+			t.Errorf("%s: exported %s has no doc comment", dir, m)
+		}
+	}
+}
+
+// undocumentedExports parses the non-test Go files of dir and returns the
+// exported declarations lacking doc comments.
+func undocumentedExports(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				missing = append(missing, undocumentedInDecl(decl)...)
+			}
+		}
+	}
+	return missing
+}
+
+// undocumentedInDecl returns the exported, undocumented symbols of one
+// top-level declaration.
+func undocumentedInDecl(decl ast.Decl) []string {
+	var missing []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return nil
+		}
+		name := d.Name.Name
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			name = fmt.Sprintf("method (%s).%s", recvString(d.Recv.List[0].Type), name)
+		} else {
+			name = "func " + name
+		}
+		missing = append(missing, name)
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					missing = append(missing, "type "+s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						missing = append(missing, fmt.Sprintf("%s %s", d.Tok, n.Name))
+					}
+				}
+			}
+		}
+	}
+	return missing
+}
+
+// recvString renders a method receiver type for the error message.
+func recvString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return "*" + recvString(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvString(t.X)
+	}
+	return "?"
+}

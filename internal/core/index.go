@@ -8,6 +8,7 @@ import (
 	"github.com/lbl-repro/meraligner/internal/dht"
 	"github.com/lbl-repro/meraligner/internal/dna"
 	"github.com/lbl-repro/meraligner/internal/kmer"
+	"github.com/lbl-repro/meraligner/internal/merx"
 	"github.com/lbl-repro/meraligner/internal/seqio"
 	"github.com/lbl-repro/meraligner/internal/upc"
 )
@@ -30,6 +31,12 @@ type ThreadedIndex struct {
 
 	buildPhases []upc.PhaseStat // extract+stage, drain, mark (wall-clock)
 	stats       dht.Stats       // computed once at seal time
+
+	// snap is the backing snapshot when the index was produced by LoadIndex
+	// rather than BuildIndex: the seed table and target sequences alias its
+	// mapping, so it must stay open for the index's lifetime (see Close).
+	// nil for built indexes.
+	snap *merx.File
 }
 
 // BuildIndex constructs the threaded engine's seed index over targets

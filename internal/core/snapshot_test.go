@@ -1,0 +1,298 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/lbl-repro/meraligner/internal/merx"
+)
+
+// saveLoad round-trips a built index through a snapshot file.
+func saveLoad(t *testing.T, ix *ThreadedIndex, workers int) (*ThreadedIndex, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "index.merx")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(workers, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { loaded.Close() })
+	return loaded, path
+}
+
+// TestSnapshotQueryParity: queries against a loaded snapshot must produce
+// results identical to the freshly built index — alignments, cigars,
+// per-read statuses, everything the engine reports.
+func TestSnapshotQueryParity(t *testing.T) {
+	ds := testWorkload(t, 60_000, 3, 0.005)
+	opt := testOptions(21)
+	built, err := BuildIndex(3, opt.IndexOptions, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, _ := saveLoad(t, built, 3)
+
+	if !loaded.Mapped() {
+		t.Error("loaded index does not report Mapped")
+	}
+	if built.Mapped() {
+		t.Error("built index reports Mapped")
+	}
+	if loaded.Options() != built.Options() {
+		t.Errorf("loaded options %+v, want %+v", loaded.Options(), built.Options())
+	}
+	if loaded.Stats() != built.Stats() {
+		t.Errorf("loaded stats %+v, want %+v", loaded.Stats(), built.Stats())
+	}
+
+	want, err := built.Query(context.Background(), 2, opt.QueryOptions, ds.Reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Query(context.Background(), 2, opt.QueryOptions, ds.Reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Alignments, got.Alignments) {
+		t.Fatalf("alignments differ: built %d, loaded %d", len(want.Alignments), len(got.Alignments))
+	}
+	if want.AlignedReads != got.AlignedReads || want.ExactPathReads != got.ExactPathReads ||
+		want.TotalAlignments != got.TotalAlignments || want.SWCalls != got.SWCalls {
+		t.Fatalf("result counters differ: built %+v, loaded %+v", want, got)
+	}
+
+	// The serial path and the load-time phase accounting must work too.
+	sGot, err := loaded.QuerySerial(context.Background(), opt.QueryOptions, ds.Reads[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sWant, err := built.QuerySerial(context.Background(), opt.QueryOptions, ds.Reads[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sWant.Alignments, sGot.Alignments) {
+		t.Fatal("serial-path alignments differ between built and loaded index")
+	}
+	phases := loaded.BuildPhases()
+	if len(phases) != 1 || phases[0].Name != PhaseLoad {
+		t.Errorf("loaded BuildPhases = %+v, want a single %q phase", phases, PhaseLoad)
+	}
+	if loaded.BuildWall() <= 0 {
+		t.Error("loaded BuildWall not positive")
+	}
+}
+
+// TestSnapshotTargetsPreserved: the packed reference must round-trip
+// exactly (names, lengths, and bases), since SAM output depends on it.
+func TestSnapshotTargetsPreserved(t *testing.T) {
+	ds := testWorkload(t, 30_000, 1, 0)
+	opt := testOptions(21)
+	built, err := BuildIndex(2, opt.IndexOptions, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, _ := saveLoad(t, built, 2)
+	if len(loaded.Targets()) != len(built.Targets()) {
+		t.Fatalf("%d targets loaded, want %d", len(loaded.Targets()), len(built.Targets()))
+	}
+	for i, want := range built.Targets() {
+		got := loaded.Targets()[i]
+		if got.Name != want.Name || !got.Seq.Equal(want.Seq) {
+			t.Fatalf("target %d (%q) differs after round trip", i, want.Name)
+		}
+	}
+	if loaded.TargetCodesBytes() != built.TargetCodesBytes() {
+		t.Errorf("TargetCodesBytes %d, want %d", loaded.TargetCodesBytes(), built.TargetCodesBytes())
+	}
+}
+
+// TestSnapshotMaxLocListEnforced: a loaded truncated index must reject
+// incompatible MaxSeedHits exactly like the built one.
+func TestSnapshotMaxLocListEnforced(t *testing.T) {
+	ds := testWorkload(t, 30_000, 1, 0)
+	opt := testOptions(21)
+	iopt := opt.IndexOptions
+	iopt.MaxLocList = 5
+	built, err := BuildIndex(2, iopt, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, _ := saveLoad(t, built, 2)
+	qopt := opt.QueryOptions
+	qopt.MaxSeedHits = 100 // exceeds the stored MaxLocList
+	if _, err := loaded.Query(context.Background(), 1, qopt, ds.Reads[:5]); err == nil {
+		t.Fatal("loaded index accepted MaxSeedHits beyond its MaxLocList")
+	}
+	qopt.MaxSeedHits = 5
+	if _, err := loaded.Query(context.Background(), 1, qopt, ds.Reads[:5]); err != nil {
+		t.Fatalf("compatible MaxSeedHits rejected: %v", err)
+	}
+}
+
+// TestLoadIndexErrors: missing files, damaged files, and misuse must all
+// fail with typed errors, never panic.
+func TestLoadIndexErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadIndex(2, filepath.Join(dir, "missing.merx")); err == nil {
+		t.Error("missing file accepted")
+	}
+	junk := filepath.Join(dir, "junk.merx")
+	if err := os.WriteFile(junk, make([]byte, 256), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndex(2, junk); !errors.Is(err, merx.ErrIncompatible) {
+		t.Errorf("junk file: got %v, want ErrIncompatible", err)
+	}
+
+	ds := testWorkload(t, 30_000, 1, 0)
+	built, err := BuildIndex(2, testOptions(21).IndexOptions, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "index.merx")
+	if err := built.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndex(0, path); err == nil {
+		t.Error("workers=0 accepted")
+	}
+
+	// Bit-flip every region of the file: a flip must yield a typed error
+	// naming a section (or an incompatibility for header-magic flips).
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(good)/64 + 1
+	for off := 0; off < len(good); off += step {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x10
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ix, err := LoadIndex(2, path)
+		if err == nil {
+			ix.Close()
+			t.Fatalf("bit flip at %d/%d went undetected", off, len(good))
+		}
+		if !errors.Is(err, merx.ErrCorrupt) && !errors.Is(err, merx.ErrIncompatible) {
+			t.Fatalf("bit flip at %d: untyped error %v", off, err)
+		}
+		if errors.Is(err, merx.ErrCorrupt) {
+			var ce *merx.CorruptError
+			if !errors.As(err, &ce) || ce.Section == "" {
+				t.Fatalf("bit flip at %d: corrupt error %v names no section", off, err)
+			}
+		}
+	}
+
+	// Truncations too.
+	for _, n := range []int{16, len(good) / 3, len(good) - 1} {
+		if err := os.WriteFile(path, good[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ix, err := LoadIndex(2, path)
+		if err == nil {
+			ix.Close()
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+		if !errors.Is(err, merx.ErrCorrupt) {
+			t.Fatalf("truncation to %d: got %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+// TestReadTargetsRejectsInflatedCount: a crafted record count larger than
+// the section could possibly hold must be rejected before the slice
+// pre-allocation, not OOM the loader.
+func TestReadTargetsRejectsInflatedCount(t *testing.T) {
+	blob := make([]byte, 4096)
+	binary.LittleEndian.PutUint64(blob, 1<<40) // claims ~10^12 records
+	if _, err := readTargets(blob); err == nil {
+		t.Fatal("inflated target count accepted")
+	}
+}
+
+// TestSaveFileMode: snapshots are shared serving artifacts; they must be
+// world-readable (0644) despite being staged through a 0600 temp file.
+func TestSaveFileMode(t *testing.T) {
+	ds := testWorkload(t, 30_000, 1, 0)
+	built, err := BuildIndex(2, testOptions(21).IndexOptions, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.merx")
+	if err := built.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o644 {
+		t.Errorf("snapshot mode %v, want -rw-r--r--", st.Mode().Perm())
+	}
+}
+
+// TestSnapshotCloseIdempotent: Close is safe to call twice and on built
+// indexes.
+func TestSnapshotCloseIdempotent(t *testing.T) {
+	ds := testWorkload(t, 30_000, 1, 0)
+	built, err := BuildIndex(2, testOptions(21).IndexOptions, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := built.Close(); err != nil {
+		t.Fatalf("Close on built index: %v", err)
+	}
+	loaded, path := saveLoad(t, built, 2)
+	if loaded.SnapshotPath() != path {
+		t.Errorf("SnapshotPath %q, want %q", loaded.SnapshotPath(), path)
+	}
+	if err := loaded.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if loaded.Mapped() {
+		t.Error("Mapped true after Close")
+	}
+}
+
+// TestSaveDeterministic: saving the same index twice must produce the same
+// file (no timestamps or randomness in the format), so snapshot artifacts
+// are cacheable and diffable.
+func TestSaveDeterministic(t *testing.T) {
+	ds := testWorkload(t, 30_000, 2, 0.005)
+	built, err := BuildIndex(3, testOptions(21).IndexOptions, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "a.merx"), filepath.Join(dir, "b.merx")
+	if err := built.Save(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := built.Save(p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b1, b2) {
+		t.Error("two saves of the same index differ byte for byte")
+	}
+}

@@ -349,12 +349,14 @@ func (r *Results) IOWall() float64 {
 	return s
 }
 
-// Phase names, in pipeline order.
+// Phase names, in pipeline order. PhaseLoad replaces the three
+// index-construction phases when the index comes from a snapshot.
 const (
 	PhaseReadTargets = "read targets (I/O)"
 	PhaseExtract     = "extract+stage seeds"
 	PhaseDrain       = "drain seed index"
 	PhaseMark        = "mark single-copy"
+	PhaseLoad        = "load index (mmap)"
 	PhaseReadQueries = "read queries (I/O)"
 	PhaseAlign       = "align"
 )

@@ -91,6 +91,25 @@ func MustPack(s string) Packed {
 	return p
 }
 
+// FromPackedBytes wraps raw already-packed data (the layout documented on
+// Packed: four bases per byte, base i in bits 2*(i%4)..2*(i%4)+1 of byte
+// i/4) as a Packed of n bases WITHOUT copying — the caller promises data
+// stays valid and unmodified for the sequence's lifetime. This is the
+// zero-copy path for sequences mapped from an index snapshot. It verifies
+// that data has exactly the packed length for n bases and that the unused
+// tail bits of the last byte are zero (the invariant every other
+// constructor maintains, which the byte-at-a-time comparison fast paths
+// rely on).
+func FromPackedBytes(data []byte, n int) (Packed, error) {
+	if n < 0 || len(data) != (n+3)/4 {
+		return Packed{}, fmt.Errorf("dna: %d packed bytes cannot hold exactly %d bases", len(data), n)
+	}
+	if rem := n & 3; rem != 0 && data[len(data)-1]>>uint(rem*2) != 0 {
+		return Packed{}, fmt.Errorf("dna: nonzero tail bits beyond base %d", n)
+	}
+	return Packed{data: data, n: n}, nil
+}
+
 // FromCodes builds a packed sequence from a slice of 2-bit codes.
 func FromCodes(codes []byte) Packed {
 	p := Packed{data: make([]byte, (len(codes)+3)/4), n: len(codes)}

@@ -1,0 +1,440 @@
+// Package merx implements the .merx index-snapshot container: the versioned
+// binary file format that persists a sealed merAligner seed index so serving
+// processes can mmap it instead of rebuilding it from FASTA.
+//
+// The container itself is payload-agnostic: a fixed 64-byte header, a set of
+// tagged sections whose payloads start at 64-byte-aligned offsets (so mapped
+// structures keep their natural alignment), and a section table with a
+// CRC-32C checksum per section. Every multi-byte integer in the framing is
+// little-endian. What goes inside each section — the options fingerprint,
+// the packed reference, the sealed hash-table shards — is defined by the
+// writers in internal/core and internal/dht; the full byte-level layout is
+// specified in docs/INDEX_FORMAT.md.
+//
+// Open maps the whole file read-only (falling back to a heap copy on
+// platforms without mmap) and verifies every checksum before handing out
+// section payloads, so a truncated or bit-flipped snapshot fails with a
+// typed *CorruptError naming the damaged section — never with a panic deep
+// inside the engine. Files written by an incompatible layout (different
+// struct sizes, a future format version, a big-endian writer) fail with a
+// typed *IncompatibleError.
+package merx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"unsafe"
+)
+
+// Version is the current .merx format version. Readers reject other
+// versions: the payload sections are raw memory images, so there is no
+// cross-version decoding — a version bump means "rebuild or re-save".
+const Version = 1
+
+// SectionAlign is the byte alignment of every section payload within the
+// file. The mmap base is page-aligned, so an aligned file offset gives the
+// payload the same alignment in memory — enough for the 8-byte-aligned
+// sealed table structs with room to spare.
+const SectionAlign = 64
+
+const (
+	headerSize     = 64
+	tableEntrySize = 32
+	maxSections    = 64 // sanity bound; real snapshots have a handful
+)
+
+// fileMagic identifies a .merx file. The PNG-style tail (\r\n\x1a\n)
+// catches line-ending translation and text-mode truncation corruption.
+var fileMagic = [8]byte{'M', 'E', 'R', 'X', '\r', '\n', 0x1a, '\n'}
+
+// castagnoli is the CRC-32C table used for every checksum in the format.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is the sentinel matched (via errors.Is) by every
+// *CorruptError: the file is recognizably a .merx snapshot but its bytes
+// fail validation (truncation, checksum mismatch, impossible offsets).
+var ErrCorrupt = errors.New("merx: corrupt index snapshot")
+
+// ErrIncompatible is the sentinel matched (via errors.Is) by every
+// *IncompatibleError: the file is not a .merx snapshot this build can use
+// (wrong magic, future version, or a layout fingerprint that differs from
+// the running binary's struct layout).
+var ErrIncompatible = errors.New("merx: incompatible index snapshot")
+
+// CorruptError reports a damaged snapshot: Section names the part of the
+// file that failed validation ("header", "section table", or a payload tag
+// such as "DHTS"), Reason says how. It matches ErrCorrupt with errors.Is.
+type CorruptError struct {
+	Path    string // file path, when known
+	Section string // which part failed: "header", "section table", or a tag
+	Reason  string
+}
+
+// Error formats the corruption report with its section and reason.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("merx: %s: corrupt index snapshot: section %q: %s", e.Path, e.Section, e.Reason)
+}
+
+// Is matches the ErrCorrupt sentinel.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// IncompatibleError reports a snapshot this build cannot use (as opposed to
+// one that is damaged). It matches ErrIncompatible with errors.Is.
+type IncompatibleError struct {
+	Path   string
+	Reason string
+}
+
+// Error formats the incompatibility report.
+func (e *IncompatibleError) Error() string {
+	return fmt.Sprintf("merx: %s: incompatible index snapshot: %s", e.Path, e.Reason)
+}
+
+// Is matches the ErrIncompatible sentinel.
+func (e *IncompatibleError) Is(target error) bool { return target == ErrIncompatible }
+
+// hostLittleEndian reports whether this machine stores integers
+// little-endian. The payload sections are raw memory images, so the format
+// is defined little-endian and big-endian hosts are refused outright.
+func hostLittleEndian() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}
+
+// Layout is the struct-size fingerprint recorded in the header: the writer
+// stamps the byte sizes of the raw structs it serialized, and the reader
+// refuses the file unless they match its own compiled layout exactly.
+type Layout struct {
+	FlatEntryBytes int // sizeof one sealed hash-table slot
+	LocBytes       int // sizeof one location-arena entry
+}
+
+// sectionMeta is one row of the section table.
+type sectionMeta struct {
+	tag [4]byte
+	off uint64
+	len uint64
+	crc uint32
+}
+
+// Writer streams a .merx file: a placeholder header, then each section
+// (64-byte aligned, checksummed as it is written), then the section table,
+// then the patched real header. The caller owns the file.
+type Writer struct {
+	f    *os.File
+	off  int64
+	secs []sectionMeta
+	lay  Layout
+	done bool
+}
+
+// NewWriter starts a .merx file on f (which must be positioned at offset
+// 0). lay records the raw struct sizes of the payload being written; a
+// reader with different struct sizes will refuse the file.
+func NewWriter(f *os.File, lay Layout) (*Writer, error) {
+	if !hostLittleEndian() {
+		return nil, &IncompatibleError{Path: f.Name(), Reason: "writing .merx snapshots requires a little-endian host"}
+	}
+	if _, err := f.Write(make([]byte, headerSize)); err != nil {
+		return nil, err
+	}
+	return &Writer{f: f, off: headerSize, lay: lay}, nil
+}
+
+// Section writes one tagged section: it pads the file to SectionAlign,
+// streams the payload produced by write, and records its checksum. Tags are
+// exactly 4 ASCII bytes and must be unique within the file.
+func (w *Writer) Section(tag string, write func(io.Writer) error) error {
+	if w.done {
+		return errors.New("merx: Section after Finish")
+	}
+	if len(tag) != 4 {
+		return fmt.Errorf("merx: section tag %q must be exactly 4 bytes", tag)
+	}
+	for _, s := range w.secs {
+		if string(s.tag[:]) == tag {
+			return fmt.Errorf("merx: duplicate section tag %q", tag)
+		}
+	}
+	if len(w.secs) >= maxSections {
+		return fmt.Errorf("merx: too many sections (max %d)", maxSections)
+	}
+	if err := w.pad(SectionAlign); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: w.f}
+	if err := write(cw); err != nil {
+		return err
+	}
+	var m sectionMeta
+	copy(m.tag[:], tag)
+	m.off = uint64(w.off)
+	m.len = uint64(cw.n)
+	m.crc = cw.crc
+	w.secs = append(w.secs, m)
+	w.off += cw.n
+	return nil
+}
+
+// Finish writes the section table, patches the header, and syncs the file.
+// The Writer must not be used afterwards.
+func (w *Writer) Finish() error {
+	if w.done {
+		return errors.New("merx: Finish called twice")
+	}
+	w.done = true
+	if err := w.pad(SectionAlign); err != nil {
+		return err
+	}
+	tableOff := w.off
+	table := make([]byte, len(w.secs)*tableEntrySize)
+	for i, s := range w.secs {
+		e := table[i*tableEntrySize:]
+		copy(e[0:4], s.tag[:])
+		binary.LittleEndian.PutUint64(e[8:], s.off)
+		binary.LittleEndian.PutUint64(e[16:], s.len)
+		binary.LittleEndian.PutUint32(e[24:], s.crc)
+	}
+	if _, err := w.f.Write(table); err != nil {
+		return err
+	}
+	w.off += int64(len(table))
+
+	var hdr [headerSize]byte
+	copy(hdr[0:8], fileMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], Version)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(w.secs)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(tableOff))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(w.off))
+	binary.LittleEndian.PutUint32(hdr[32:], uint32(w.lay.FlatEntryBytes))
+	binary.LittleEndian.PutUint32(hdr[36:], uint32(w.lay.LocBytes))
+	binary.LittleEndian.PutUint32(hdr[40:], crc32.Checksum(table, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[44:], crc32.Checksum(hdr[0:44], castagnoli))
+	if _, err := w.f.WriteAt(hdr[:], 0); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// pad advances the file to the next multiple of align with zero bytes.
+func (w *Writer) pad(align int64) error {
+	if rem := w.off % align; rem != 0 {
+		n := align - rem
+		if _, err := w.f.Write(make([]byte, n)); err != nil {
+			return err
+		}
+		w.off += n
+	}
+	return nil
+}
+
+// crcWriter counts and checksums the bytes flowing to the file.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// Section is one verified payload of an opened snapshot. Data aliases the
+// mapping: it is read-only and valid until the File is closed.
+type Section struct {
+	Tag  string
+	Data []byte
+}
+
+// File is an opened, fully verified .merx snapshot. Section payloads alias
+// the underlying mapping; they become invalid when Close unmaps it.
+type File struct {
+	path     string
+	m        *mapping
+	sections []Section
+
+	// Layout is the struct-size fingerprint recorded by the writer, already
+	// verified against this build by the caller of Open (see CheckLayout).
+	Layout Layout
+}
+
+// Open maps path read-only and verifies the header, the section table, and
+// every section checksum. Damage yields a *CorruptError naming the failing
+// section; a non-.merx or future-version file yields a *IncompatibleError.
+// The returned File must be closed; section payloads are invalid after
+// Close.
+func Open(path string) (*File, error) {
+	if !hostLittleEndian() {
+		return nil, &IncompatibleError{Path: path, Reason: "reading .merx snapshots requires a little-endian host"}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < headerSize {
+		return nil, &CorruptError{Path: path, Section: "header", Reason: fmt.Sprintf("file is %d bytes, smaller than the %d-byte header", size, headerSize)}
+	}
+	m, err := mapFile(f, size)
+	if err != nil {
+		return nil, fmt.Errorf("merx: mapping %s: %w", path, err)
+	}
+	mf, err := parse(path, m)
+	if err != nil {
+		m.close()
+		return nil, err
+	}
+	return mf, nil
+}
+
+// parse validates the mapped bytes and builds the File.
+func parse(path string, m *mapping) (*File, error) {
+	data := m.data
+	hdr := data[:headerSize]
+	if [8]byte(hdr[0:8]) != fileMagic {
+		return nil, &IncompatibleError{Path: path, Reason: "not a .merx index snapshot (bad magic)"}
+	}
+	if crc := crc32.Checksum(hdr[0:44], castagnoli); crc != binary.LittleEndian.Uint32(hdr[44:]) {
+		return nil, &CorruptError{Path: path, Section: "header", Reason: "header checksum mismatch"}
+	}
+	// The reserved tail is outside the header CRC; it must be zero so that
+	// every byte of the file stays covered by a checksum or a constraint.
+	for i := 48; i < headerSize; i++ {
+		if hdr[i] != 0 {
+			return nil, &CorruptError{Path: path, Section: "header", Reason: fmt.Sprintf("nonzero reserved header byte at offset %d", i)}
+		}
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != Version {
+		return nil, &IncompatibleError{Path: path, Reason: fmt.Sprintf("format version %d (this build reads version %d)", v, Version)}
+	}
+	nSecs := binary.LittleEndian.Uint32(hdr[12:])
+	tableOff := binary.LittleEndian.Uint64(hdr[16:])
+	fileSize := binary.LittleEndian.Uint64(hdr[24:])
+	if fileSize != uint64(len(data)) {
+		return nil, &CorruptError{Path: path, Section: "header", Reason: fmt.Sprintf("header records %d bytes but the file has %d (truncated or appended)", fileSize, len(data))}
+	}
+	if nSecs > maxSections {
+		return nil, &CorruptError{Path: path, Section: "header", Reason: fmt.Sprintf("implausible section count %d", nSecs)}
+	}
+	tableLen := uint64(nSecs) * tableEntrySize
+	if tableOff < headerSize || tableOff+tableLen > uint64(len(data)) {
+		return nil, &CorruptError{Path: path, Section: "section table", Reason: "table offset out of bounds"}
+	}
+	table := data[tableOff : tableOff+tableLen]
+	if crc := crc32.Checksum(table, castagnoli); crc != binary.LittleEndian.Uint32(hdr[40:]) {
+		return nil, &CorruptError{Path: path, Section: "section table", Reason: "section table checksum mismatch"}
+	}
+
+	mf := &File{
+		path: path,
+		m:    m,
+		Layout: Layout{
+			FlatEntryBytes: int(binary.LittleEndian.Uint32(hdr[32:])),
+			LocBytes:       int(binary.LittleEndian.Uint32(hdr[36:])),
+		},
+	}
+	for i := uint32(0); i < nSecs; i++ {
+		e := table[i*tableEntrySize:]
+		tag := string(e[0:4])
+		off := binary.LittleEndian.Uint64(e[8:])
+		n := binary.LittleEndian.Uint64(e[16:])
+		if off%SectionAlign != 0 || off > uint64(len(data)) || n > uint64(len(data))-off {
+			return nil, &CorruptError{Path: path, Section: tag, Reason: "section bounds out of range"}
+		}
+		payload := data[off : off+n]
+		if crc := crc32.Checksum(payload, castagnoli); crc != binary.LittleEndian.Uint32(e[24:]) {
+			return nil, &CorruptError{Path: path, Section: tag, Reason: "section checksum mismatch"}
+		}
+		mf.sections = append(mf.sections, Section{Tag: tag, Data: payload})
+	}
+	if err := checkPadding(path, data, tableOff, tableLen, mf.sections); err != nil {
+		return nil, err
+	}
+	return mf, nil
+}
+
+// checkPadding verifies that every byte outside the header, the section
+// table, and the section payloads is zero (the writer only ever emits zero
+// padding). With this, every byte of the file is either checksummed or
+// constrained — no bit flip anywhere goes undetected.
+func checkPadding(path string, data []byte, tableOff, tableLen uint64, sections []Section) error {
+	type region struct{ off, end uint64 }
+	regions := []region{{0, headerSize}, {tableOff, tableOff + tableLen}}
+	for _, s := range sections {
+		if len(s.Data) == 0 {
+			continue
+		}
+		off := uint64(uintptr(unsafe.Pointer(&s.Data[0])) - uintptr(unsafe.Pointer(&data[0])))
+		regions = append(regions, region{off, off + uint64(len(s.Data))})
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].off < regions[j].off })
+	pos := uint64(0)
+	for _, r := range append(regions, region{uint64(len(data)), uint64(len(data))}) {
+		for ; pos < r.off; pos++ {
+			if data[pos] != 0 {
+				return &CorruptError{Path: path, Section: "padding", Reason: fmt.Sprintf("nonzero padding byte at offset %d", pos)}
+			}
+		}
+		if r.end > pos {
+			pos = r.end
+		}
+	}
+	return nil
+}
+
+// CheckLayout verifies the snapshot's struct-size fingerprint against the
+// sizes compiled into this build, returning a *IncompatibleError on any
+// difference.
+func (f *File) CheckLayout(want Layout) error {
+	if f.Layout != want {
+		return &IncompatibleError{Path: f.path, Reason: fmt.Sprintf(
+			"struct layout %+v differs from this build's %+v", f.Layout, want)}
+	}
+	return nil
+}
+
+// SectionData returns the verified payload of the tagged section, or a
+// *CorruptError if the snapshot does not carry it.
+func (f *File) SectionData(tag string) ([]byte, error) {
+	for _, s := range f.sections {
+		if s.Tag == tag {
+			return s.Data, nil
+		}
+	}
+	return nil, &CorruptError{Path: f.path, Section: tag, Reason: "section missing"}
+}
+
+// Sections lists the verified sections in file order.
+func (f *File) Sections() []Section { return f.sections }
+
+// Path returns the path the snapshot was opened from.
+func (f *File) Path() string { return f.path }
+
+// Mapped reports whether the payloads are a zero-copy file mapping (true on
+// mmap-capable platforms) or a heap copy (the fallback).
+func (f *File) Mapped() bool { return f.m.mapped }
+
+// Close releases the mapping. Every section payload — and any structure
+// aliasing one, such as a loaded index — is invalid afterwards. Close is
+// idempotent.
+func (f *File) Close() error {
+	if f.m == nil {
+		return nil
+	}
+	m := f.m
+	f.m, f.sections = nil, nil
+	return m.close()
+}

@@ -1,0 +1,45 @@
+//go:build !unix
+
+package merx
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mapping holds the file bytes: an mmap on unix, a heap copy elsewhere.
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+// mapFile reads the whole file into an aligned heap buffer — the portable
+// fallback where mmap is unavailable. Loading still skips the index
+// rebuild; only the zero-copy page-cache sharing is lost.
+func mapFile(f *os.File, size int64) (*mapping, error) {
+	// Back the buffer with uint64s so section payloads (at 64-byte-aligned
+	// offsets within the buffer) keep at least 8-byte alignment for the raw
+	// struct views taken over them.
+	words := make([]uint64, (size+7)/8)
+	b := unsafeBytes(words, int(size))
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), b); err != nil {
+		return nil, fmt.Errorf("reading snapshot: %w", err)
+	}
+	return &mapping{data: b, mapped: false}, nil
+}
+
+// close drops the heap copy.
+func (m *mapping) close() error {
+	m.data = nil
+	return nil
+}
+
+// unsafeBytes views the word buffer as its first n bytes.
+func unsafeBytes(words []uint64, n int) []byte {
+	if len(words) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), n)
+}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package merx
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapping holds the file bytes: an mmap on unix, a heap copy elsewhere.
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+// mapFile maps size bytes of f read-only and shared, so every process
+// serving the same snapshot shares one physical copy through the page
+// cache. Empty files cannot be mapped, but a valid snapshot is never empty
+// (Open rejects files smaller than the header first).
+func mapFile(f *os.File, size int64) (*mapping, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: b, mapped: true}, nil
+}
+
+// close unmaps the file bytes.
+func (m *mapping) close() error {
+	if !m.mapped || m.data == nil {
+		m.data = nil
+		return nil
+	}
+	b := m.data
+	m.data = nil
+	return syscall.Munmap(b)
+}

@@ -35,6 +35,7 @@ import (
 
 	"github.com/lbl-repro/meraligner/internal/align"
 	"github.com/lbl-repro/meraligner/internal/core"
+	"github.com/lbl-repro/meraligner/internal/dna"
 	"github.com/lbl-repro/meraligner/internal/seqio"
 	"github.com/lbl-repro/meraligner/internal/upc"
 )
@@ -74,6 +75,18 @@ func Align(mach Machine, opt Options, targets, queries []Seq) (*Results, error) 
 // index.
 func AlignThreaded(threads int, opt Options, targets, queries []Seq) (*Results, error) {
 	return core.RunThreaded(threads, opt, targets, queries)
+}
+
+// NewSeq packs a textual sequence into a Seq usable as a Build target or
+// an Align query, without going through a file: bases are stored two bits
+// each, so only {A,C,G,T,a,c,g,t} are accepted (replace ambiguity codes
+// before packing, as ReadFasta's ReplaceN option does).
+func NewSeq(name, bases string) (Seq, error) {
+	p, err := dna.Pack(bases)
+	if err != nil {
+		return Seq{}, err
+	}
+	return Seq{Name: name, Seq: p}, nil
 }
 
 // ReadFasta loads targets (contigs) from a FASTA file, transparently
