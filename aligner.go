@@ -2,8 +2,10 @@ package meraligner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"github.com/lbl-repro/meraligner/internal/core"
 	"github.com/lbl-repro/meraligner/internal/dht"
@@ -54,7 +56,31 @@ func DefaultQueryOptions() QueryOptions { return core.DefaultQueryOptions() }
 type Aligner struct {
 	ix      *core.ThreadedIndex
 	threads int
+
+	// Close/Align coordination: Align holds the read side for the duration
+	// of its engine call, Close takes the write side, so Close blocks until
+	// every in-flight Align drains and no Align can start against a released
+	// mapping (it gets ErrAlignerClosed instead of a fault).
+	mu     sync.RWMutex
+	closed bool
 }
+
+// ErrAlignerClosed is returned by Align calls that arrive after Close: the
+// snapshot mapping (if any) is released and the Aligner must not be used.
+var ErrAlignerClosed = errors.New("meraligner: aligner is closed")
+
+// acquire pins the Aligner for one engine call; the caller must release()
+// when the call returns. It fails once Close has begun.
+func (a *Aligner) acquire() error {
+	a.mu.RLock()
+	if a.closed {
+		a.mu.RUnlock()
+		return ErrAlignerClosed
+	}
+	return nil
+}
+
+func (a *Aligner) release() { a.mu.RUnlock() }
 
 // Build constructs the seed index over targets with the threaded engine
 // (§III of the paper: fragmentation, parallel seed extraction with
@@ -98,6 +124,10 @@ const alignSerialMax = 16
 // no worker pool — same algorithm, same results, a fraction of the per-call
 // overhead. Use AlignWorkers to force a pool of a specific size.
 func (a *Aligner) Align(ctx context.Context, queries []Seq, opt QueryOptions) (*Results, error) {
+	if err := a.acquire(); err != nil {
+		return nil, err
+	}
+	defer a.release()
 	if len(queries) <= alignSerialMax {
 		return a.ix.QuerySerial(ctx, opt, queries)
 	}
@@ -108,6 +138,10 @@ func (a *Aligner) Align(ctx context.Context, queries []Seq, opt QueryOptions) (*
 // overriding the Build-time default — e.g. a server dedicating fewer
 // workers per request under concurrent load.
 func (a *Aligner) AlignWorkers(ctx context.Context, workers int, queries []Seq, opt QueryOptions) (*Results, error) {
+	if err := a.acquire(); err != nil {
+		return nil, err
+	}
+	defer a.release()
 	return a.ix.Query(ctx, workers, opt, queries)
 }
 
@@ -168,7 +202,13 @@ type (
 // leaves a truncated snapshot where Open might find it. The snapshot
 // depends only on the index contents, not on the worker count that built
 // it; a saved-then-opened Aligner produces byte-identical alignments.
-func (a *Aligner) Save(path string) error { return a.ix.Save(path) }
+func (a *Aligner) Save(path string) error {
+	if err := a.acquire(); err != nil {
+		return err
+	}
+	defer a.release()
+	return a.ix.Save(path)
+}
 
 // Open memory-maps a .merx snapshot written by Save and returns a resident
 // Aligner without rebuilding anything: the sealed seed table and the packed
@@ -198,6 +238,19 @@ func OpenThreads(threads int, path string) (*Aligner, error) {
 func (a *Aligner) Mapped() bool { return a.ix.Mapped() }
 
 // Close releases the snapshot mapping of an Aligner produced by Open; the
-// Aligner must not be used afterwards. On a Build-produced Aligner it is a
-// no-op, so deferring Close is always safe. Close is idempotent.
-func (a *Aligner) Close() error { return a.ix.Close() }
+// Aligner must not be used afterwards. Close is drain-aware: it blocks
+// until every in-flight Align/AlignWorkers/Save call has returned, then
+// releases the mapping, and any call racing past that point fails with
+// ErrAlignerClosed instead of touching unmapped memory. On a
+// Build-produced Aligner the mapping release is a no-op, but the
+// closed-state transition still applies, so deferring Close is always
+// safe. Close is idempotent.
+func (a *Aligner) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	return a.ix.Close()
+}

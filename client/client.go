@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -88,10 +89,15 @@ type ErrorResponse struct {
 	TooShort []string `json:"too_short,omitempty"`
 }
 
-// Stats is the JSON body of GET /v1/stats: the service's live counters,
+// Stats is the JSON body of GET /v1/stats (single-index servers) and of
+// GET /v1/{ref}/stats (catalog servers): the service's live counters,
 // micro-batcher observations, and latency quantiles, plus the resident
 // index's identity.
 type Stats struct {
+	// Ref names the reference these stats belong to on a multi-genome
+	// catalog server; empty on a single-index server.
+	Ref string `json:"ref,omitempty"`
+
 	Version       string  `json:"version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Draining      bool    `json:"draining"`
@@ -130,6 +136,37 @@ type Stats struct {
 	MaxWaitMs float64 `json:"max_wait_ms"`
 }
 
+// RefInfo is one servable reference of a catalog server (one element of
+// the GET /v1/refs body): its name and whether its index is currently
+// memory-mapped and resident.
+type RefInfo struct {
+	Ref           string `json:"ref"`
+	Open          bool   `json:"open"`
+	ResidentBytes int64  `json:"resident_bytes,omitempty"` // 0 unless open
+}
+
+// CatalogCounters are the index-lifecycle counters of a catalog server:
+// residency against the budget, lazy opens, LRU evictions, zero-downtime
+// hot-swaps, and serves of indexes too large for the budget.
+type CatalogCounters struct {
+	OpenRefs       int   `json:"open_refs"`
+	ResidentBytes  int64 `json:"resident_bytes"`
+	BudgetBytes    int64 `json:"budget_bytes"` // 0 = unlimited
+	Opens          int64 `json:"opens"`
+	Evictions      int64 `json:"evictions"`
+	HotSwaps       int64 `json:"hot_swaps"`
+	UncachedServes int64 `json:"uncached_serves"`
+}
+
+// CatalogStats is the JSON body of GET /v1/stats on a catalog server: the
+// lifecycle counters plus one Stats per reference that has served traffic.
+type CatalogStats struct {
+	Version  string          `json:"version"`
+	Draining bool            `json:"draining"`
+	Catalog  CatalogCounters `json:"catalog"`
+	Refs     []Stats         `json:"refs,omitempty"`
+}
+
 // FromSeqs converts native reads to wire reads.
 func FromSeqs(reads []meraligner.Seq) []Read {
 	out := make([]Read, len(reads))
@@ -162,9 +199,12 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Message)
 }
 
-// Client talks to one merserved instance. It is safe for concurrent use.
+// Client talks to one merserved instance — the whole server, or (with
+// WithRef / NewRef) one reference of a multi-genome catalog server. It is
+// safe for concurrent use.
 type Client struct {
 	base string
+	ref  string
 	hc   *http.Client
 }
 
@@ -177,6 +217,13 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithRef scopes the Client to one reference of a catalog server: Align,
+// AlignSAM, AlignStream, and Stats target /v1/<ref>/... instead of
+// /v1/.... Refs, CatalogStats, and Health stay server-wide.
+func WithRef(ref string) Option {
+	return func(c *Client) { c.ref = ref }
+}
+
 // New returns a Client for the service at base (e.g. "http://host:8490").
 func New(base string, opts ...Option) *Client {
 	c := &Client{base: base, hc: http.DefaultClient}
@@ -186,9 +233,23 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
+// NewRef returns a Client scoped to one reference of a catalog server:
+// shorthand for New(base, WithRef(ref), opts...).
+func NewRef(base, ref string, opts ...Option) *Client {
+	return New(base, append([]Option{WithRef(ref)}, opts...)...)
+}
+
+// v1 resolves a /v1 path under the Client's reference scope.
+func (c *Client) v1(path string) string {
+	if c.ref == "" {
+		return c.base + "/v1" + path
+	}
+	return c.base + "/v1/" + url.PathEscape(c.ref) + path
+}
+
 // Align posts one batch and returns the per-read results.
 func (c *Client) Align(ctx context.Context, req AlignRequest) (*AlignResponse, error) {
-	body, err := c.post(ctx, "/v1/align", req, "application/json")
+	body, err := c.post(ctx, "/align", req, "application/json")
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +265,7 @@ func (c *Client) Align(ctx context.Context, req AlignRequest) (*AlignResponse, e
 // (header plus one record set), byte-identical to a local WriteSAM over a
 // direct Align call.
 func (c *Client) AlignSAM(ctx context.Context, req AlignRequest) ([]byte, error) {
-	body, err := c.post(ctx, "/v1/align", req, "text/x-sam")
+	body, err := c.post(ctx, "/align", req, "text/x-sam")
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +277,7 @@ func (c *Client) AlignSAM(ctx context.Context, req AlignRequest) ([]byte, error)
 // each ReadResult as it arrives (NDJSON). fn returning an error aborts the
 // stream and surfaces that error.
 func (c *Client) AlignStream(ctx context.Context, req AlignRequest, fn func(ReadResult) error) error {
-	body, err := c.post(ctx, "/v1/align/stream", req, "application/x-ndjson")
+	body, err := c.post(ctx, "/align/stream", req, "application/x-ndjson")
 	if err != nil {
 		return err
 	}
@@ -240,7 +301,7 @@ func (c *Client) AlignStream(ctx context.Context, req AlignRequest, fn func(Read
 
 // Stats fetches the service's live statistics.
 func (c *Client) Stats(ctx context.Context) (*Stats, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.v1("/stats"), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -257,6 +318,48 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 		return nil, fmt.Errorf("client: decoding stats: %w", err)
 	}
 	return &out, nil
+}
+
+// Refs lists the references a catalog server can serve and which are
+// currently resident (GET /v1/refs). Server-wide: the Client's WithRef
+// scope does not apply.
+func (c *Client) Refs(ctx context.Context) ([]RefInfo, error) {
+	var out []RefInfo
+	if err := c.getJSON(ctx, c.base+"/v1/refs", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CatalogStats fetches a catalog server's server-wide stats document
+// (GET /v1/stats): lifecycle counters plus per-reference stats. The
+// Client's WithRef scope does not apply.
+func (c *Client) CatalogStats(ctx context.Context) (*CatalogStats, error) {
+	var out CatalogStats
+	if err := c.getJSON(ctx, c.base+"/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// getJSON fetches one URL and decodes its JSON body into out.
+func (c *Client) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.asError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
 }
 
 // Health probes /healthz: nil when serving, an error when unreachable or
@@ -284,7 +387,7 @@ func (c *Client) post(ctx context.Context, path string, req AlignRequest, accept
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.v1(path), bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,147 @@
+package meraligner_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/internal/genome"
+)
+
+// closeWorkload is a small data set for the Close/Align interaction tests:
+// big enough that Align calls take real time, small enough to hammer.
+func closeWorkload(t *testing.T) *genome.DataSet {
+	t.Helper()
+	p := genome.EColiLike()
+	p.GenomeLen = 40_000
+	p.Depth = 2
+	p.ContigMean = 8_000
+	p.InsertMean = 0
+	p.Seed = 11
+	ds, err := genome.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestCloseDrainsInFlightAligns is the contract the catalog's eviction
+// cycle leans on: Close on a mapped Aligner blocks until every in-flight
+// Align has returned, so no engine call ever reads an unmapped table. Many
+// goroutines align in a loop while one closes; every Align must either
+// finish normally (started before the drain) or fail with
+// ErrAlignerClosed (arrived after) — never fault, never corrupt results.
+func TestCloseDrainsInFlightAligns(t *testing.T) {
+	ds := closeWorkload(t)
+	built, err := meraligner.Build(2, meraligner.DefaultIndexOptions(19), ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.merx")
+	if err := built.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	qopt := meraligner.DefaultQueryOptions()
+	qopt.CollectAlignments = true
+
+	// The oracle: what a completed Align over this batch must produce.
+	wantRes, err := built.Align(context.Background(), ds.Reads, qopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := meraligner.WriteSAM(&want, wantRes, built.Targets(), ds.Reads); err != nil {
+		t.Fatal(err)
+	}
+	targets := built.Targets() // heap copy source for post-close rendering
+
+	const rounds = 8
+	for round := 0; round < rounds; round++ {
+		al, err := meraligner.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const aligners = 4
+		var (
+			wg       sync.WaitGroup
+			started  sync.WaitGroup
+			ok, shut atomic.Int64
+			failures = make(chan error, aligners)
+		)
+		started.Add(aligners)
+		for g := 0; g < aligners; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				started.Done()
+				for {
+					res, err := al.Align(context.Background(), ds.Reads, qopt)
+					if errors.Is(err, meraligner.ErrAlignerClosed) {
+						shut.Add(1)
+						return
+					}
+					if err != nil {
+						failures <- err
+						return
+					}
+					// A successful Align must be complete and correct even
+					// though Close was racing it. Render against the
+					// pre-copied targets (the aligner may be closed by now).
+					var got bytes.Buffer
+					if werr := meraligner.WriteSAM(&got, res, targets, ds.Reads); werr != nil {
+						failures <- werr
+						return
+					}
+					if !bytes.Equal(got.Bytes(), want.Bytes()) {
+						failures <- errors.New("racing Align produced wrong SAM bytes")
+						return
+					}
+					ok.Add(1)
+				}
+			}()
+		}
+		started.Wait()
+		if err := al.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		close(failures)
+		for err := range failures {
+			t.Fatal(err)
+		}
+		if shut.Load() != aligners {
+			t.Fatalf("round %d: %d goroutines saw ErrAlignerClosed, want %d", round, shut.Load(), aligners)
+		}
+		// Idempotent, and Align after Close keeps failing typed.
+		if err := al.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+		if _, err := al.Align(context.Background(), ds.Reads[:1], qopt); !errors.Is(err, meraligner.ErrAlignerClosed) {
+			t.Fatalf("Align after Close = %v, want ErrAlignerClosed", err)
+		}
+	}
+}
+
+// TestCloseOnBuiltAlignerIsSafe: Close on a heap-built Aligner has no
+// mapping to release but still transitions to the closed state.
+func TestCloseOnBuiltAlignerIsSafe(t *testing.T) {
+	ds := closeWorkload(t)
+	al, err := meraligner.Build(2, meraligner.DefaultIndexOptions(19), ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := al.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.Align(context.Background(), ds.Reads[:1], meraligner.DefaultQueryOptions()); !errors.Is(err, meraligner.ErrAlignerClosed) {
+		t.Fatalf("Align after Close = %v, want ErrAlignerClosed", err)
+	}
+	if err := al.Save(filepath.Join(t.TempDir(), "x.merx")); !errors.Is(err, meraligner.ErrAlignerClosed) {
+		t.Fatalf("Save after Close = %v, want ErrAlignerClosed", err)
+	}
+}

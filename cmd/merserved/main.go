@@ -9,6 +9,8 @@
 //	          [-max-batch 256] [-max-wait 2ms] [-queue 1024]
 //	          [-max-hits 1000] [-min-score 0] [-no-exact] [-v]
 //	merserved -index contigs.merx [-threads N] [-addr :8490] ...
+//	merserved -index-dir snapshots/ [-resident-budget 2GiB]
+//	          [-max-inflight-per-ref 64] [-swap-poll 1s] ...
 //
 // With -index the server memory-maps a .merx snapshot written by
 // `meraligner -save-index` instead of building: warm start in
@@ -16,9 +18,18 @@
 // the index through the page cache. Build-time options (-k, -no-exact)
 // come from the snapshot and cannot be overridden.
 //
+// With -index-dir the server serves every <ref>.merx snapshot in the
+// directory as /v1/<ref>/...: a multi-genome catalog behind one listener.
+// Snapshots open lazily on first request, stay resident under the
+// -resident-budget byte cap with LRU eviction, and hot-swap with zero
+// downtime when a snapshot file is atomically replaced (rename into
+// place — never truncate a served snapshot in place). -max-inflight-per-ref
+// caps concurrent requests per reference (429 + Retry-After beyond it).
+//
 // Endpoints: POST /v1/align (JSON or FASTQ in; JSON, or SAM with
 // Accept: text/x-sam, out), POST /v1/align/stream (NDJSON/SAM chunks),
-// GET /v1/stats, /healthz, /metrics. Responses honor Accept-Encoding:
+// GET /v1/stats, /healthz, /metrics — all per-reference under /v1/<ref>/
+// in catalog mode, plus GET /v1/refs. Responses honor Accept-Encoding:
 // gzip. SIGINT/SIGTERM drain gracefully: health flips to 503, queued
 // requests finish, then the listener closes.
 package main
@@ -33,6 +44,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +61,10 @@ func main() {
 	var (
 		targetsPath = flag.String("targets", "", "FASTA file of target sequences (contigs)")
 		indexPath   = flag.String("index", "", "memory-map a .merx index snapshot instead of building from -targets")
+		indexDir    = flag.String("index-dir", "", "serve every <ref>.merx snapshot in this directory as /v1/<ref>/... (catalog mode)")
+		budgetStr   = flag.String("resident-budget", "", "resident-bytes cap across open catalog indexes, e.g. 512MiB or 2GiB (empty = unlimited)")
+		maxInflight = flag.Int("max-inflight-per-ref", 0, "max concurrently served align requests per reference (0 = unlimited)")
+		swapPoll    = flag.Duration("swap-poll", 0, "min interval between snapshot hot-swap freshness checks (0 = 1s default, negative disables)")
 		k           = flag.Int("k", 51, "seed length (1-64)")
 		threads     = flag.Int("threads", runtime.NumCPU(), "worker threads (index build and engine pool)")
 		addr        = flag.String("addr", ":8490", "listen address (use :0 for a random port)")
@@ -68,17 +85,31 @@ func main() {
 	}
 	defer stopProfile()
 
-	if (*targetsPath == "") == (*indexPath == "") {
-		fmt.Fprintln(os.Stderr, "need exactly one of -targets (build the index) / -index (map a .merx snapshot)")
+	modes := 0
+	for _, set := range []bool{*targetsPath != "", *indexPath != "", *indexDir != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "need exactly one of -targets (build the index) / -index (map a .merx snapshot) / -index-dir (serve a snapshot catalog)")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *indexPath != "" {
+	if *indexPath != "" || *indexDir != "" {
+		mode := "-index"
+		if *indexDir != "" {
+			mode = "-index-dir"
+		}
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "k" || f.Name == "no-exact" {
-				log.Fatalf("-%s is a build-time option; it is stored in the snapshot and cannot be set with -index", f.Name)
+				log.Fatalf("-%s is a build-time option; it is stored in the snapshot and cannot be set with %s", f.Name, mode)
 			}
 		})
+	}
+	budget, err := parseBytes(*budgetStr)
+	if err != nil {
+		log.Fatalf("-resident-budget: %v", err)
 	}
 
 	iopt := meraligner.DefaultIndexOptions(*k)
@@ -87,34 +118,47 @@ func main() {
 	qopt.MaxSeedHits = *maxHits
 	qopt.MinScore = *minScore
 
-	buildStart := time.Now()
-	var al *meraligner.Aligner
-	if *indexPath != "" {
-		al, err = meraligner.OpenThreads(*threads, *indexPath)
+	cfg := service.Config{
+		Query:             qopt,
+		MaxBatch:          *maxBatch,
+		MaxWait:           *maxWait,
+		QueueReads:        *queueReads,
+		Workers:           *threads,
+		MaxInflightPerRef: *maxInflight,
+		Version:           buildinfo.Version,
+	}
+	if *indexDir != "" {
+		cfg.IndexDir = *indexDir
+		cfg.ResidentBudget = budget
+		cfg.SwapPoll = *swapPoll
+		budgetDesc := "unlimited"
+		if budget > 0 {
+			budgetDesc = fmt.Sprintf("~%d MiB", budget>>20)
+		}
+		log.Printf("catalog mode: serving *%s from %s (resident budget %s)", service.SnapshotExt, *indexDir, budgetDesc)
 	} else {
-		al, err = meraligner.BuildFiles(*threads, iopt, *targetsPath)
+		buildStart := time.Now()
+		var al *meraligner.Aligner
+		if *indexPath != "" {
+			al, err = meraligner.OpenThreads(*threads, *indexPath)
+		} else {
+			al, err = meraligner.BuildFiles(*threads, iopt, *targetsPath)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer al.Close()
+		verb := "built"
+		if al.Mapped() {
+			verb = "mapped"
+		}
+		st := al.IndexStats()
+		log.Printf("index %s in %.3fs (k=%d): %d targets, %d distinct seeds, %d locations, ~%d MiB resident",
+			verb, time.Since(buildStart).Seconds(), al.IndexOptions().K, len(al.Targets()), st.DistinctSeeds, st.TotalLocs, al.ResidentBytes()>>20)
+		cfg.Aligner = al
 	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer al.Close()
-	verb := "built"
-	if al.Mapped() {
-		verb = "mapped"
-	}
-	st := al.IndexStats()
-	log.Printf("index %s in %.3fs (k=%d): %d targets, %d distinct seeds, %d locations, ~%d MiB resident",
-		verb, time.Since(buildStart).Seconds(), al.IndexOptions().K, len(al.Targets()), st.DistinctSeeds, st.TotalLocs, al.ResidentBytes()>>20)
 
-	srv, err := service.New(service.Config{
-		Aligner:    al,
-		Query:      qopt,
-		MaxBatch:   *maxBatch,
-		MaxWait:    *maxWait,
-		QueueReads: *queueReads,
-		Workers:    *threads,
-		Version:    buildinfo.Version,
-	})
+	srv, err := service.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -163,6 +207,35 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("drained cleanly")
+}
+
+// parseBytes parses a human byte size: a plain integer (bytes) or one with
+// a K/M/G/T suffix, optionally written as KiB/MiB/GiB/TiB (binary units
+// either way). Empty means 0 (unlimited).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	num := strings.ToUpper(s)
+	num = strings.TrimSuffix(num, "IB")
+	num = strings.TrimSuffix(num, "B")
+	shift := 0
+	switch {
+	case strings.HasSuffix(num, "K"):
+		shift, num = 10, num[:len(num)-1]
+	case strings.HasSuffix(num, "M"):
+		shift, num = 20, num[:len(num)-1]
+	case strings.HasSuffix(num, "G"):
+		shift, num = 30, num[:len(num)-1]
+	case strings.HasSuffix(num, "T"):
+		shift, num = 40, num[:len(num)-1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("not a byte size: %q", s)
+	}
+	return int64(v * float64(int64(1)<<shift)), nil
 }
 
 // logRequests is a minimal access log for -v.

@@ -92,6 +92,62 @@ func TestLRUZeroCapacityAlwaysMisses(t *testing.T) {
 	}
 }
 
+func TestLRUPutReportsEvicted(t *testing.T) {
+	c := NewLRU[int, string](30)
+	if stored, ev := c.Put(1, "a", 10); !stored || len(ev) != 0 {
+		t.Errorf("Put(1) = %v,%v want true,none", stored, ev)
+	}
+	c.Put(2, "b", 10)
+	c.Put(3, "c", 10)
+	stored, ev := c.Put(4, "d", 25) // must push out 1, 2, 3 (oldest first)
+	if !stored {
+		t.Fatal("Put(4) not stored")
+	}
+	want := []Evicted[int, string]{{1, "a"}, {2, "b"}, {3, "c"}}
+	if len(ev) != len(want) {
+		t.Fatalf("evicted %v, want %v", ev, want)
+	}
+	for i := range want {
+		if ev[i] != want[i] {
+			t.Errorf("evicted[%d] = %v, want %v", i, ev[i], want[i])
+		}
+	}
+	// Refreshing a present key never reports the replaced value.
+	if _, ev := c.Put(4, "d2", 25); len(ev) != 0 {
+		t.Errorf("refresh reported evictions: %v", ev)
+	}
+	// An oversized entry is refused without disturbing the cache.
+	if stored, _ := c.Put(5, "e", 31); stored {
+		t.Error("oversized entry reported as stored")
+	}
+	if _, ok := c.Get(4); !ok {
+		t.Error("entry 4 lost after refused Put")
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	c := NewLRU[int, string](30)
+	c.Put(1, "a", 10)
+	c.Put(2, "b", 10)
+	v, ok := c.Remove(1)
+	if !ok || v != "a" {
+		t.Errorf("Remove(1) = %q,%v want a,true", v, ok)
+	}
+	if _, ok := c.Remove(1); ok {
+		t.Error("second Remove(1) reported present")
+	}
+	if c.UsedBytes() != 10 || c.Len() != 1 {
+		t.Errorf("Used=%d Len=%d after Remove, want 10,1", c.UsedBytes(), c.Len())
+	}
+	if c.Counters().Evictions != 0 {
+		t.Error("Remove counted as an eviction")
+	}
+	// The freed budget is usable again.
+	if stored, ev := c.Put(3, "c", 20); !stored || len(ev) != 0 {
+		t.Errorf("Put(3) after Remove = %v,%v want true,none", stored, ev)
+	}
+}
+
 func TestHitRate(t *testing.T) {
 	c := NewLRU[int, int](100)
 	c.Put(1, 1, 1)

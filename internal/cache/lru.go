@@ -64,12 +64,24 @@ func (c *LRU[K, V]) Contains(key K) bool {
 	return ok
 }
 
+// Evicted is one entry pushed out of the cache by a Put: returned to the
+// caller (rather than delivered via callback) so owners of refcounted
+// values can finish releasing them outside every cache and caller lock.
+type Evicted[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
 // Put inserts or refreshes an entry of the given payload size, evicting
 // least-recently-used entries until it fits. Entries larger than the whole
-// budget are not cached.
-func (c *LRU[K, V]) Put(key K, value V, size int64) {
+// budget are not cached (stored == false). The evicted entries — never
+// including the one just stored — are returned so the caller can dispose
+// of their values; refreshing an existing key replaces its value without
+// reporting the old one (the caller initiated the replacement and already
+// holds both values).
+func (c *LRU[K, V]) Put(key K, value V, size int64) (stored bool, evicted []Evicted[K, V]) {
 	if size > c.cap || size < 0 {
-		return
+		return false, nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -93,7 +105,28 @@ func (c *LRU[K, V]) Put(key K, value V, size int64) {
 		delete(c.m, ent.key)
 		c.used -= ent.size
 		c.evictions++
+		evicted = append(evicted, Evicted[K, V]{Key: ent.key, Value: ent.value})
 	}
+	return true, evicted
+}
+
+// Remove drops an entry without counting it as an eviction (the caller is
+// retiring the value deliberately — e.g. a catalog hot-swap replacing a
+// stale index). It reports whether the key was present and returns the
+// removed value for disposal.
+func (c *LRU[K, V]) Remove(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	ent := el.Value.(*lruEntry[K, V])
+	c.ll.Remove(el)
+	delete(c.m, key)
+	c.used -= ent.size
+	return ent.value, true
 }
 
 // Len returns the number of cached entries.

@@ -1,0 +1,461 @@
+package catalog
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/internal/genome"
+)
+
+// ---- fixtures: small distinct genomes saved as snapshots ----
+
+// testRef is one generated reference: its data set, a resident oracle
+// aligner (never part of any catalog), and its snapshot bytes.
+type testRef struct {
+	name   string
+	ds     *genome.DataSet
+	oracle *meraligner.Aligner
+	snap   []byte
+}
+
+var (
+	refsOnce sync.Once
+	refsFix  []*testRef
+	refsErr  error
+)
+
+// makeRefs builds three distinct small references once per test process.
+func makeRefs(t *testing.T) []*testRef {
+	t.Helper()
+	refsOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "catfix")
+		if err != nil {
+			refsErr = err
+			return
+		}
+		defer os.RemoveAll(dir)
+		for i, name := range []string{"alpha", "beta", "gamma"} {
+			p := genome.EColiLike()
+			p.GenomeLen = 30_000
+			p.Depth = 2
+			p.ContigMean = 6_000
+			p.InsertMean = 0
+			p.Seed = int64(101 + i) // distinct genomes per ref
+			ds, err := genome.Generate(p)
+			if err != nil {
+				refsErr = err
+				return
+			}
+			al, err := meraligner.Build(2, meraligner.DefaultIndexOptions(19), ds.Contigs)
+			if err != nil {
+				refsErr = err
+				return
+			}
+			path := filepath.Join(dir, name+SnapshotExt)
+			if err := al.Save(path); err != nil {
+				refsErr = err
+				return
+			}
+			snap, err := os.ReadFile(path)
+			if err != nil {
+				refsErr = err
+				return
+			}
+			refsFix = append(refsFix, &testRef{name: name, ds: ds, oracle: al, snap: snap})
+		}
+	})
+	if refsErr != nil {
+		t.Fatal(refsErr)
+	}
+	return refsFix
+}
+
+// writeDir materializes the fixture snapshots into a fresh catalog dir.
+func writeDir(t *testing.T, refs []*testRef) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, r := range refs {
+		if err := os.WriteFile(filepath.Join(dir, r.name+SnapshotExt), r.snap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// mappedBytes measures ResidentBytes of one fixture as the catalog will
+// see it (a mapped instance can report a different size than the built
+// oracle it was saved from).
+func mappedBytes(t *testing.T, dir, ref string) int64 {
+	t.Helper()
+	al, err := meraligner.Open(filepath.Join(dir, ref+SnapshotExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer al.Close()
+	return al.ResidentBytes()
+}
+
+func qopts() meraligner.QueryOptions {
+	q := meraligner.DefaultQueryOptions()
+	q.MaxSeedHits = 200
+	q.CollectAlignments = true
+	return q
+}
+
+// alignSAM renders one aligner's SAM over reads.
+func alignSAM(t *testing.T, al *meraligner.Aligner, reads []meraligner.Seq) []byte {
+	t.Helper()
+	res, err := al.Align(context.Background(), reads, qopts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := meraligner.WriteSAM(&buf, res, al.Targets(), reads); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// acquireSAM serves one batch through the catalog and renders SAM.
+func acquireSAM(t *testing.T, c *Catalog, ref string, reads []meraligner.Seq) []byte {
+	t.Helper()
+	h, err := c.Acquire(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	return alignSAM(t, h.Aligner(), reads)
+}
+
+// ---- tests ----
+
+func TestLazyOpenAndIdentity(t *testing.T) {
+	refs := makeRefs(t)
+	dir := writeDir(t, refs)
+	c, err := New(Options{Dir: dir, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if got := c.Stats().OpenRefs; got != 0 {
+		t.Fatalf("OpenRefs before any request = %d, want 0 (opens must be lazy)", got)
+	}
+	for _, r := range refs {
+		got := acquireSAM(t, c, r.name, r.ds.Reads[:40])
+		want := alignSAM(t, r.oracle, r.ds.Reads[:40])
+		if !bytes.Equal(got, want) {
+			t.Fatalf("ref %s: catalog SAM differs from dedicated aligner", r.name)
+		}
+	}
+	st := c.Stats()
+	if st.OpenRefs != 3 || st.Opens != 3 {
+		t.Errorf("after serving 3 refs: OpenRefs=%d Opens=%d, want 3,3", st.OpenRefs, st.Opens)
+	}
+	// Repeat requests must reuse the open instances, not reopen.
+	acquireSAM(t, c, refs[0].name, refs[0].ds.Reads[:5])
+	if got := c.Stats().Opens; got != 3 {
+		t.Errorf("Opens after warm re-request = %d, want 3", got)
+	}
+}
+
+func TestUnknownAndInvalidRefs(t *testing.T) {
+	refs := makeRefs(t)
+	c, err := New(Options{Dir: writeDir(t, refs), Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, ref := range []string{"nosuch", "", ".", "..", "../alpha", "a/b", `a\b`, ".hidden", "alpha..beta"} {
+		_, err := c.Acquire(ref)
+		if !errors.Is(err, ErrUnknownRef) {
+			t.Errorf("Acquire(%q) = %v, want ErrUnknownRef", ref, err)
+		}
+	}
+	var ure *UnknownRefError
+	_, err = c.Acquire("nosuch")
+	if !errors.As(err, &ure) || ure.Ref != "nosuch" {
+		t.Errorf("unknown-ref error does not carry the ref: %v", err)
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	refs := makeRefs(t)
+	dir := writeDir(t, refs)
+	// Budget sized to hold any two of the three indexes but not all three.
+	var sum, smallest int64
+	for i, r := range refs {
+		b := mappedBytes(t, dir, r.name)
+		sum += b
+		if i == 0 || b < smallest {
+			smallest = b
+		}
+	}
+	budget := sum - smallest/2
+	c, err := New(Options{Dir: dir, Budget: budget, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, r := range refs {
+		acquireSAM(t, c, r.name, r.ds.Reads[:5])
+		if got := c.ResidentBytes(); got > budget {
+			t.Fatalf("resident %d exceeds budget %d", got, budget)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("three refs through a two-ref budget caused no evictions: %+v", st)
+	}
+	// The evicted (least recent) ref must still serve — by reopening.
+	opens := st.Opens
+	got := acquireSAM(t, c, refs[0].name, refs[0].ds.Reads[:5])
+	want := alignSAM(t, refs[0].oracle, refs[0].ds.Reads[:5])
+	if !bytes.Equal(got, want) {
+		t.Fatal("reopened ref served wrong bytes")
+	}
+	if c.Stats().Opens != opens+1 {
+		t.Errorf("Opens after evicted-ref request = %d, want %d", c.Stats().Opens, opens+1)
+	}
+}
+
+func TestEvictedIndexStaysPinnedUntilRelease(t *testing.T) {
+	refs := makeRefs(t)
+	dir := writeDir(t, refs)
+	// Budget fits any single index but never two of them.
+	var largest int64
+	for _, r := range refs {
+		if b := mappedBytes(t, dir, r.name); b > largest {
+			largest = b
+		}
+	}
+	c, err := New(Options{Dir: dir, Budget: largest + largest/20, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	h, err := c.Acquire(refs[0].name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict alpha by touching beta and gamma while alpha's handle is live.
+	acquireSAM(t, c, refs[1].name, refs[1].ds.Reads[:5])
+	acquireSAM(t, c, refs[2].name, refs[2].ds.Reads[:5])
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no eviction under a one-ref budget")
+	}
+	// The pinned, evicted index must still serve correct bytes.
+	got := alignSAM(t, h.Aligner(), refs[0].ds.Reads[:10])
+	want := alignSAM(t, refs[0].oracle, refs[0].ds.Reads[:10])
+	if !bytes.Equal(got, want) {
+		t.Fatal("evicted-but-pinned index served wrong bytes")
+	}
+	al := h.Aligner()
+	h.Release() // last pin: closes now
+	if _, err := al.Align(context.Background(), refs[0].ds.Reads[:1], qopts()); !errors.Is(err, meraligner.ErrAlignerClosed) {
+		t.Fatalf("evicted index still open after last release: %v", err)
+	}
+}
+
+func TestOversizedIndexServedUncached(t *testing.T) {
+	refs := makeRefs(t)
+	dir := writeDir(t, refs)
+	c, err := New(Options{Dir: dir, Budget: 1024, Threads: 1}) // smaller than any index
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got := acquireSAM(t, c, refs[0].name, refs[0].ds.Reads[:5])
+	want := alignSAM(t, refs[0].oracle, refs[0].ds.Reads[:5])
+	if !bytes.Equal(got, want) {
+		t.Fatal("uncached serve returned wrong bytes")
+	}
+	st := c.Stats()
+	if st.Uncached == 0 {
+		t.Errorf("uncached serve not counted: %+v", st)
+	}
+	if st.ResidentBytes != 0 || st.OpenRefs != 0 {
+		t.Errorf("oversized index left residency: %+v", st)
+	}
+}
+
+func TestHotSwap(t *testing.T) {
+	refs := makeRefs(t)
+	dir := writeDir(t, refs)
+	c, err := New(Options{Dir: dir, Threads: 1, SwapPoll: 0}) // check every acquire
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Serve alpha's original snapshot, and keep a pre-swap pin.
+	before := acquireSAM(t, c, "alpha", refs[0].ds.Reads[:20])
+	if want := alignSAM(t, refs[0].oracle, refs[0].ds.Reads[:20]); !bytes.Equal(before, want) {
+		t.Fatal("pre-swap bytes wrong")
+	}
+	hOld, err := c.Acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replace alpha.merx with beta's snapshot (a genuinely different
+	// index), atomically, with a distinct mtime.
+	path := filepath.Join(dir, "alpha"+SnapshotExt)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, refs[1].snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(tmp, future, future); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+
+	// New acquires must see the new index: alpha now aligns beta's reads.
+	got := acquireSAM(t, c, "alpha", refs[1].ds.Reads[:20])
+	want := alignSAM(t, refs[1].oracle, refs[1].ds.Reads[:20])
+	if !bytes.Equal(got, want) {
+		t.Fatal("post-swap request did not serve the new snapshot")
+	}
+	if st := c.Stats(); st.HotSwaps != 1 {
+		t.Errorf("HotSwaps = %d, want 1", st.HotSwaps)
+	}
+
+	// The pre-swap pin still serves the OLD index (zero downtime), and the
+	// old index closes only when that pin releases.
+	oldGot := alignSAM(t, hOld.Aligner(), refs[0].ds.Reads[:20])
+	if want := alignSAM(t, refs[0].oracle, refs[0].ds.Reads[:20]); !bytes.Equal(oldGot, want) {
+		t.Fatal("pre-swap pin no longer serves the old index")
+	}
+	oldAl := hOld.Aligner()
+	hOld.Release()
+	if _, err := oldAl.Align(context.Background(), refs[0].ds.Reads[:1], qopts()); !errors.Is(err, meraligner.ErrAlignerClosed) {
+		t.Fatalf("swapped-out index not closed after last pin released: %v", err)
+	}
+}
+
+func TestHotSwapKeepsServingOnBrokenReplacement(t *testing.T) {
+	refs := makeRefs(t)
+	dir := writeDir(t, refs)
+	c, err := New(Options{Dir: dir, Threads: 1, SwapPoll: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	acquireSAM(t, c, "alpha", refs[0].ds.Reads[:5])
+
+	// Atomically replace the snapshot with garbage (rename, as any honest
+	// deployment does — overwriting a served snapshot in place would yank
+	// mapped pages): the swap must NOT go through, and the healthy old
+	// index keeps serving.
+	path := filepath.Join(dir, "alpha"+SnapshotExt)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+	got := acquireSAM(t, c, "alpha", refs[0].ds.Reads[:5])
+	want := alignSAM(t, refs[0].oracle, refs[0].ds.Reads[:5])
+	if !bytes.Equal(got, want) {
+		t.Fatal("catalog stopped serving the healthy index after a broken replacement appeared")
+	}
+	if st := c.Stats(); st.HotSwaps != 0 {
+		t.Errorf("broken replacement counted as a hot-swap: %+v", st)
+	}
+}
+
+func TestRefsListing(t *testing.T) {
+	refs := makeRefs(t)
+	dir := writeDir(t, refs)
+	// Noise the scanner must skip.
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, ".hidden.merx"), []byte("x"), 0o644)
+	os.Mkdir(filepath.Join(dir, "sub.merx"), 0o755)
+
+	c, err := New(Options{Dir: dir, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	acquireSAM(t, c, "beta", refs[1].ds.Reads[:5])
+
+	infos, err := c.Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("Refs() = %+v, want the 3 fixtures", infos)
+	}
+	for i, want := range []string{"alpha", "beta", "gamma"} {
+		if infos[i].Ref != want {
+			t.Errorf("refs[%d] = %q, want %q", i, infos[i].Ref, want)
+		}
+		wantOpen := want == "beta"
+		if infos[i].Open != wantOpen {
+			t.Errorf("ref %s open = %v, want %v", want, infos[i].Open, wantOpen)
+		}
+		if wantOpen && infos[i].ResidentBytes <= 0 {
+			t.Errorf("open ref %s reports no resident bytes", want)
+		}
+	}
+}
+
+func TestCatalogClose(t *testing.T) {
+	refs := makeRefs(t)
+	c, err := New(Options{Dir: writeDir(t, refs), Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquireSAM(t, c, "beta", refs[1].ds.Reads[:5])
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire("gamma"); !errors.Is(err, ErrCatalogClosed) {
+		t.Fatalf("Acquire after Close = %v, want ErrCatalogClosed", err)
+	}
+	// The outstanding pin still serves; release closes it.
+	got := alignSAM(t, h.Aligner(), refs[0].ds.Reads[:5])
+	if want := alignSAM(t, refs[0].oracle, refs[0].ds.Reads[:5]); !bytes.Equal(got, want) {
+		t.Fatal("pinned index unusable after catalog Close")
+	}
+	al := h.Aligner()
+	h.Release()
+	if _, err := al.Align(context.Background(), refs[0].ds.Reads[:1], qopts()); !errors.Is(err, meraligner.ErrAlignerClosed) {
+		t.Fatalf("index not closed after catalog Close + last release: %v", err)
+	}
+}
+
+func TestStaticSource(t *testing.T) {
+	refs := makeRefs(t)
+	src := Static(refs[0].oracle)
+	h, err := src.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Aligner() != refs[0].oracle {
+		t.Fatal("Static handle does not expose the wrapped aligner")
+	}
+	h.Release()
+	h.Release() // double release must be harmless
+	// The static aligner is unmanaged: never closed by the source.
+	if _, err := refs[0].oracle.Align(context.Background(), refs[0].ds.Reads[:1], qopts()); err != nil {
+		t.Fatalf("static aligner unusable after release: %v", err)
+	}
+}

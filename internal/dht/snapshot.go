@@ -270,6 +270,14 @@ func OpenMapped(blob []byte) (*Sharded, error) {
 		if occupied == slotsLen {
 			return nil, fmt.Errorf("dht: snapshot shard %d: table has no empty slot (%d of %d occupied)", i, occupied, slotsLen)
 		}
+		// Fragment IDs feed array indexing downstream (SingleCopy, the
+		// aligner's fragment->target resolution), so a crafted arena must
+		// not smuggle one past the open-time check.
+		for j := range locs {
+			if f := int64(locs[j].Frag); f < 0 || f >= numFragments {
+				return nil, fmt.Errorf("dht: snapshot shard %d location %d: fragment %d outside 0..%d", i, j, locs[j].Frag, numFragments-1)
+			}
+		}
 		sx.flat[i] = flatShard{shift: shift, slots: slots, locs: locs}
 	}
 	sx.sealed.Store(true)

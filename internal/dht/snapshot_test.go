@@ -12,7 +12,7 @@ import (
 // alignedCopy copies b into a fresh 8-byte-aligned buffer, the alignment
 // OpenMapped's struct views need (a .merx mapping provides 64).
 func alignedCopy(b []byte) []byte {
-	words := make([]uint64, (len(b)+7)/8)
+	words := make([]uint64, (len(b)+7)/8+1) // +1 so &words[0] exists even for empty input
 	out := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(b))
 	copy(out, b)
 	return out

@@ -1,0 +1,105 @@
+package merx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedContainer writes a small valid container and returns its bytes:
+// the structurally correct input every corpus mutation starts from.
+func fuzzSeedContainer(f *testing.F) []byte {
+	f.Helper()
+	path := filepath.Join(f.TempDir(), "seed.merx")
+	fh, err := os.Create(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer fh.Close()
+	w, err := NewWriter(fh, Layout{FlatEntryBytes: 32, LocBytes: 12})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range []struct {
+		tag  string
+		data []byte
+	}{
+		{"META", []byte("k=21 exact=1")},
+		{"DHTS", make([]byte, 256)},
+		{"TGTS", []byte("ACGTACGTACGT")},
+		{"EMPT", nil},
+	} {
+		data := s.data
+		if err := w.Section(s.tag, func(sw io.Writer) error {
+			_, werr := sw.Write(data)
+			return werr
+		}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		f.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return blob
+}
+
+// FuzzMerxOpen: arbitrary container bytes must either open into a usable
+// *File or fail with a typed error (ErrCorrupt / ErrIncompatible) — never
+// panic, never read out of bounds, never return an untyped error. This is
+// the trust boundary for every snapshot merserved maps off disk.
+func FuzzMerxOpen(f *testing.F) {
+	seed := fuzzSeedContainer(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:headerSize])
+	f.Add([]byte{})
+	// One bit-flip per 8-byte word of the header plus the first section
+	// table entry, so the fuzzer starts adjacent to every validated field
+	// (magic, version, layout sizes, table offset/length, CRCs).
+	for off := 0; off < 2*headerSize && off < len(seed); off += 8 {
+		mut := append([]byte(nil), seed...)
+		mut[off] ^= 0x80
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mf, err := OpenBytes(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrIncompatible) {
+				t.Fatalf("OpenBytes returned an untyped error: %v", err)
+			}
+			return
+		}
+		// An accepted container must be fully readable: every listed
+		// section resolvable by tag, payloads in bounds, layout
+		// self-consistent, and close idempotent.
+		for _, s := range mf.Sections() {
+			got, err := mf.SectionData(s.Tag)
+			if err != nil {
+				t.Fatalf("SectionData(%q) on an accepted container: %v", s.Tag, err)
+			}
+			sum := byte(0)
+			for _, b := range got { // touch every payload byte
+				sum ^= b
+			}
+			_ = sum
+		}
+		if _, err := mf.SectionData("\x00\x00\x00\x00"); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("missing section lookup: got %v, want ErrCorrupt", err)
+		}
+		if err := mf.CheckLayout(mf.Layout); err != nil {
+			t.Fatalf("CheckLayout against own layout: %v", err)
+		}
+		if err := mf.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := mf.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	})
+}

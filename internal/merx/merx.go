@@ -300,6 +300,33 @@ func Open(path string) (*File, error) {
 	return mf, nil
 }
 
+// OpenBytes parses an in-memory .merx image with exactly Open's
+// validation, returning the same typed errors. The bytes are copied into
+// an 8-byte-aligned heap buffer first (section payloads carry raw struct
+// views, and an arbitrary caller slice has arbitrary alignment), so data
+// may be reused or mutated after OpenBytes returns. This is the seam the
+// container fuzz tests drive: every input must yield a *File or a typed
+// error — never a panic or an out-of-bounds read.
+func OpenBytes(data []byte) (*File, error) {
+	const path = "(in-memory)"
+	if !hostLittleEndian() {
+		return nil, &IncompatibleError{Path: path, Reason: "reading .merx snapshots requires a little-endian host"}
+	}
+	if len(data) < headerSize {
+		return nil, &CorruptError{Path: path, Section: "header", Reason: fmt.Sprintf("image is %d bytes, smaller than the %d-byte header", len(data), headerSize)}
+	}
+	words := make([]uint64, (len(data)+7)/8)
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(data))
+	copy(b, data)
+	m := &mapping{data: b, mapped: false}
+	mf, err := parse(path, m)
+	if err != nil {
+		m.close()
+		return nil, err
+	}
+	return mf, nil
+}
+
 // parse validates the mapped bytes and builds the File.
 func parse(path string, m *mapping) (*File, error) {
 	data := m.data
@@ -330,7 +357,9 @@ func parse(path string, m *mapping) (*File, error) {
 		return nil, &CorruptError{Path: path, Section: "header", Reason: fmt.Sprintf("implausible section count %d", nSecs)}
 	}
 	tableLen := uint64(nSecs) * tableEntrySize
-	if tableOff < headerSize || tableOff+tableLen > uint64(len(data)) {
+	// Subtract, don't add: tableOff is attacker-controlled and tableOff+
+	// tableLen could wrap around uint64 past the bounds check.
+	if tableOff < headerSize || tableOff > uint64(len(data)) || tableLen > uint64(len(data))-tableOff {
 		return nil, &CorruptError{Path: path, Section: "section table", Reason: "table offset out of bounds"}
 	}
 	table := data[tableOff : tableOff+tableLen]

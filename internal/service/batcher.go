@@ -39,23 +39,67 @@ var (
 	ErrDraining   = errors.New("service: draining")
 )
 
-// alignFunc runs one coalesced engine call.
-type alignFunc func(ctx context.Context, reads []meraligner.Seq) (*meraligner.Results, error)
+// alignFunc runs one coalesced engine call. On success the returned
+// engineCall owns one reference (the dispatcher's); on error any index pin
+// the call took must already be released.
+type alignFunc func(ctx context.Context, reads []meraligner.Seq) (*engineCall, error)
+
+// engineCall is the outcome of one coalesced engine call plus the pin that
+// keeps its index alive. SAM rendering dereferences the target sequence
+// bytes, which live in the snapshot mapping — so a catalog-managed index
+// evicted or hot-swapped out mid-response must not unmap until every
+// member request has finished rendering. The refcount encodes exactly
+// that: the dispatcher holds one reference while demuxing, each surviving
+// member window holds one until its response is written, and release (the
+// catalog Handle's) runs when the last reference drops. targets is
+// captured from the pinned index at call time, so responses render against
+// the index that actually served them even if the reference was swapped
+// meanwhile.
+type engineCall struct {
+	res     *meraligner.Results
+	targets []meraligner.Seq
+	release func() // index pin release; nil for unmanaged (static) sources
+	left    atomic.Int32
+}
+
+// newEngineCall wraps one completed engine call with the caller's single
+// reference.
+func newEngineCall(res *meraligner.Results, targets []meraligner.Seq, release func()) *engineCall {
+	c := &engineCall{res: res, targets: targets, release: release}
+	c.left.Store(1)
+	return c
+}
+
+// retain adds one reference (a member window keeping the index pinned).
+func (c *engineCall) retain() { c.left.Add(1) }
+
+// finish drops one reference, releasing the index pin on the last.
+func (c *engineCall) finish() {
+	if c.left.Add(-1) == 0 && c.release != nil {
+		c.release()
+	}
+}
 
 // window is one request's view of a coalesced engine call: the shared
-// Results and read slice of the whole call, plus this request's query
-// range. Slice() rebases the range into a standalone per-request Results;
-// SAM rendering streams the range straight from the shared Results via
-// SAMStream.WriteRange.
+// call (Results + pinned targets) and read slice of the whole call, plus
+// this request's query range. Slice() rebases the range into a standalone
+// per-request Results; SAM rendering streams the range straight from the
+// shared Results via SAMStream.WriteRange. The holder must call finish()
+// exactly once, after its last use of the call's Results or targets.
 type window struct {
-	res   *meraligner.Results
+	call  *engineCall
 	reads []meraligner.Seq
 	lo    int
 	hi    int
 }
 
-// slice returns the request's own Results, rebased to its reads.
-func (w *window) slice() *meraligner.Results { return w.res.Slice(w.lo, w.hi) }
+// slice returns the request's own Results, rebased to its reads. The
+// returned Results is heap-only (no mapped memory), so it outlives
+// finish().
+func (w *window) slice() *meraligner.Results { return w.call.res.Slice(w.lo, w.hi) }
+
+// finish drops this window's reference on the shared engine call.
+func (w *window) finish() { w.call.finish() }
 
 // pending is one queued request.
 type pending struct {
@@ -172,7 +216,17 @@ func (b *batcher) submit(ctx context.Context, reads []meraligner.Seq) (*window, 
 		return p.win, p.err
 	case <-ctx.Done():
 		// The dispatcher observes the dead ctx at take or demux time and
-		// discards this request's share; batchmates are unaffected.
+		// discards this request's share; batchmates are unaffected. The
+		// demux may still have assigned (and retained) a window for this
+		// request — both channels can be ready at once — so finish the
+		// orphan once the dispatcher is done with it, or the index pin
+		// would leak.
+		go func() {
+			<-p.done
+			if p.win != nil {
+				p.win.finish()
+			}
+		}()
 		return nil, ctx.Err()
 	}
 }
@@ -332,7 +386,7 @@ func (b *batcher) execute(batch []*pending, reads int) {
 		all = append(all, p.reads...)
 	}
 	ctx, cancel := groupContext(b.base, batch)
-	res, err := b.align(ctx, all)
+	call, err := b.align(ctx, all)
 	cancel()
 	if err == nil && b.st != nil {
 		// Only completed calls count, matching the direct path — failed or
@@ -352,10 +406,14 @@ func (b *batcher) execute(batch []*pending, reads int) {
 				b.st.observeCanceled()
 			}
 		default:
-			p.win = &window{res: res, reads: all, lo: lo, hi: hi}
+			call.retain() // the member's reference, dropped by win.finish
+			p.win = &window{call: call, reads: all, lo: lo, hi: hi}
 		}
 		close(p.done)
 		lo = hi
+	}
+	if call != nil {
+		call.finish() // the dispatcher's reference from alignFunc
 	}
 
 	b.mu.Lock()

@@ -1,11 +1,16 @@
 // Package service implements merserved: an HTTP/JSON alignment service
-// over one resident Aligner. The seed index is built exactly once (by the
-// caller, via meraligner.Build); the service then serves alignment traffic
-// against it forever — the network face of the paper's build-once/
+// over resident aligners. In single-index mode the seed index is built or
+// mapped exactly once (by the caller) and the service serves alignment
+// traffic against it forever — the network face of the paper's build-once/
 // serve-many design, shaped like the SNAP/MICA servers the ROADMAP points
-// at: many small requests funneled onto one resident many-core engine.
+// at: many small requests funneled onto one resident many-core engine. In
+// catalog mode (Config.IndexDir) the service fronts a directory of .merx
+// snapshots: N references served behind one listener, each memory-mapped
+// lazily on first request, kept resident under a byte budget with LRU
+// eviction, and hot-swapped with zero downtime when its snapshot file is
+// atomically replaced on disk (internal/catalog owns that lifecycle).
 //
-// Endpoints:
+// Single-index endpoints:
 //
 //	POST /v1/align        one batch in (JSON or FASTQ), results out
 //	                      (JSON, or SAM with Accept: text/x-sam)
@@ -15,11 +20,21 @@
 //	GET  /healthz         200 while serving, 503 while draining
 //	GET  /metrics         Prometheus text exposition
 //
-// Small requests are coalesced by the dynamic micro-batcher (batcher.go);
-// requests of MaxBatch reads or more skip the queue and run directly with
-// the request's own context. Responses are byte-identical to a local Align
-// call over the same reads. Accept-Encoding: gzip is honored on every
-// response body.
+// Catalog endpoints (ref is the snapshot file name without .merx):
+//
+//	POST /v1/{ref}/align         as /v1/align, against one reference
+//	POST /v1/{ref}/align/stream  as /v1/align/stream
+//	GET  /v1/{ref}/stats         one reference's counters and latency
+//	GET  /v1/refs                the servable references and their state
+//	GET  /v1/stats               catalog-wide stats: lifecycle counters
+//	                             plus every active reference's stats
+//	GET  /healthz, /metrics      as above; metrics carry a ref label
+//
+// Each reference owns its dynamic micro-batcher (batcher.go): small
+// requests coalesce per reference, requests of MaxBatch reads or more skip
+// the queue and run directly with the request's own context. Responses are
+// byte-identical to a local Align call over the same reads against the
+// same snapshot. Accept-Encoding: gzip is honored on every response body.
 package service
 
 import (
@@ -30,20 +45,52 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	meraligner "github.com/lbl-repro/meraligner"
 	"github.com/lbl-repro/meraligner/client"
+	"github.com/lbl-repro/meraligner/internal/catalog"
 	"github.com/lbl-repro/meraligner/internal/dna"
 	"github.com/lbl-repro/meraligner/internal/seqio"
 )
 
-// Config shapes one Server. Aligner is required; everything else defaults.
+// SnapshotExt is the file extension a catalog directory entry must carry
+// (re-exported from internal/catalog for the CLI and embedders).
+const SnapshotExt = catalog.SnapshotExt
+
+// Config shapes one Server. Exactly one of Aligner (single-index mode) and
+// IndexDir (catalog mode) is required; everything else defaults.
 type Config struct {
+	// Aligner is the one resident index of single-index mode.
 	Aligner *meraligner.Aligner
-	Query   meraligner.QueryOptions // CollectAlignments/CollectPerQuery are forced on
+
+	// IndexDir selects catalog mode: every <ref>.merx snapshot in the
+	// directory is served at /v1/<ref>/..., opened lazily on first request.
+	IndexDir string
+
+	// ResidentBudget bounds the total ResidentBytes of open catalog
+	// indexes; least-recently-used references are evicted (their snapshots
+	// stay warm in the page cache). <= 0 means unlimited. Catalog mode only.
+	ResidentBudget int64
+
+	// SwapPoll rate-limits the hot-swap freshness check: a reference's
+	// snapshot file is re-stat'd at most once per SwapPoll. 0 means the 1s
+	// default; negative disables hot-swap. Catalog mode only.
+	SwapPoll time.Duration
+
+	// MaxInflightPerRef caps concurrently-served align requests per
+	// reference; excess requests are rejected with 429 + Retry-After before
+	// any parsing, so one hot reference cannot monopolize the engine or the
+	// admission queue of the others. <= 0 means unlimited.
+	MaxInflightPerRef int
+
+	Query meraligner.QueryOptions // CollectAlignments/CollectPerQuery are forced on
 
 	// Micro-batcher knobs: the latency/throughput trade. Batching is
 	// continuous — an idle engine dispatches immediately, and arrivals
@@ -52,16 +99,18 @@ type Config struct {
 	// engine before an overlapping call dispatches anyway (zero means the
 	// 2ms default; negative disables window-holding). MaxBatch 1 is the
 	// no-coalescing ablation (one engine call per request) the service
-	// benchmark measures against.
+	// benchmark measures against. In catalog mode each reference gets its
+	// own batcher with these knobs.
 	MaxBatch int           // default 256
 	MaxWait  time.Duration // default 2ms; < 0 disables window-holding
 
-	// Admission control: reads allowed in the queue before new requests
-	// are rejected with 429. Default 4*MaxBatch.
+	// Admission control: reads allowed in the queue (per reference) before
+	// new requests are rejected with 429. Default 4*MaxBatch.
 	QueueReads int
 
 	// Workers is the engine pool size of coalesced calls (default: the
-	// Aligner's build-time thread count, via AlignWorkers 0 = Build's).
+	// Aligner's build-time thread count in single-index mode, the host CPU
+	// count in catalog mode).
 	Workers int
 
 	// RetryAfter is the backoff hint sent with 429s. Default 500ms.
@@ -99,92 +148,312 @@ func (c Config) withDefaults() Config {
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 64 << 20
 	}
+	if c.IndexDir != "" && c.SwapPoll == 0 {
+		c.SwapPoll = time.Second
+	}
 	return c
 }
 
 // Server is the HTTP handler. Create with New, serve with net/http, stop
 // with Drain (graceful) and Close (hard).
 type Server struct {
-	cfg     Config
-	al      *meraligner.Aligner
-	qopt    meraligner.QueryOptions
-	k       int
-	targets []meraligner.Seq
-	mux     *http.ServeMux
-	bat     *batcher
-	st      *serverStats
+	cfg  Config
+	qopt meraligner.QueryOptions
+	mux  *http.ServeMux
 
-	baseCtx context.Context
-	cancel  context.CancelFunc
+	// Exactly one of the two is set: single serves Config.Aligner through
+	// the same tenant machinery catalog mode uses for each reference.
+	single *tenant
+	cat    *catalog.Catalog
+
+	tmu     sync.Mutex // guards tenants (catalog mode)
+	tenants map[string]*tenant
+
+	draining atomic.Bool
+	baseCtx  context.Context
+	cancel   context.CancelFunc
 }
 
-// New builds a Server over cfg.Aligner. The index must already be built;
-// New does no heavy work.
+// tenant is the serving state of one reference: its micro-batcher, stats,
+// inflight quota, and the Source resolving its current index. A tenant is
+// permanent once created — it survives eviction and hot-swap of the index
+// underneath (the catalog hands out a fresh pin per engine call).
+type tenant struct {
+	s   *Server
+	ref string // "" in single-index mode
+	src catalog.Source
+	bat *batcher
+	st  *serverStats
+
+	inflight atomic.Int64 // align requests being served (quota)
+
+	// Last-observed identity of the reference's index, refreshed on every
+	// acquisition; stats report these even while the index is evicted.
+	k             atomic.Int32
+	distinctSeeds atomic.Int64
+	totalLocs     atomic.Int64
+	resident      atomic.Int64
+}
+
+// New builds a Server over cfg.Aligner or cfg.IndexDir. Indexes must
+// already be built; New does no heavy work (catalog snapshots open lazily,
+// on first request).
 func New(cfg Config) (*Server, error) {
-	if cfg.Aligner == nil {
-		return nil, errors.New("service: Config.Aligner is required")
+	if (cfg.Aligner == nil) == (cfg.IndexDir == "") {
+		return nil, errors.New("service: exactly one of Config.Aligner and Config.IndexDir is required")
 	}
 	cfg = cfg.withDefaults()
 	qopt := cfg.Query
 	qopt.CollectAlignments = true // responses need the records
 	qopt.CollectPerQuery = true   // stats need per-read latency
-	s := &Server{
-		cfg:     cfg,
-		al:      cfg.Aligner,
-		qopt:    qopt,
-		k:       cfg.Aligner.IndexOptions().K,
-		targets: cfg.Aligner.Targets(),
-		st:      newServerStats(),
-	}
-	if s.cfg.Workers <= 0 {
-		s.cfg.Workers = cfg.Aligner.Threads()
-	}
+	s := &Server{cfg: cfg, qopt: qopt}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
-	s.bat = newBatcher(s.baseCtx, s.alignBatch, cfg.MaxBatch, cfg.MaxWait, cfg.QueueReads, s.st)
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/align", s.handleAlign)
-	mux.HandleFunc("POST /v1/align/stream", s.handleAlignStream)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Aligner != nil {
+		if s.cfg.Workers <= 0 {
+			s.cfg.Workers = cfg.Aligner.Threads()
+		}
+		t := s.newTenant("", catalog.Static(cfg.Aligner))
+		t.noteIndex(cfg.Aligner)
+		s.single = t
+		mux.HandleFunc("POST /v1/align", s.singleHandler((*tenant).handleAlign))
+		mux.HandleFunc("POST /v1/align/stream", s.singleHandler((*tenant).handleAlignStream))
+	} else {
+		if s.cfg.Workers <= 0 {
+			s.cfg.Workers = runtime.NumCPU()
+		}
+		cat, err := catalog.New(catalog.Options{
+			Dir:      cfg.IndexDir,
+			Budget:   cfg.ResidentBudget,
+			Threads:  s.cfg.Workers,
+			SwapPoll: s.cfg.SwapPoll,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cat = cat
+		s.tenants = make(map[string]*tenant)
+		mux.HandleFunc("POST /v1/{ref}/align", s.refHandler((*tenant).handleAlign))
+		mux.HandleFunc("POST /v1/{ref}/align/stream", s.refHandler((*tenant).handleAlignStream))
+		mux.HandleFunc("GET /v1/{ref}/stats", s.handleRefStats)
+		mux.HandleFunc("GET /v1/refs", s.handleRefs)
+	}
 	s.mux = mux
 	return s, nil
+}
+
+// newTenant wires one reference's batcher and stats.
+func (s *Server) newTenant(ref string, src catalog.Source) *tenant {
+	t := &tenant{s: s, ref: ref, src: src, st: newServerStats()}
+	t.bat = newBatcher(s.baseCtx, t.alignBatch, s.cfg.MaxBatch, s.cfg.MaxWait, s.cfg.QueueReads, t.st)
+	return t
+}
+
+// noteIndex records the index identity behind this tenant for stats.
+func (t *tenant) noteIndex(al *meraligner.Aligner) {
+	t.k.Store(int32(al.IndexOptions().K))
+	ix := al.IndexStats()
+	t.distinctSeeds.Store(int64(ix.DistinctSeeds))
+	t.totalLocs.Store(int64(ix.TotalLocs))
+	t.resident.Store(al.ResidentBytes())
+}
+
+// tenantFor returns ref's permanent tenant, creating it on first use. The
+// caller must have resolved ref against the catalog first (unknown refs
+// must never leave a tenant — and its dispatcher goroutine — behind).
+// Creation is refused once draining so Drain's tenant snapshot is complete.
+func (s *Server) tenantFor(ref string) (*tenant, error) {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	t, ok := s.tenants[ref]
+	if !ok {
+		t = s.newTenant(ref, s.cat.Ref(ref))
+		s.tenants[ref] = t
+	}
+	return t, nil
+}
+
+// allTenants snapshots the serving tenants (both modes).
+func (s *Server) allTenants() []*tenant {
+	if s.single != nil {
+		return []*tenant{s.single}
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	out := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ref < out[j].ref })
+	return out
+}
+
+// singleHandler wraps a tenant handler for single-index mode: draining
+// check and inflight quota, then the handler.
+func (s *Server) singleHandler(h func(*tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{Error: "draining"})
+			return
+		}
+		s.dispatch(s.single, h, w, r)
+	}
+}
+
+// refHandler wraps a tenant handler for catalog mode: it resolves {ref}
+// against the catalog before any per-ref state exists (unknown references
+// 404 without leaving a tenant behind; the acquisition also performs the
+// lazy open and hot-swap check), refreshes the tenant's index identity,
+// then applies the quota and runs the handler.
+func (s *Server) refHandler(h func(*tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{Error: "draining"})
+			return
+		}
+		ref := r.PathValue("ref")
+		hdl, err := s.cat.Acquire(ref)
+		if err != nil {
+			s.acquireError(w, r, err)
+			return
+		}
+		t, err := s.tenantFor(ref)
+		if err != nil {
+			hdl.Release()
+			s.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{Error: "draining"})
+			return
+		}
+		t.noteIndex(hdl.Aligner())
+		hdl.Release()
+		s.dispatch(t, h, w, r)
+	}
+}
+
+// dispatch applies the per-reference inflight quota around one handler.
+func (s *Server) dispatch(t *tenant, h func(*tenant, http.ResponseWriter, *http.Request), w http.ResponseWriter, r *http.Request) {
+	if !t.enterInflight() {
+		t.st.rejected.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		s.writeError(w, r, http.StatusTooManyRequests, &client.ErrorResponse{Error: "overloaded: per-reference inflight limit reached"})
+		return
+	}
+	defer t.exitInflight()
+	h(t, w, r)
+}
+
+// enterInflight claims one quota slot; false means the reference is at its
+// MaxInflightPerRef limit.
+func (t *tenant) enterInflight() bool {
+	max := t.s.cfg.MaxInflightPerRef
+	if max <= 0 {
+		return true
+	}
+	if t.inflight.Add(1) > int64(max) {
+		t.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (t *tenant) exitInflight() {
+	if t.s.cfg.MaxInflightPerRef > 0 {
+		t.inflight.Add(-1)
+	}
+}
+
+// acquireError maps a catalog acquisition failure to its HTTP status.
+func (s *Server) acquireError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, catalog.ErrUnknownRef):
+		s.writeError(w, r, http.StatusNotFound, &client.ErrorResponse{Error: err.Error()})
+	case errors.Is(err, catalog.ErrCatalogClosed):
+		s.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{Error: "draining"})
+	default:
+		// A present but unreadable snapshot (corrupt, incompatible): the
+		// typed merx error names the failing section.
+		s.writeError(w, r, http.StatusInternalServerError, &client.ErrorResponse{Error: err.Error()})
+	}
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Draining reports whether Drain has started.
-func (s *Server) Draining() bool { return s.bat.isClosed() }
+// Draining reports whether Drain or Close has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Drain gracefully stops the service: admission closes (healthz and new
 // align requests answer 503), queued requests still execute, in-flight
-// engine calls finish. When ctx expires first, in-flight work is aborted
-// via the base context and ctx's error is returned.
+// engine calls finish; in catalog mode every reference's batcher drains
+// concurrently and the catalog closes last, so no index unmaps before its
+// final responses render. When ctx expires first, in-flight work is
+// aborted via the base context and ctx's error is returned.
 func (s *Server) Drain(ctx context.Context) error {
-	if err := s.bat.drain(ctx); err != nil {
+	s.draining.Store(true)
+	ts := s.allTenants()
+	errs := make(chan error, len(ts))
+	var wg sync.WaitGroup
+	for _, t := range ts {
+		wg.Add(1)
+		go func(t *tenant) {
+			defer wg.Done()
+			errs <- t.bat.drain(ctx)
+		}(t)
+	}
+	wg.Wait()
+	close(errs)
+	var failed error
+	for err := range errs {
+		if err != nil && failed == nil {
+			failed = err
+		}
+	}
+	if failed != nil {
 		s.cancel() // abort in-flight engine calls
-		return err
 	}
-	return nil
+	if s.cat != nil {
+		s.cat.Close()
+	}
+	return failed
 }
 
-// Close hard-stops: cancels every in-flight engine call and stops the
-// batcher's dispatcher (queued requests fail fast against the dead base
-// context). Use after a failed Drain or for tests.
+// Close hard-stops: cancels every in-flight engine call, stops the
+// batchers' dispatchers (queued requests fail fast against the dead base
+// context), and closes the catalog. Use after a failed Drain or for tests.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.cancel()
-	s.bat.closeNow()
+	for _, t := range s.allTenants() {
+		t.bat.closeNow()
+	}
+	if s.cat != nil {
+		s.cat.Close()
+	}
 }
 
-// alignBatch is the batcher's engine call.
-func (s *Server) alignBatch(ctx context.Context, reads []meraligner.Seq) (*meraligner.Results, error) {
-	res, err := s.al.AlignWorkers(ctx, s.cfg.Workers, reads, s.qopt)
-	if err == nil {
-		s.st.observePerQuery(res.PerQuery)
+// alignBatch is the batcher's engine call: pin the reference's current
+// index, align, and hand the pin to the engineCall — it is released only
+// when every member response (and the dispatcher) has finished with the
+// Results and the mapped target bytes SAM rendering reads.
+func (t *tenant) alignBatch(ctx context.Context, reads []meraligner.Seq) (*engineCall, error) {
+	h, err := t.src.Acquire()
+	if err != nil {
+		return nil, err
 	}
-	return res, err
+	al := h.Aligner()
+	res, err := al.AlignWorkers(ctx, t.s.cfg.Workers, reads, t.s.qopt)
+	if err != nil {
+		h.Release()
+		return nil, err
+	}
+	t.st.observePerQuery(res.PerQuery)
+	return newEngineCall(res, al.Targets(), h.Release), nil
 }
 
 // ---- request parsing ----
@@ -281,124 +550,171 @@ func packWire(seq string) (dna.Packed, error) {
 // admit validates a parsed batch: non-empty, and every read long enough to
 // carry a seed. Too-short reads are a client error (HTTP 400) carrying the
 // typed per-read detail — the service-side face of the engine's
-// QueryTooShort status (same rule: length < K).
-func (s *Server) admit(reads []meraligner.Seq) *client.ErrorResponse {
+// QueryTooShort status (same rule: length < K). K is the tenant's
+// last-observed seed length; the engine itself re-checks, so a hot-swap
+// changing K mid-request degrades to the engine's per-read status rather
+// than a wrong rejection.
+func (t *tenant) admit(reads []meraligner.Seq) *client.ErrorResponse {
 	if len(reads) == 0 {
 		return &client.ErrorResponse{Error: "empty request: no reads"}
 	}
+	k := int(t.k.Load())
 	var short []string
 	for i := range reads {
-		if reads[i].Seq.Len() < s.k {
+		if reads[i].Seq.Len() < k {
 			short = append(short, reads[i].Name)
 		}
 	}
 	if short != nil {
-		s.st.tooShort.Add(int64(len(short)))
+		t.st.tooShort.Add(int64(len(short)))
 		return &client.ErrorResponse{
-			Error:    fmt.Sprintf("%d read(s) shorter than the seed length K=%d cannot be aligned", len(short), s.k),
+			Error:    fmt.Sprintf("%d read(s) shorter than the seed length K=%d cannot be aligned", len(short), k),
 			TooShort: short,
 		}
 	}
 	return nil
 }
 
-// ---- /v1/align ----
+// ---- /v1/align and /v1/{ref}/align ----
 
-func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		s.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{Error: "draining"})
-		return
-	}
+func (t *tenant) handleAlign(w http.ResponseWriter, r *http.Request) {
+	s := t.s
 	reads, err := s.parseReads(w, r)
 	if err != nil {
 		s.writeError(w, r, parseStatus(err), &client.ErrorResponse{Error: err.Error()})
 		return
 	}
-	if er := s.admit(reads); er != nil {
+	if er := t.admit(reads); er != nil {
 		s.writeError(w, r, http.StatusBadRequest, er)
 		return
 	}
-	win, err := s.serve(r.Context(), reads)
+	win, err := t.serve(r.Context(), reads)
 	if err != nil {
-		s.engineError(w, r, err)
+		t.engineError(w, r, err)
 		return
 	}
+	defer win.finish() // response rendered: the index pin may drop
 
 	if wantsSAM(r) {
 		s.writeSAM(w, r, win)
 		return
 	}
-	s.writeJSON(w, r, http.StatusOK, s.buildResponse(win))
+	s.writeJSON(w, r, http.StatusOK, buildResponse(win))
 }
 
 // serve is the request-serving core shared by the HTTP handler and
 // AlignBatched: big requests run directly with the caller's context (no
 // coalescing to gain; a disconnect cancels the engine call itself), small
 // requests go through the micro-batcher. Request accounting and latency
-// observation happen here so both faces report identically.
-func (s *Server) serve(ctx context.Context, reads []meraligner.Seq) (*window, error) {
+// observation happen here so both faces report identically. The returned
+// window holds a reference on its engine call; the caller must finish() it
+// after rendering.
+func (t *tenant) serve(ctx context.Context, reads []meraligner.Seq) (*window, error) {
 	start := time.Now()
 	var win *window
-	if len(reads) >= s.cfg.MaxBatch {
-		res, err := s.alignDirect(ctx, reads)
+	if len(reads) >= t.s.cfg.MaxBatch {
+		call, err := t.alignDirect(ctx, reads)
 		if err != nil {
 			return nil, err
 		}
-		win = &window{res: res, reads: reads, lo: 0, hi: len(reads)}
+		win = &window{call: call, reads: reads, lo: 0, hi: len(reads)}
 	} else {
 		var err error
-		if win, err = s.bat.submit(ctx, reads); err != nil {
+		if win, err = t.bat.submit(ctx, reads); err != nil {
 			return nil, err
 		}
 	}
 	// Counted only on success: requests/reads are served work, not offered
 	// load (rejections are the separate `rejected` counter).
-	s.st.requests.Add(1)
-	s.st.reads.Add(int64(len(reads)))
-	s.st.reqLatency.observe(time.Since(start).Nanoseconds())
+	t.st.requests.Add(1)
+	t.st.reads.Add(int64(len(reads)))
+	t.st.reqLatency.observe(time.Since(start).Nanoseconds())
 	return win, nil
 }
 
-// AlignBatched submits one request's reads through the service exactly as
-// POST /v1/align does — micro-batching, admission control, stats — but
-// in-process, with no HTTP in the path. Embedders and the service
-// benchmark use it to measure or reuse the serving core directly. Errors:
-// ErrOverloaded (the 429 case), ErrDraining (the 503 case), or the
-// caller's context error.
+// AlignBatched submits one request's reads through the single-index
+// service exactly as POST /v1/align does — micro-batching, admission
+// control, stats — but in-process, with no HTTP in the path. Embedders and
+// the service benchmark use it to measure or reuse the serving core
+// directly. Errors: ErrOverloaded (the 429 case), ErrDraining (the 503
+// case), or the caller's context error. Catalog-mode servers use
+// AlignBatchedRef.
 func (s *Server) AlignBatched(ctx context.Context, reads []meraligner.Seq) (*meraligner.Results, error) {
-	if s.Draining() {
+	if s.single == nil {
+		return nil, errors.New("service: AlignBatched needs single-index mode; use AlignBatchedRef")
+	}
+	return s.single.alignBatched(ctx, reads)
+}
+
+// AlignBatchedRef is AlignBatched against one reference of a catalog-mode
+// server: the in-process face of POST /v1/{ref}/align. Unknown references
+// fail with an error matching catalog.ErrUnknownRef.
+func (s *Server) AlignBatchedRef(ctx context.Context, ref string, reads []meraligner.Seq) (*meraligner.Results, error) {
+	if s.single != nil {
+		if ref != "" {
+			return nil, errors.New("service: single-index mode serves no named references")
+		}
+		return s.single.alignBatched(ctx, reads)
+	}
+	if s.draining.Load() {
 		return nil, ErrDraining
 	}
-	win, err := s.serve(ctx, reads)
+	hdl, err := s.cat.Acquire(ref)
 	if err != nil {
 		return nil, err
 	}
-	return win.slice(), nil
+	t, err := s.tenantFor(ref)
+	if err != nil {
+		hdl.Release()
+		return nil, err
+	}
+	t.noteIndex(hdl.Aligner())
+	hdl.Release()
+	return t.alignBatched(ctx, reads)
+}
+
+// alignBatched serves one in-process request and rebases its share of the
+// coalesced Results into a standalone, heap-only value.
+func (t *tenant) alignBatched(ctx context.Context, reads []meraligner.Seq) (*meraligner.Results, error) {
+	if t.s.draining.Load() {
+		return nil, ErrDraining
+	}
+	win, err := t.serve(ctx, reads)
+	if err != nil {
+		return nil, err
+	}
+	res := win.slice()
+	win.finish()
+	return res, nil
 }
 
 // alignDirect runs one uncoalesced engine call and counts it as a batch of
 // one request (so stats stay comparable across paths). It registers with
 // the batcher's inflight count, so queued small requests coalesce behind
 // it and drain waits for it.
-func (s *Server) alignDirect(ctx context.Context, reads []meraligner.Seq) (*meraligner.Results, error) {
-	s.bat.enterDirect()
-	defer s.bat.exitDirect()
-	res, err := s.alignBatch(ctx, reads)
+func (t *tenant) alignDirect(ctx context.Context, reads []meraligner.Seq) (*engineCall, error) {
+	t.bat.enterDirect()
+	defer t.bat.exitDirect()
+	call, err := t.alignBatch(ctx, reads)
 	if err == nil {
-		s.st.observeBatch(1, len(reads))
+		t.st.observeBatch(1, len(reads))
 	}
-	return res, err
+	return call, err
 }
 
 // engineError maps batcher/engine failures onto HTTP statuses.
-func (s *Server) engineError(w http.ResponseWriter, r *http.Request, err error) {
+func (t *tenant) engineError(w http.ResponseWriter, r *http.Request, err error) {
+	s := t.s
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		s.st.rejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		t.st.rejected.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		s.writeError(w, r, http.StatusTooManyRequests, &client.ErrorResponse{Error: "overloaded: admission queue full"})
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, catalog.ErrCatalogClosed):
 		s.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{Error: "draining"})
+	case errors.Is(err, catalog.ErrUnknownRef):
+		// The snapshot vanished between admission and the engine call.
+		s.writeError(w, r, http.StatusNotFound, &client.ErrorResponse{Error: err.Error()})
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// Client is gone; nothing useful to write. net/http drops the
 		// connection. (Counted by the batcher when it noticed first.)
@@ -407,10 +723,18 @@ func (s *Server) engineError(w http.ResponseWriter, r *http.Request, err error) 
 	}
 }
 
-// buildResponse renders a window as the JSON wire response.
-func (s *Server) buildResponse(win *window) *client.AlignResponse {
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// rounded up).
+func retryAfterSeconds(d time.Duration) string {
+	return strconv.Itoa(int((d + time.Second - 1) / time.Second))
+}
+
+// buildResponse renders a window as the JSON wire response, naming targets
+// from the engine call's own pinned index (hot-swap safe).
+func buildResponse(win *window) *client.AlignResponse {
 	res := win.slice()
 	reads := win.reads[win.lo:win.hi]
+	targets := win.call.targets
 	out := &client.AlignResponse{Reads: make([]client.ReadResult, len(reads))}
 	for i := range reads {
 		out.Reads[i] = client.ReadResult{Name: reads[i].Name, Status: client.StatusUnmapped}
@@ -423,7 +747,7 @@ func (s *Server) buildResponse(win *window) *client.AlignResponse {
 			strand = "-"
 		}
 		rr.Alignments = append(rr.Alignments, client.Alignment{
-			Target: s.targets[a.Target].Name,
+			Target: targets[a.Target].Name,
 			Strand: strand,
 			Score:  int(a.Score),
 			QStart: int(a.QStart), QEnd: int(a.QEnd),
@@ -440,12 +764,14 @@ func (s *Server) buildResponse(win *window) *client.AlignResponse {
 
 // writeSAM streams a window's records as a SAM document straight from the
 // shared coalesced Results (SAMStream.WriteRange) — no per-request slicing.
+// The header and the records both come from the engine call's pinned
+// targets, whose mapped sequence bytes stay valid until win.finish().
 func (s *Server) writeSAM(w http.ResponseWriter, r *http.Request, win *window) {
 	w.Header().Set("Content-Type", "text/x-sam")
 	body, finish := s.maybeGzip(w, r)
-	stream, err := meraligner.NewSAMStream(body, s.targets)
+	stream, err := meraligner.NewSAMStream(body, win.call.targets)
 	if err == nil {
-		err = stream.WriteRange(win.res, win.reads, win.lo, win.hi)
+		err = stream.WriteRange(win.call.res, win.reads, win.lo, win.hi)
 	}
 	if err == nil {
 		err = stream.Flush()
@@ -456,24 +782,21 @@ func (s *Server) writeSAM(w http.ResponseWriter, r *http.Request, win *window) {
 	_ = err // headers are gone; nothing more to report to the client
 }
 
-// ---- /v1/align/stream ----
+// ---- /v1/align/stream and /v1/{ref}/align/stream ----
 
 // handleAlignStream aligns the batch in MaxBatch-read chunks, flushing each
 // chunk's results as soon as the engine returns them: NDJSON ReadResult
 // lines, or an incrementally-written SAM document under Accept: text/x-sam.
 // The request's own context is propagated into every chunk's engine call,
 // so a disconnect cancels the remaining work.
-func (s *Server) handleAlignStream(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		s.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{Error: "draining"})
-		return
-	}
+func (t *tenant) handleAlignStream(w http.ResponseWriter, r *http.Request) {
+	s := t.s
 	reads, err := s.parseReads(w, r)
 	if err != nil {
 		s.writeError(w, r, parseStatus(err), &client.ErrorResponse{Error: err.Error()})
 		return
 	}
-	if er := s.admit(reads); er != nil {
+	if er := t.admit(reads); er != nil {
 		s.writeError(w, r, http.StatusBadRequest, er)
 		return
 	}
@@ -498,6 +821,7 @@ func (s *Server) handleAlignStream(w http.ResponseWriter, r *http.Request) {
 	// The SAM header is deferred until the first chunk succeeds, so a
 	// first-chunk admission failure can still answer with a real status.
 	var stream *meraligner.SAMStream
+	var streamTargets []meraligner.Seq // the header's target set
 	enc := json.NewEncoder(body)
 	// Chunks ride the micro-batcher like any other request, so streams are
 	// subject to the same admission bound (and partial chunks coalesce with
@@ -508,15 +832,15 @@ func (s *Server) handleAlignStream(w http.ResponseWriter, r *http.Request) {
 	for lo := 0; lo < len(reads); lo += chunkSize {
 		hi := min(lo+chunkSize, len(reads))
 		chunk := reads[lo:hi]
-		win, aerr := s.bat.submit(r.Context(), chunk)
+		win, aerr := t.bat.submit(r.Context(), chunk)
 		if aerr != nil {
 			if !wrote {
 				// Nothing sent yet: a real status can still go out.
-				s.engineError(w, r, aerr)
+				t.engineError(w, r, aerr)
 				return
 			}
 			if errors.Is(aerr, ErrOverloaded) {
-				s.st.rejected.Add(1)
+				t.st.rejected.Add(1)
 			}
 			// Mid-stream with the client still healthy: a plain return
 			// would end the chunked body cleanly and the truncation would
@@ -524,49 +848,121 @@ func (s *Server) handleAlignStream(w http.ResponseWriter, r *http.Request) {
 			// transport error, not a short success.
 			panic(http.ErrAbortHandler)
 		}
-		s.st.reads.Add(int64(len(chunk)))
-		if sam {
-			if stream == nil {
-				if stream, err = meraligner.NewSAMStream(body, s.targets); err != nil {
-					return
+		t.st.reads.Add(int64(len(chunk)))
+		if werr := func() error { // win.finish() per chunk, panic-safe
+			defer win.finish()
+			if sam {
+				if stream == nil {
+					streamTargets = win.call.targets
+					if stream, err = meraligner.NewSAMStream(body, streamTargets); err != nil {
+						return err
+					}
+				} else if !sameTargets(streamTargets, win.call.targets) {
+					// A hot-swap replaced the reference mid-stream: the SAM
+					// header already written names the old target set, and
+					// this chunk's records index the new one. Mixing them
+					// would be silent corruption — abort the connection so
+					// the client retries against the swapped index.
+					panic(http.ErrAbortHandler)
 				}
+				if err := stream.WriteRange(win.call.res, win.reads, win.lo, win.hi); err != nil {
+					return err
+				}
+				return stream.Flush()
 			}
-			if err := stream.WriteRange(win.res, win.reads, win.lo, win.hi); err != nil {
-				return
-			}
-			if err := stream.Flush(); err != nil {
-				return
-			}
-		} else {
-			for _, rr := range s.buildResponse(win).Reads {
+			for _, rr := range buildResponse(win).Reads {
 				if err := enc.Encode(rr); err != nil {
-					return
+					return err
 				}
 			}
+			return nil
+		}(); werr != nil {
+			return
 		}
 		wrote = true
 		flush()
 	}
-	s.st.requests.Add(1) // served in full (chunk reads counted as they went)
-	s.st.reqLatency.observe(time.Since(start).Nanoseconds())
+	t.st.requests.Add(1) // served in full (chunk reads counted as they went)
+	t.st.reqLatency.observe(time.Since(start).Nanoseconds())
 	_ = finish()
+}
+
+// sameTargets reports whether two target sets are the same backing slice
+// (one index instance's Targets() is stable across calls, so identity is
+// the cheap and sufficient check).
+func sameTargets(a, b []meraligner.Seq) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // ---- observability endpoints ----
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, r, http.StatusOK, s.Snapshot())
+	if s.single != nil {
+		s.writeJSON(w, r, http.StatusOK, s.Snapshot())
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, s.CatalogSnapshot())
+}
+
+// handleRefStats serves one reference's stats. A reference that exists but
+// has never been queried reports zero counters (no tenant is created).
+func (s *Server) handleRefStats(w http.ResponseWriter, r *http.Request) {
+	ref := r.PathValue("ref")
+	s.tmu.Lock()
+	t := s.tenants[ref]
+	s.tmu.Unlock()
+	if t != nil {
+		s.writeJSON(w, r, http.StatusOK, t.snapshotStats())
+		return
+	}
+	refs, err := s.cat.Refs()
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, &client.ErrorResponse{Error: err.Error()})
+		return
+	}
+	for _, ri := range refs {
+		if ri.Ref == ref {
+			st := client.Stats{Ref: ref, Version: s.cfg.Version, Draining: s.draining.Load(),
+				MaxBatch: s.cfg.MaxBatch, MaxWaitMs: float64(s.cfg.MaxWait) / float64(time.Millisecond)}
+			s.writeJSON(w, r, http.StatusOK, st)
+			return
+		}
+	}
+	s.writeError(w, r, http.StatusNotFound, &client.ErrorResponse{Error: (&catalog.UnknownRefError{Ref: ref}).Error()})
+}
+
+// handleRefs lists the servable references.
+func (s *Server) handleRefs(w http.ResponseWriter, r *http.Request) {
+	refs, err := s.cat.Refs()
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, &client.ErrorResponse{Error: err.Error()})
+		return
+	}
+	out := make([]client.RefInfo, len(refs))
+	for i, ri := range refs {
+		out[i] = client.RefInfo{Ref: ri.Ref, Open: ri.Open, ResidentBytes: ri.ResidentBytes}
+	}
+	s.writeJSON(w, r, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	body, finish := s.maybeGzip(w, r)
-	writeMetrics(body, s.Snapshot())
+	var cat *client.CatalogCounters
+	if s.cat != nil {
+		c := s.catalogCounters()
+		cat = &c
+	}
+	refs := make([]refMetrics, 0, 1)
+	for _, t := range s.allTenants() {
+		refs = append(refs, refMetrics{ref: t.ref, st: t.snapshotStats()})
+	}
+	writeMetrics(body, refs, cat)
 	_ = finish()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
+	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining\n")
 		return
@@ -574,21 +970,84 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
-// Snapshot returns the current wire Stats (the /v1/stats body), also
-// available in-process for embedders and benchmarks.
-func (s *Server) Snapshot() client.Stats {
-	st := s.st.snapshot()
+// snapshotStats renders one tenant's wire Stats.
+func (t *tenant) snapshotStats() client.Stats {
+	s := t.s
+	st := t.st.snapshot()
+	st.Ref = t.ref
 	st.Version = s.cfg.Version
-	st.Draining = s.Draining()
-	st.QueueReads = int64(s.bat.queuedReads())
-	st.K = s.k
-	ix := s.al.IndexStats()
-	st.DistinctSeeds = int64(ix.DistinctSeeds)
-	st.TotalLocs = int64(ix.TotalLocs)
-	st.ResidentBytes = s.al.ResidentBytes()
+	st.Draining = s.draining.Load()
+	st.QueueReads = int64(t.bat.queuedReads())
+	st.K = int(t.k.Load())
+	st.DistinctSeeds = t.distinctSeeds.Load()
+	st.TotalLocs = t.totalLocs.Load()
+	st.ResidentBytes = t.resident.Load()
 	st.MaxBatch = s.cfg.MaxBatch
 	st.MaxWaitMs = float64(s.cfg.MaxWait) / float64(time.Millisecond)
 	return st
+}
+
+// Snapshot returns the current wire Stats, also available in-process for
+// embedders and benchmarks. In single-index mode this is the /v1/stats
+// body. In catalog mode it is the counter sum across references (latency
+// quantiles are per-reference; see CatalogSnapshot).
+func (s *Server) Snapshot() client.Stats {
+	if s.single != nil {
+		return s.single.snapshotStats()
+	}
+	agg := client.Stats{Version: s.cfg.Version, Draining: s.draining.Load(),
+		MaxBatch: s.cfg.MaxBatch, MaxWaitMs: float64(s.cfg.MaxWait) / float64(time.Millisecond)}
+	for _, t := range s.allTenants() {
+		st := t.snapshotStats()
+		agg.Requests += st.Requests
+		agg.Rejected += st.Rejected
+		agg.Canceled += st.Canceled
+		agg.Reads += st.Reads
+		agg.TooShort += st.TooShort
+		agg.Batches += st.Batches
+		agg.BatchedReads += st.BatchedReads
+		agg.CoalescedBatches += st.CoalescedBatches
+		agg.QueueReads += st.QueueReads
+		if st.MaxBatchReads > agg.MaxBatchReads {
+			agg.MaxBatchReads = st.MaxBatchReads
+		}
+		if st.UptimeSeconds > agg.UptimeSeconds {
+			agg.UptimeSeconds = st.UptimeSeconds
+		}
+	}
+	if agg.Batches > 0 {
+		agg.MeanBatchReads = float64(agg.BatchedReads) / float64(agg.Batches)
+	}
+	return agg
+}
+
+// catalogCounters maps the catalog's lifecycle stats to the wire type.
+func (s *Server) catalogCounters() client.CatalogCounters {
+	cs := s.cat.Stats()
+	return client.CatalogCounters{
+		OpenRefs:       cs.OpenRefs,
+		ResidentBytes:  cs.ResidentBytes,
+		BudgetBytes:    cs.Budget,
+		Opens:          cs.Opens,
+		Evictions:      cs.Evictions,
+		HotSwaps:       cs.HotSwaps,
+		UncachedServes: cs.Uncached,
+	}
+}
+
+// CatalogSnapshot returns the catalog-wide stats document (the /v1/stats
+// body of a catalog-mode server): lifecycle counters plus one Stats per
+// active reference. Panics-free on single-index servers: the catalog
+// section is zero and Refs holds the single tenant.
+func (s *Server) CatalogSnapshot() client.CatalogStats {
+	out := client.CatalogStats{Version: s.cfg.Version, Draining: s.draining.Load()}
+	if s.cat != nil {
+		out.Catalog = s.catalogCounters()
+	}
+	for _, t := range s.allTenants() {
+		out.Refs = append(out.Refs, t.snapshotStats())
+	}
+	return out
 }
 
 // ---- response plumbing ----

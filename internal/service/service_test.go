@@ -375,13 +375,13 @@ func TestAdmissionQueueFull429(t *testing.T) {
 		_, err := cl.Align(context.Background(), client.AlignRequest{Reads: client.FromSeqs(mega)})
 		busy <- err
 	}()
-	waitUntil(t, "the engine to go busy", func() bool { return srv.bat.inflightCalls() > 0 })
+	waitUntil(t, "the engine to go busy", func() bool { return srv.single.bat.inflightCalls() > 0 })
 	queued := make(chan error, 1)
 	go func() {
 		_, err := cl.Align(context.Background(), client.AlignRequest{Reads: client.FromSeqs(reads[:big])})
 		queued <- err
 	}()
-	waitUntil(t, "the queue to fill", func() bool { return srv.bat.queuedReads() == big })
+	waitUntil(t, "the queue to fill", func() bool { return srv.single.bat.queuedReads() == big })
 
 	_, err := cl.Align(context.Background(), client.AlignRequest{Reads: client.FromSeqs(reads[:8])})
 	var re *client.RetryError
@@ -425,12 +425,12 @@ func TestOversizedBody413(t *testing.T) {
 // coalesce behind it.
 func blockingAlign() (alignFunc, chan chan struct{}) {
 	starts := make(chan chan struct{})
-	return func(ctx context.Context, batch []meraligner.Seq) (*meraligner.Results, error) {
+	return func(ctx context.Context, batch []meraligner.Seq) (*engineCall, error) {
 		release := make(chan struct{})
 		starts <- release
 		select {
 		case <-release:
-			return &meraligner.Results{TotalReads: len(batch)}, nil
+			return newEngineCall(&meraligner.Results{TotalReads: len(batch)}, nil, nil), nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -547,13 +547,13 @@ func TestMidFlightDisconnectCancelsOnlyThatRequest(t *testing.T) {
 func TestAllMembersGoneCancelsEngineCall(t *testing.T) {
 	release := make(chan struct{})
 	entered := make(chan struct{}, 1)
-	align := func(ctx context.Context, batch []meraligner.Seq) (*meraligner.Results, error) {
+	align := func(ctx context.Context, batch []meraligner.Seq) (*engineCall, error) {
 		entered <- struct{}{}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		case <-release:
-			return &meraligner.Results{TotalReads: len(batch)}, nil
+			return newEngineCall(&meraligner.Results{TotalReads: len(batch)}, nil, nil), nil
 		}
 	}
 	b := newBatcher(context.Background(), align, 8, 20*time.Millisecond, 64, nil)

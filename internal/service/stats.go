@@ -126,38 +126,90 @@ func (s *serverStats) snapshot() client.Stats {
 	return st
 }
 
-// writeMetrics renders the Prometheus text exposition of one snapshot.
-func writeMetrics(w io.Writer, st client.Stats) {
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+// refMetrics is one reference's snapshot for the exposition. ref "" (the
+// single-index server) emits unlabeled series, preserving the historical
+// single-index format; a catalog server labels every series {ref="..."}.
+type refMetrics struct {
+	ref string
+	st  client.Stats
+}
+
+// promLabel renders the label set of one series: the optional ref label
+// plus any extra pre-rendered label pairs.
+func promLabel(ref, extra string) string {
+	switch {
+	case ref == "" && extra == "":
+		return ""
+	case ref == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return fmt.Sprintf("{ref=%q}", ref)
+	default:
+		return fmt.Sprintf("{ref=%q,%s}", ref, extra)
 	}
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+// writeMetrics renders the Prometheus text exposition: every metric name
+// once, with one series per reference, then (for catalog servers) the
+// catalog lifecycle metrics.
+func writeMetrics(w io.Writer, refs []refMetrics, cat *client.CatalogCounters) {
+	series := func(name, help, typ string, v func(client.Stats) float64, format string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, rm := range refs {
+			fmt.Fprintf(w, "%s%s "+format+"\n", name, promLabel(rm.ref, ""), v(rm.st))
+		}
 	}
-	counter("merserved_requests_total", "align requests served to completion", st.Requests)
-	counter("merserved_rejected_total", "requests rejected with 429 (queue full)", st.Rejected)
-	counter("merserved_canceled_total", "requests canceled by client disconnect", st.Canceled)
-	counter("merserved_reads_total", "reads accepted into the engine", st.Reads)
-	counter("merserved_too_short_reads_total", "reads rejected as shorter than K", st.TooShort)
-	counter("merserved_batches_total", "coalesced engine calls", st.Batches)
-	counter("merserved_batched_reads_total", "reads across coalesced engine calls", st.BatchedReads)
-	counter("merserved_coalesced_batches_total", "engine calls serving >= 2 requests", st.CoalescedBatches)
-	gauge("merserved_batch_reads_max", "largest coalesced engine call", float64(st.MaxBatchReads))
-	gauge("merserved_batch_reads_mean", "mean reads per engine call", st.MeanBatchReads)
-	gauge("merserved_queue_reads", "reads queued for the next batching window", float64(st.QueueReads))
-	draining := 0.0
-	if st.Draining {
-		draining = 1
+	counter := func(name, help string, v func(client.Stats) int64) {
+		series(name, help, "counter", func(st client.Stats) float64 { return float64(v(st)) }, "%.0f")
 	}
-	gauge("merserved_draining", "1 while draining (healthz returns 503)", draining)
-	gauge("merserved_resident_bytes", "resident index footprint", float64(st.ResidentBytes))
-	gauge("merserved_uptime_seconds", "seconds since start", st.UptimeSeconds)
+	gauge := func(name, help string, v func(client.Stats) float64) {
+		series(name, help, "gauge", v, "%g")
+	}
+	counter("merserved_requests_total", "align requests served to completion", func(st client.Stats) int64 { return st.Requests })
+	counter("merserved_rejected_total", "requests rejected with 429 (queue full or inflight limit)", func(st client.Stats) int64 { return st.Rejected })
+	counter("merserved_canceled_total", "requests canceled by client disconnect", func(st client.Stats) int64 { return st.Canceled })
+	counter("merserved_reads_total", "reads accepted into the engine", func(st client.Stats) int64 { return st.Reads })
+	counter("merserved_too_short_reads_total", "reads rejected as shorter than K", func(st client.Stats) int64 { return st.TooShort })
+	counter("merserved_batches_total", "coalesced engine calls", func(st client.Stats) int64 { return st.Batches })
+	counter("merserved_batched_reads_total", "reads across coalesced engine calls", func(st client.Stats) int64 { return st.BatchedReads })
+	counter("merserved_coalesced_batches_total", "engine calls serving >= 2 requests", func(st client.Stats) int64 { return st.CoalescedBatches })
+	gauge("merserved_batch_reads_max", "largest coalesced engine call", func(st client.Stats) float64 { return float64(st.MaxBatchReads) })
+	gauge("merserved_batch_reads_mean", "mean reads per engine call", func(st client.Stats) float64 { return st.MeanBatchReads })
+	gauge("merserved_queue_reads", "reads queued for the next batching window", func(st client.Stats) float64 { return float64(st.QueueReads) })
+	gauge("merserved_draining", "1 while draining (healthz returns 503)", func(st client.Stats) float64 {
+		if st.Draining {
+			return 1
+		}
+		return 0
+	})
+	gauge("merserved_resident_bytes", "resident index footprint", func(st client.Stats) float64 { return float64(st.ResidentBytes) })
+	gauge("merserved_uptime_seconds", "seconds since start", func(st client.Stats) float64 { return st.UptimeSeconds })
 	fmt.Fprintf(w, "# HELP merserved_request_latency_seconds request wall time quantiles\n")
 	fmt.Fprintf(w, "# TYPE merserved_request_latency_seconds summary\n")
-	fmt.Fprintf(w, "merserved_request_latency_seconds{quantile=\"0.5\"} %g\n", st.RequestP50Ms/1e3)
-	fmt.Fprintf(w, "merserved_request_latency_seconds{quantile=\"0.99\"} %g\n", st.RequestP99Ms/1e3)
+	for _, rm := range refs {
+		fmt.Fprintf(w, "merserved_request_latency_seconds%s %g\n", promLabel(rm.ref, `quantile="0.5"`), rm.st.RequestP50Ms/1e3)
+		fmt.Fprintf(w, "merserved_request_latency_seconds%s %g\n", promLabel(rm.ref, `quantile="0.99"`), rm.st.RequestP99Ms/1e3)
+	}
 	fmt.Fprintf(w, "# HELP merserved_align_read_seconds per-read engine time quantiles\n")
 	fmt.Fprintf(w, "# TYPE merserved_align_read_seconds summary\n")
-	fmt.Fprintf(w, "merserved_align_read_seconds{quantile=\"0.5\"} %g\n", st.AlignReadP50Us/1e6)
-	fmt.Fprintf(w, "merserved_align_read_seconds{quantile=\"0.99\"} %g\n", st.AlignReadP99Us/1e6)
+	for _, rm := range refs {
+		fmt.Fprintf(w, "merserved_align_read_seconds%s %g\n", promLabel(rm.ref, `quantile="0.5"`), rm.st.AlignReadP50Us/1e6)
+		fmt.Fprintf(w, "merserved_align_read_seconds%s %g\n", promLabel(rm.ref, `quantile="0.99"`), rm.st.AlignReadP99Us/1e6)
+	}
+	if cat == nil {
+		return
+	}
+	cgauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	ccounter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	cgauge("merserved_catalog_open_refs", "references with an open (resident) index", float64(cat.OpenRefs))
+	cgauge("merserved_catalog_resident_bytes", "bytes charged to the residency budget", float64(cat.ResidentBytes))
+	cgauge("merserved_catalog_budget_bytes", "residency budget (0 = unlimited)", float64(cat.BudgetBytes))
+	ccounter("merserved_catalog_opens_total", "snapshot opens (cold, reopen, and swap)", cat.Opens)
+	ccounter("merserved_catalog_evictions_total", "budget evictions", cat.Evictions)
+	ccounter("merserved_catalog_hot_swaps_total", "zero-downtime snapshot replacements", cat.HotSwaps)
+	ccounter("merserved_catalog_uncached_serves_total", "serves of indexes larger than the whole budget", cat.UncachedServes)
 }
