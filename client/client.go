@@ -25,6 +25,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"time"
 
@@ -58,6 +59,47 @@ type Alignment struct {
 	TEnd   int    `json:"tend"`
 	Cigar  string `json:"cigar,omitempty"`
 	Exact  bool   `json:"exact,omitempty"`
+	// NM is the SAM edit distance of the alignment, computed server-side
+	// (the server holds the target bases; a scatter/gather router does
+	// not). -1 when underivable — the SAM writer then omits the tag.
+	NM int `json:"nm"`
+}
+
+// CanonicalizeAlignments sorts one read's wire alignments into the
+// canonical deterministic output order — the wire-side twin of the root
+// package's CanonicalizeAlignments, comparing the same keys through their
+// wire spellings (target by name; strand "+" before "-"). A router merging
+// per-shard alignment lists applies this and lands on exactly the order a
+// single whole-reference server emits.
+func CanonicalizeAlignments(as []Alignment) {
+	if len(as) < 2 {
+		return
+	}
+	sort.SliceStable(as, func(i, j int) bool {
+		x, y := &as[i], &as[j]
+		if x.Score != y.Score {
+			return x.Score > y.Score
+		}
+		if x.Target != y.Target {
+			return x.Target < y.Target
+		}
+		if x.TStart != y.TStart {
+			return x.TStart < y.TStart
+		}
+		if x.Strand != y.Strand {
+			return x.Strand == "+"
+		}
+		if x.QStart != y.QStart {
+			return x.QStart < y.QStart
+		}
+		if x.QEnd != y.QEnd {
+			return x.QEnd < y.QEnd
+		}
+		if x.TEnd != y.TEnd {
+			return x.TEnd < y.TEnd
+		}
+		return x.Cigar < y.Cigar
+	})
 }
 
 // Read statuses on the wire (ReadResult.Status).
@@ -67,8 +109,9 @@ const (
 	StatusTooShort = "too_short" // shorter than the seed length K
 )
 
-// ReadResult is one read's outcome. Alignments are ordered as the engine
-// reports them; the best-scoring one is the primary SAM record.
+// ReadResult is one read's outcome. Alignments are in the canonical
+// deterministic order (see CanonicalizeAlignments); the first — which is
+// always a best-scoring one — is the primary SAM record.
 type ReadResult struct {
 	Name       string      `json:"name"`
 	Status     string      `json:"status"`
@@ -79,6 +122,12 @@ type ReadResult struct {
 // /v1/align/stream the same ReadResult objects arrive as NDJSON lines.
 type AlignResponse struct {
 	Reads []ReadResult `json:"reads"`
+	// DegradedShards names the shard nodes whose results are missing from
+	// this response — only ever set by a scatter/gather router running with
+	// the serve-partial-results degraded policy. Empty (and omitted) on
+	// whole responses, so a complete router response stays byte-identical
+	// to a single-node one.
+	DegradedShards []string `json:"degraded_shards,omitempty"`
 }
 
 // ErrorResponse is the JSON body of a non-2xx response.
@@ -134,6 +183,78 @@ type Stats struct {
 	// Effective batching knobs.
 	MaxBatch  int     `json:"max_batch"`
 	MaxWaitMs float64 `json:"max_wait_ms"`
+}
+
+// TargetInfo is one reference sequence of a GET /v1/targets body: its name
+// and length, the material of one SAM @SQ header line.
+type TargetInfo struct {
+	Name   string `json:"name"`
+	Length int    `json:"length"`
+}
+
+// ShardMeta identifies a served index as one slice of a sharded reference:
+// its position in the fleet and the global target/fragment offsets of its
+// slice (recorded by `meraligner -shard-save`, carried in the snapshot's
+// SHRD section).
+type ShardMeta struct {
+	ID           int `json:"id"`            // this shard's position, 0-based
+	Count        int `json:"count"`         // shards in the fleet
+	TargetBase   int `json:"target_base"`   // global index of this shard's first target
+	FragmentBase int `json:"fragment_base"` // global id of this shard's first fragment
+}
+
+// TargetsResponse is the JSON body of GET /v1/targets (and, on a catalog
+// server, GET /v1/{ref}/targets): the served reference's sequences in @SQ
+// order, the index's seed length, and — when the index is a shard — its
+// place in the fleet. A scatter/gather router assembles its global target
+// catalog and SAM header from the shards' TargetsResponses, in shard order.
+type TargetsResponse struct {
+	K       int          `json:"k"`
+	Shard   *ShardMeta   `json:"shard,omitempty"`
+	Targets []TargetInfo `json:"targets"`
+}
+
+// ShardStatus is one upstream shard's live state in a router's /v1/stats
+// body.
+type ShardStatus struct {
+	ID        int     `json:"id"`
+	Addr      string  `json:"addr"`
+	Up        bool    `json:"up"`       // last readiness probe succeeded
+	Calls     int64   `json:"calls"`    // align RPCs issued (attempts)
+	Retries   int64   `json:"retries"`  // attempts beyond the first
+	Errors    int64   `json:"errors"`   // RPCs that exhausted their retries
+	Inflight  int64   `json:"inflight"` // RPCs in flight right now
+	CallP50Ms float64 `json:"call_p50_ms"`
+	CallP99Ms float64 `json:"call_p99_ms"`
+}
+
+// RouterStats is the JSON body of GET /v1/stats on a scatter/gather router
+// (merrouted): request/coalescing counters shaped like a single node's
+// Stats, plus the degraded-policy counters and per-shard health.
+type RouterStats struct {
+	Version  string `json:"version"`
+	Draining bool   `json:"draining"`
+	Ready    bool   `json:"ready"`    // global target catalog assembled
+	Degraded string `json:"degraded"` // configured policy: "fail" or "partial"
+
+	Requests         int64   `json:"requests"`
+	Rejected         int64   `json:"rejected"`
+	Canceled         int64   `json:"canceled"`
+	Reads            int64   `json:"reads"`
+	TooShort         int64   `json:"too_short_reads"`
+	DegradedServed   int64   `json:"degraded_requests"` // partial responses served
+	FailedRequests   int64   `json:"failed_requests"`   // requests failed on shard errors
+	Batches          int64   `json:"batches"`
+	BatchedReads     int64   `json:"batched_reads"`
+	CoalescedBatches int64   `json:"coalesced_batches"`
+	MeanBatchReads   float64 `json:"mean_batch_reads"`
+	MaxBatchReads    int64   `json:"max_batch_reads"`
+	QueueReads       int64   `json:"queue_reads"`
+	RequestP50Ms     float64 `json:"request_p50_ms"`
+	RequestP99Ms     float64 `json:"request_p99_ms"`
+
+	K      int           `json:"k"`
+	Shards []ShardStatus `json:"shards"`
 }
 
 // RefInfo is one servable reference of a catalog server (one element of
@@ -192,6 +313,9 @@ type StatusError struct {
 	Code     int
 	Message  string
 	TooShort []string // read names, when the 400 was a too-short rejection
+	// After is the server's Retry-After hint when it sent one (503s during
+	// warmup or drain carry it); zero otherwise. RetryPolicy honors it.
+	After time.Duration
 }
 
 // Error formats the HTTP status and the server's message.
@@ -203,9 +327,10 @@ func (e *StatusError) Error() string {
 // WithRef / NewRef) one reference of a multi-genome catalog server. It is
 // safe for concurrent use.
 type Client struct {
-	base string
-	ref  string
-	hc   *http.Client
+	base  string
+	ref   string
+	hc    *http.Client
+	retry *RetryPolicy // nil: single attempt
 }
 
 // Option configures a Client.
@@ -215,6 +340,15 @@ type Option func(*Client)
 // transport limits, test doubles).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry makes every request retry transient failures under p: 429s
+// (honoring the server's Retry-After), 502/503/504s, and transport errors,
+// with capped jittered exponential backoff between attempts. Alignment is
+// a pure function of the request, so retrying a POST /v1/align is safe.
+// Without this option a Client makes exactly one attempt per call.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { pc := p; c.retry = &pc }
 }
 
 // WithRef scopes the Client to one reference of a catalog server: Align,
@@ -342,9 +476,24 @@ func (c *Client) CatalogStats(ctx context.Context) (*CatalogStats, error) {
 	return &out, nil
 }
 
-// getJSON fetches one URL and decodes its JSON body into out.
-func (c *Client) getJSON(ctx context.Context, url string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+// Targets fetches the served reference's catalog (GET /v1/targets; with a
+// WithRef scope, GET /v1/{ref}/targets): target names and lengths in @SQ
+// order, the seed length K, and the shard identity when the server holds
+// one slice of a sharded reference.
+func (c *Client) Targets(ctx context.Context) (*TargetsResponse, error) {
+	var out TargetsResponse
+	if err := c.getJSON(ctx, c.v1("/targets"), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready probes /readyz: nil once the server is warmed and servable, an
+// error while it is still opening or warming its index (503), draining, or
+// unreachable. Orchestrators and routers gate traffic on it; Health stays
+// the liveness probe.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
 	if err != nil {
 		return err
 	}
@@ -356,10 +505,30 @@ func (c *Client) getJSON(ctx context.Context, url string, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		return c.asError(resp)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decoding response: %w", err)
-	}
 	return nil
+}
+
+// getJSON fetches one URL and decodes its JSON body into out, retrying
+// transient failures when the Client has a retry policy.
+func (c *Client) getJSON(ctx context.Context, url string, out any) error {
+	return c.attempt(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return c.asError(resp)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decoding response: %w", err)
+		}
+		return nil
+	})
 }
 
 // Health probes /healthz: nil when serving, an error when unreachable or
@@ -381,44 +550,73 @@ func (c *Client) Health(ctx context.Context) error {
 }
 
 // post sends an AlignRequest and returns the response body on 200, or a
-// typed error otherwise.
+// typed error otherwise. With WithRetry configured, transient failures are
+// retried under the policy before the last error surfaces.
 func (c *Client) post(ctx context.Context, path string, req AlignRequest, accept string) (io.ReadCloser, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.v1(path), bytes.NewReader(payload))
+	var body io.ReadCloser
+	err = c.attempt(ctx, func(ctx context.Context) error {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.v1(path), bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("Accept", accept)
+		resp, err := c.hc.Do(hreq)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			defer resp.Body.Close()
+			return c.asError(resp)
+		}
+		body = resp.Body
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
-	hreq.Header.Set("Accept", accept)
-	resp, err := c.hc.Do(hreq)
-	if err != nil {
-		return nil, err
+	return body, nil
+}
+
+// attempt runs one request function under the Client's retry policy, or
+// exactly once when none is configured.
+func (c *Client) attempt(ctx context.Context, fn func(context.Context) error) error {
+	if c.retry == nil {
+		return fn(ctx)
 	}
-	if resp.StatusCode != http.StatusOK {
-		defer resp.Body.Close()
-		return nil, c.asError(resp)
-	}
-	return resp.Body, nil
+	return c.retry.Do(ctx, fn)
 }
 
 // asError converts a non-2xx response into *RetryError or *StatusError.
 func (c *Client) asError(resp *http.Response) error {
+	after := parseRetryAfter(resp.Header.Get("Retry-After"))
 	if resp.StatusCode == http.StatusTooManyRequests {
-		after := time.Second
-		if s := resp.Header.Get("Retry-After"); s != "" {
-			if secs, err := strconv.ParseFloat(s, 64); err == nil && secs > 0 {
-				after = time.Duration(secs * float64(time.Second))
-			}
+		if after <= 0 {
+			after = time.Second
 		}
 		return &RetryError{After: after}
 	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	var er ErrorResponse
 	if json.Unmarshal(raw, &er) == nil && er.Error != "" {
-		return &StatusError{Code: resp.StatusCode, Message: er.Error, TooShort: er.TooShort}
+		return &StatusError{Code: resp.StatusCode, Message: er.Error, TooShort: er.TooShort, After: after}
 	}
-	return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(raw))}
+	return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(raw)), After: after}
+}
+
+// parseRetryAfter decodes a Retry-After header's delay-seconds form (the
+// only form merserved emits); 0 when absent or unparseable.
+func parseRetryAfter(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.ParseFloat(s, 64)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
 }

@@ -24,6 +24,13 @@
 //	meraligner -targets contigs.fa -batches r1.fq,r2.fq.gz,r3.fq -sam
 //	meraligner -targets contigs.fa -save-index contigs.merx
 //	meraligner -index contigs.merx -queries reads.fq -sam
+//	meraligner -targets contigs.fa -shard-save 3 -o shards/
+//
+// -shard-save partitions the reference into N contiguous, base-balanced
+// shard snapshots (shard-000.merx, ...) under the -o directory, each a
+// normal single-node index over its slice plus its fleet identity (the
+// SHRD section) — the producer half of the distributed tier served by
+// merserved shards behind a merrouted router.
 package main
 
 import (
@@ -51,6 +58,7 @@ func main() {
 		targetsPath = flag.String("targets", "", "FASTA file of target sequences (contigs)")
 		indexPath   = flag.String("index", "", "load a .merx index snapshot instead of building from -targets")
 		saveIndex   = flag.String("save-index", "", "write the sealed index as a .merx snapshot (usable without -queries/-batches)")
+		shardSave   = flag.Int("shard-save", 0, "partition -targets into N shard snapshots under the -o directory (shard-000.merx, ...) for a merrouted fleet")
 		queriesPath = flag.String("queries", "", "FASTQ or SeqDB file of query reads (one batch)")
 		batchList   = flag.String("batches", "", "comma-separated FASTQ/SeqDB files aligned as successive batches against one resident index")
 		k           = flag.Int("k", 51, "seed length (1-64)")
@@ -82,10 +90,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *queriesPath == "" && *batchList == "" && *saveIndex == "" {
-		fmt.Fprintln(os.Stderr, "nothing to do: need -queries, -batches, or -save-index")
+	if *queriesPath == "" && *batchList == "" && *saveIndex == "" && *shardSave == 0 {
+		fmt.Fprintln(os.Stderr, "nothing to do: need -queries, -batches, -save-index, or -shard-save")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *shardSave != 0 {
+		switch {
+		case *shardSave < 0:
+			log.Fatalf("-shard-save wants a positive shard count, got %d", *shardSave)
+		case *targetsPath == "":
+			log.Fatal("-shard-save builds each shard from scratch and requires -targets")
+		case *queriesPath != "" || *batchList != "" || *saveIndex != "":
+			log.Fatal("-shard-save is a standalone producer; drop -queries/-batches/-save-index")
+		case *engine == "sim":
+			log.Fatal("index snapshots require the threaded engine")
+		case *outPath == "":
+			log.Fatal("-shard-save needs -o naming the output directory")
+		}
 	}
 	if *engine != "threaded" && *engine != "sim" {
 		log.Fatalf("unknown engine %q (want threaded or sim)", *engine)
@@ -113,12 +135,34 @@ func main() {
 	qopt.MinScore = *minScore
 	qopt.Permute = !*noPermute
 	qopt.CollectAlignments = true
-	if *batchList == "" && *saveIndex == "" && *indexPath == "" && *maxHits > 0 {
+	if *batchList == "" && *saveIndex == "" && *indexPath == "" && *shardSave == 0 && *maxHits > 0 {
 		// One-shot runs know the threshold at build time; cap the stored
 		// location lists just past it. Batch mode and saved snapshots keep
 		// full lists so the resident index stays valid for any future
 		// threshold.
 		iopt.MaxLocList = *maxHits + 1
+	}
+
+	// Shard producer: cut the reference into N self-contained snapshots for
+	// a scatter/gather fleet (-o is the output directory here, not a file).
+	if *shardSave > 0 {
+		targets, err := meraligner.ReadFasta(*targetsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		paths, err := meraligner.SaveShards(*threads, iopt, targets, *shardSave, *outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range paths {
+			fmt.Println(p)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%d shard snapshot(s) over %d targets written to %s in %.3fs\n",
+				len(paths), len(targets), *outPath, time.Since(start).Seconds())
+		}
+		return
 	}
 
 	var out io.Writer = os.Stdout

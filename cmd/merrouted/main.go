@@ -1,0 +1,153 @@
+// Command merrouted is the scatter/gather router of a sharded merAligner
+// fleet: a stateless HTTP tier that fans every align request to N shard
+// servers (each an ordinary merserved holding one `meraligner -shard-save`
+// snapshot), merges the per-read results deterministically, and answers
+// byte-identically to a single whole-reference merserved — JSON and SAM
+// both (see internal/cluster). `merserved -router` is the same tier inside
+// the merserved binary.
+//
+// Usage:
+//
+//	merrouted -shards http://h1:8490,http://h2:8490,http://h3:8490
+//	          [-addr :8491] [-degraded fail|partial]
+//	          [-call-timeout 15s] [-retries 3] [-health-interval 2s]
+//	          [-max-batch 256] [-max-wait 2ms] [-queue 1024] [-v]
+//
+// -shards lists the fleet in shard order; the router validates each
+// shard's SHRD identity against its position at warmup and stays 503
+// not-ready (see GET /readyz) on any mismatch. Shard RPCs get a per-call
+// timeout and bounded jittered retries honoring Retry-After; a shard that
+// stays down is handled per -degraded: "fail" (default) fails requests
+// with 502, "partial" serves the surviving shards' results annotated with
+// degraded_shards (JSON) / an @CO line (SAM) and counted in metrics.
+//
+// Endpoints: POST /v1/align, GET /v1/stats, /v1/targets, /healthz,
+// /readyz, /metrics (merrouted_* and per-shard merrouted_shard_* series).
+// SIGINT/SIGTERM drain gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/lbl-repro/meraligner/client"
+	"github.com/lbl-repro/meraligner/internal/buildinfo"
+	"github.com/lbl-repro/meraligner/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("merrouted: ")
+
+	var (
+		shardsFlag  = flag.String("shards", "", "comma-separated shard base URLs in shard order (required)")
+		addr        = flag.String("addr", ":8491", "listen address (use :0 for a random port)")
+		degraded    = flag.String("degraded", cluster.DegradedFail, "shard-failure policy: fail (502) or partial (serve surviving shards, annotated)")
+		callTimeout = flag.Duration("call-timeout", 15*time.Second, "per-attempt timeout of one shard RPC")
+		retries     = flag.Int("retries", 3, "max attempts per shard RPC")
+		healthEvery = flag.Duration("health-interval", 2*time.Second, "shard readiness probe interval")
+		maxBatch    = flag.Int("max-batch", 256, "max reads per coalesced scatter")
+		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "max wait behind a busy fleet before an overlapping scatter (negative disables window-holding)")
+		queueReads  = flag.Int("queue", 0, "admission bound on queued reads (0 = 4*max-batch)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM")
+		verbose     = flag.Bool("v", false, "log per-request summaries")
+	)
+	bi := buildinfo.Register(flag.CommandLine)
+	flag.Parse()
+	stopProfile, err := bi.Apply("merrouted")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfile()
+
+	var shards []string
+	for _, part := range strings.Split(*shardsFlag, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			shards = append(shards, part)
+		}
+	}
+	if len(shards) == 0 {
+		fmt.Fprintln(os.Stderr, "-shards with at least one base URL is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pol := client.DefaultRetryPolicy()
+	if *retries > 0 {
+		pol.MaxAttempts = *retries
+	}
+	rt, err := cluster.New(cluster.Config{
+		Shards:         shards,
+		Degraded:       *degraded,
+		Retry:          pol,
+		CallTimeout:    *callTimeout,
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+		QueueReads:     *queueReads,
+		HealthInterval: *healthEvery,
+		Version:        buildinfo.Version,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("scattering over %d shard(s), degraded policy %q", len(shards), *degraded)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+
+	var handler http.Handler = rt
+	if *verbose {
+		handler = logRequests(rt)
+	}
+	hs := &http.Server{Handler: handler}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stopSignals()
+	log.Printf("signal received, draining (deadline %s)", *drainWait)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	clean := true
+	if err := rt.Drain(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v (in-flight work aborted)", err)
+		clean = false
+	}
+	if err := hs.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+		clean = false
+	}
+	if !clean {
+		stopProfile()
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}
+
+// logRequests is a minimal access log for -v.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %.1fms", r.Method, r.URL.Path, float64(time.Since(start).Microseconds())/1e3)
+	})
+}

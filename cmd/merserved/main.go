@@ -11,6 +11,9 @@
 //	merserved -index contigs.merx [-threads N] [-addr :8490] ...
 //	merserved -index-dir snapshots/ [-resident-budget 2GiB]
 //	          [-max-inflight-per-ref 64] [-swap-poll 1s] ...
+//	merserved -router -shards http://h1:8490,http://h2:8490,...
+//	          [-degraded fail|partial] [-call-timeout 15s] [-retries 3]
+//	          [-health-interval 2s] ...
 //
 // With -index the server memory-maps a .merx snapshot written by
 // `meraligner -save-index` instead of building: warm start in
@@ -26,18 +29,30 @@
 // place — never truncate a served snapshot in place). -max-inflight-per-ref
 // caps concurrent requests per reference (429 + Retry-After beyond it).
 //
+// With -router the server holds no index at all: it is the scatter/gather
+// tier over a fleet of shard servers (each serving one `meraligner
+// -shard-save` snapshot), fanning every request to all shards and merging
+// results byte-identically to a single whole-reference node (see
+// internal/cluster; cmd/merrouted is the same tier as its own binary).
+//
+// The listener binds and logs "listening on" immediately; until the index
+// is built/mapped (or the router's fleet catalog assembled), every
+// endpoint answers 503 warming except GET /healthz — poll GET /readyz for
+// the 200 that means servable.
+//
 // Endpoints: POST /v1/align (JSON or FASTQ in; JSON, or SAM with
 // Accept: text/x-sam, out), POST /v1/align/stream (NDJSON/SAM chunks),
-// GET /v1/stats, /healthz, /metrics — all per-reference under /v1/<ref>/
-// in catalog mode, plus GET /v1/refs. Responses honor Accept-Encoding:
-// gzip. SIGINT/SIGTERM drain gracefully: health flips to 503, queued
-// requests finish, then the listener closes.
+// GET /v1/stats, /v1/targets, /healthz, /readyz, /metrics — all
+// per-reference under /v1/<ref>/ in catalog mode, plus GET /v1/refs.
+// Responses honor Accept-Encoding: gzip. SIGINT/SIGTERM drain gracefully:
+// health flips to 503, queued requests finish, then the listener closes.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -46,11 +61,14 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/client"
 	"github.com/lbl-repro/meraligner/internal/buildinfo"
+	"github.com/lbl-repro/meraligner/internal/cluster"
 	"github.com/lbl-repro/meraligner/internal/service"
 )
 
@@ -76,6 +94,13 @@ func main() {
 		noExact     = flag.Bool("no-exact", false, "disable the exact-match optimization (§IV-A)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM")
 		verbose     = flag.Bool("v", false, "log per-request summaries")
+
+		routerMode  = flag.Bool("router", false, "scatter/gather router mode over a shard fleet (requires -shards)")
+		shardsFlag  = flag.String("shards", "", "comma-separated shard base URLs in shard order (router mode)")
+		degraded    = flag.String("degraded", cluster.DegradedFail, "shard-failure policy: fail (502) or partial (serve surviving shards, annotated)")
+		callTimeout = flag.Duration("call-timeout", 15*time.Second, "per-attempt timeout of one shard RPC (router mode)")
+		retries     = flag.Int("retries", 3, "max attempts per shard RPC (router mode)")
+		healthEvery = flag.Duration("health-interval", 2*time.Second, "shard readiness probe interval (router mode)")
 	)
 	bi := buildinfo.Register(flag.CommandLine)
 	flag.Parse()
@@ -86,20 +111,23 @@ func main() {
 	defer stopProfile()
 
 	modes := 0
-	for _, set := range []bool{*targetsPath != "", *indexPath != "", *indexDir != ""} {
+	for _, set := range []bool{*targetsPath != "", *indexPath != "", *indexDir != "", *routerMode} {
 		if set {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(os.Stderr, "need exactly one of -targets (build the index) / -index (map a .merx snapshot) / -index-dir (serve a snapshot catalog)")
+		fmt.Fprintln(os.Stderr, "need exactly one of -targets (build the index) / -index (map a .merx snapshot) / -index-dir (serve a snapshot catalog) / -router (scatter/gather over -shards)")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *indexPath != "" || *indexDir != "" {
+	if *indexPath != "" || *indexDir != "" || *routerMode {
 		mode := "-index"
-		if *indexDir != "" {
+		switch {
+		case *indexDir != "":
 			mode = "-index-dir"
+		case *routerMode:
+			mode = "-router"
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "k" || f.Name == "no-exact" {
@@ -112,76 +140,108 @@ func main() {
 		log.Fatalf("-resident-budget: %v", err)
 	}
 
-	iopt := meraligner.DefaultIndexOptions(*k)
-	iopt.ExactMatch = !*noExact
-	qopt := meraligner.DefaultQueryOptions()
-	qopt.MaxSeedHits = *maxHits
-	qopt.MinScore = *minScore
-
-	cfg := service.Config{
-		Query:             qopt,
-		MaxBatch:          *maxBatch,
-		MaxWait:           *maxWait,
-		QueueReads:        *queueReads,
-		Workers:           *threads,
-		MaxInflightPerRef: *maxInflight,
-		Version:           buildinfo.Version,
-	}
-	if *indexDir != "" {
-		cfg.IndexDir = *indexDir
-		cfg.ResidentBudget = budget
-		cfg.SwapPoll = *swapPoll
-		budgetDesc := "unlimited"
-		if budget > 0 {
-			budgetDesc = fmt.Sprintf("~%d MiB", budget>>20)
-		}
-		log.Printf("catalog mode: serving *%s from %s (resident budget %s)", service.SnapshotExt, *indexDir, budgetDesc)
-	} else {
-		buildStart := time.Now()
-		var al *meraligner.Aligner
-		if *indexPath != "" {
-			al, err = meraligner.OpenThreads(*threads, *indexPath)
-		} else {
-			al, err = meraligner.BuildFiles(*threads, iopt, *targetsPath)
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer al.Close()
-		verb := "built"
-		if al.Mapped() {
-			verb = "mapped"
-		}
-		st := al.IndexStats()
-		log.Printf("index %s in %.3fs (k=%d): %d targets, %d distinct seeds, %d locations, ~%d MiB resident",
-			verb, time.Since(buildStart).Seconds(), al.IndexOptions().K, len(al.Targets()), st.DistinctSeeds, st.TotalLocs, al.ResidentBytes()>>20)
-		cfg.Aligner = al
-	}
-
-	srv, err := service.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-
+	// Bind before any heavy work: orchestrators see the port immediately and
+	// poll /readyz; every other endpoint answers 503 warming until the real
+	// handler swaps in below.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s", ln.Addr())
-
-	var handler http.Handler = srv
+	var sw swapHandler
+	sw.set(warmingHandler())
+	var handler http.Handler = &sw
 	if *verbose {
-		handler = logRequests(srv)
+		handler = logRequests(&sw)
 	}
 	hs := &http.Server{Handler: handler}
-
-	// Graceful drain: stop admission, flush the batcher, then close the
-	// listener so in-flight responses finish writing.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 
+	var app interface {
+		Drain(context.Context) error
+	}
+	if *routerMode {
+		shards := splitShards(*shardsFlag)
+		if len(shards) == 0 {
+			log.Fatal("-router requires -shards with at least one base URL")
+		}
+		rt, err := cluster.New(cluster.Config{
+			Shards:         shards,
+			Degraded:       *degraded,
+			Retry:          routerRetry(*retries, *callTimeout),
+			CallTimeout:    *callTimeout,
+			MaxBatch:       *maxBatch,
+			MaxWait:        *maxWait,
+			QueueReads:     *queueReads,
+			HealthInterval: *healthEvery,
+			Version:        buildinfo.Version,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("router mode: scattering over %d shard(s), degraded policy %q", len(shards), *degraded)
+		sw.set(rt)
+		app = rt
+	} else {
+		iopt := meraligner.DefaultIndexOptions(*k)
+		iopt.ExactMatch = !*noExact
+		qopt := meraligner.DefaultQueryOptions()
+		qopt.MaxSeedHits = *maxHits
+		qopt.MinScore = *minScore
+
+		cfg := service.Config{
+			Query:             qopt,
+			MaxBatch:          *maxBatch,
+			MaxWait:           *maxWait,
+			QueueReads:        *queueReads,
+			Workers:           *threads,
+			MaxInflightPerRef: *maxInflight,
+			Version:           buildinfo.Version,
+		}
+		if *indexDir != "" {
+			cfg.IndexDir = *indexDir
+			cfg.ResidentBudget = budget
+			cfg.SwapPoll = *swapPoll
+			budgetDesc := "unlimited"
+			if budget > 0 {
+				budgetDesc = fmt.Sprintf("~%d MiB", budget>>20)
+			}
+			log.Printf("catalog mode: serving *%s from %s (resident budget %s)", service.SnapshotExt, *indexDir, budgetDesc)
+		} else {
+			buildStart := time.Now()
+			var al *meraligner.Aligner
+			if *indexPath != "" {
+				al, err = meraligner.OpenThreads(*threads, *indexPath)
+			} else {
+				al, err = meraligner.BuildFiles(*threads, iopt, *targetsPath)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer al.Close()
+			verb := "built"
+			if al.Mapped() {
+				verb = "mapped"
+			}
+			st := al.IndexStats()
+			log.Printf("index %s in %.3fs (k=%d): %d targets, %d distinct seeds, %d locations, ~%d MiB resident",
+				verb, time.Since(buildStart).Seconds(), al.IndexOptions().K, len(al.Targets()), st.DistinctSeeds, st.TotalLocs, al.ResidentBytes()>>20)
+			cfg.Aligner = al
+		}
+
+		srv, err := service.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sw.set(srv)
+		app = srv
+	}
+
+	// Graceful drain: stop admission, flush the batcher, then close the
+	// listener so in-flight responses finish writing.
 	select {
 	case err := <-done:
 		log.Fatal(err)
@@ -194,7 +254,7 @@ func main() {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	clean := true
-	if err := srv.Drain(drainCtx); err != nil {
+	if err := app.Drain(drainCtx); err != nil {
 		log.Printf("drain incomplete: %v (in-flight work aborted)", err)
 		clean = false
 	}
@@ -207,6 +267,62 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("drained cleanly")
+}
+
+// swapHandler lets the real handler be installed after the listener is
+// already serving: requests before the swap hit the warming handler.
+// (The indirection through a pointer-to-interface keeps the atomic happy
+// across differently-typed handlers.)
+type swapHandler struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (s *swapHandler) set(h http.Handler) { s.h.Store(&h) }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load()).ServeHTTP(w, r)
+}
+
+// warmingHandler answers for the window between bind and the index being
+// servable: liveness is already 200, readiness and everything else 503.
+func warmingHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "warming\n")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "{\"error\":\"warming: index not ready\"}\n")
+	})
+	return mux
+}
+
+// splitShards parses the -shards flag: comma-separated base URLs, blanks
+// skipped.
+func splitShards(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// routerRetry maps the router flags onto a client.RetryPolicy.
+func routerRetry(attempts int, callTimeout time.Duration) client.RetryPolicy {
+	p := client.DefaultRetryPolicy()
+	if attempts > 0 {
+		p.MaxAttempts = attempts
+	}
+	p.AttemptTimeout = callTimeout
+	return p
 }
 
 // parseBytes parses a human byte size: a plain integer (bytes) or one with

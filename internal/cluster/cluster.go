@@ -1,0 +1,693 @@
+// Package cluster implements merrouted: the stateless scatter/gather tier
+// that serves one reference too big (or too hot) for one machine. The
+// reference is partitioned ahead of time into N self-contained shard
+// snapshots (`meraligner -shard-save`, SaveShards); each shard is served by
+// an ordinary merserved; a Router fans every align request to all shards
+// over the existing /v1/align wire protocol, merges the per-read results
+// deterministically, and answers with output byte-identical to a single
+// whole-reference node — JSON and SAM both. Clients cannot tell the
+// difference, which is the point: sharding is an operational decision, not
+// an API change.
+//
+// Identity rests on three legs, each owned elsewhere and composed here:
+// shards keep global target names and per-target coordinates (no rebasing),
+// every server canonicalizes each read's alignments with one shared rule
+// (client.CanonicalizeAlignments), and shard responses carry the
+// server-computed NM so SAM records render without target bases. The
+// router's own jobs are the global header (assembled from the shards'
+// GET /v1/targets catalogs at warmup), the merge (merge.go), and the
+// replicated admission check, so a rejected request gets the same 400 body
+// a single node would send.
+//
+// Endpoints mirror a single-index merserved:
+//
+//	POST /v1/align   scatter, gather, merge (JSON, or SAM via Accept)
+//	GET  /v1/stats   RouterStats: request counters plus per-shard health
+//	GET  /v1/targets the assembled global reference catalog
+//	GET  /healthz    200 serving, 503 draining
+//	GET  /readyz     503 until the fleet catalog is assembled and validated
+//	GET  /metrics    merrouted_* and merrouted_shard_* exposition
+//
+// Failure policy: every shard RPC gets a per-call timeout and bounded,
+// jittered, Retry-After-honoring retries (client.RetryPolicy). A shard that
+// still fails either fails the request (502, policy "fail" — the default:
+// silently missing alignments are corruption in a pipeline) or is dropped
+// from a partial response that says so in-band (policy "partial":
+// degraded_shards in JSON, an @CO line in SAM, and a counted metric).
+package cluster
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/client"
+	"github.com/lbl-repro/meraligner/internal/seqio"
+	"github.com/lbl-repro/meraligner/internal/service"
+)
+
+// Degraded policies: what a Router serves when a shard stays down after
+// retries.
+const (
+	// DegradedFail fails the whole request with 502 naming the lost shards.
+	DegradedFail = "fail"
+	// DegradedPartial serves the surviving shards' results, annotated
+	// in-band (degraded_shards / @CO) and counted. All shards failing still
+	// fails the request — an all-unmapped lie is never served.
+	DegradedPartial = "partial"
+)
+
+// Config shapes one Router. Shards is required; everything else defaults.
+type Config struct {
+	// Shards lists the fleet's base URLs (e.g. "http://host:8490") in shard
+	// order — the order must match the shards' SHRD identities, and the
+	// warmup validation refuses a misordered or incomplete fleet.
+	Shards []string
+
+	// Degraded selects the shard-failure policy: DegradedFail (default) or
+	// DegradedPartial.
+	Degraded string
+
+	// Retry bounds the per-shard RPC retries (client.RetryPolicy semantics:
+	// capped jittered exponential backoff, Retry-After honored). Zero-valued
+	// fields default; MaxAttempts <= 0 means DefaultRetryPolicy's.
+	Retry client.RetryPolicy
+
+	// CallTimeout caps one RPC attempt to one shard. Default 15s; it becomes
+	// Retry.AttemptTimeout unless that is already set.
+	CallTimeout time.Duration
+
+	// Micro-batcher knobs, as in service.Config: MaxBatch caps reads per
+	// scatter (default 256; requests at least that big skip the queue),
+	// MaxWait caps queue-holding behind a busy fleet (default 2ms; negative
+	// disables), QueueReads bounds admission (default 4*MaxBatch).
+	MaxBatch   int
+	MaxWait    time.Duration
+	QueueReads int
+
+	// RetryAfter is the backoff hint sent with 429s and warming 503s.
+	// Default 500ms.
+	RetryAfter time.Duration
+
+	// MaxRequestBytes bounds a request body. Default 64 MiB.
+	MaxRequestBytes int64
+
+	// HealthInterval paces the per-shard /readyz probes feeding the
+	// merrouted_shard_up gauge. Default 2s. Probes are observability only:
+	// a scatter always tries every shard and trusts the retry policy.
+	HealthInterval time.Duration
+
+	// Version is reported in /v1/stats (ldflags-injected by cmd/merrouted).
+	Version string
+
+	// HTTPClient overrides the shard clients' *http.Client (transport
+	// limits, test doubles).
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Degraded == "" {
+		c.Degraded = DegradedFail
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 15 * time.Second
+	}
+	if c.Retry.MaxAttempts <= 0 {
+		c.Retry = client.DefaultRetryPolicy()
+	}
+	if c.Retry.AttemptTimeout <= 0 {
+		c.Retry.AttemptTimeout = c.CallTimeout
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	switch {
+	case c.MaxWait == 0:
+		c.MaxWait = 2 * time.Millisecond
+	case c.MaxWait < 0:
+		c.MaxWait = 0
+	}
+	if c.QueueReads <= 0 {
+		c.QueueReads = 4 * c.MaxBatch
+	}
+	if c.QueueReads < c.MaxBatch {
+		c.QueueReads = c.MaxBatch
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 500 * time.Millisecond
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 64 << 20
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	return c
+}
+
+// shard is one upstream node: its client plus live counters.
+type shard struct {
+	id   int
+	addr string
+	cl   *client.Client
+
+	up       atomic.Bool
+	calls    atomic.Int64 // RPC attempts issued
+	retries  atomic.Int64 // attempts beyond a call's first
+	errors   atomic.Int64 // calls that exhausted their retries
+	inflight atomic.Int64 // calls in flight
+	lat      hist         // per-attempt wall time
+}
+
+// align runs one align RPC against the shard under the retry policy,
+// counting every attempt.
+func (sh *shard) align(ctx context.Context, pol client.RetryPolicy, req client.AlignRequest) (*client.AlignResponse, error) {
+	sh.inflight.Add(1)
+	defer sh.inflight.Add(-1)
+	var resp *client.AlignResponse
+	attempts := 0
+	err := pol.Do(ctx, func(actx context.Context) error {
+		attempts++
+		if attempts > 1 {
+			sh.retries.Add(1)
+		}
+		sh.calls.Add(1)
+		t0 := time.Now()
+		r, rerr := sh.cl.Align(actx, req)
+		sh.lat.observe(time.Since(t0).Nanoseconds())
+		if rerr != nil {
+			return rerr
+		}
+		resp = r
+		return nil
+	})
+	if err != nil {
+		sh.errors.Add(1)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// targets fetches the shard's reference catalog under the retry policy
+// (warmup path; not counted as align traffic).
+func (sh *shard) targets(ctx context.Context, pol client.RetryPolicy) (*client.TargetsResponse, error) {
+	var resp *client.TargetsResponse
+	err := pol.Do(ctx, func(actx context.Context) error {
+		r, rerr := sh.cl.Targets(actx)
+		if rerr != nil {
+			return rerr
+		}
+		resp = r
+		return nil
+	})
+	return resp, err
+}
+
+func (sh *shard) status() client.ShardStatus {
+	return client.ShardStatus{
+		ID:        sh.id,
+		Addr:      sh.addr,
+		Up:        sh.up.Load(),
+		Calls:     sh.calls.Load(),
+		Retries:   sh.retries.Load(),
+		Errors:    sh.errors.Load(),
+		Inflight:  sh.inflight.Load(),
+		CallP50Ms: sh.lat.quantile(0.50) / 1e6,
+		CallP99Ms: sh.lat.quantile(0.99) / 1e6,
+	}
+}
+
+// fleetCatalog is the assembled global reference view: the shards'
+// catalogs concatenated in shard order.
+type fleetCatalog struct {
+	k       int
+	refs    []seqio.SAMRef      // SAM @SQ material
+	targets []client.TargetInfo // GET /v1/targets body
+}
+
+// Router is the scatter/gather HTTP tier. Create with New, serve with
+// net/http, stop with Drain (graceful) or Close (hard).
+type Router struct {
+	cfg  Config
+	mux  *http.ServeMux
+	coal *coalescer
+	st   *routerStats
+
+	shards []*shard
+
+	cat      atomic.Pointer[fleetCatalog]
+	warmNote atomic.Pointer[string] // last warmup failure, surfaced by /readyz
+	draining atomic.Bool
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	bg      sync.WaitGroup // warmup + health probes
+}
+
+// New builds a Router over cfg.Shards and starts its warmup (assembling and
+// validating the fleet catalog, retrying until it succeeds or the Router is
+// closed) and per-shard health probes. The Router answers 503 warming until
+// warmup completes; Ready reports the transition.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: at least one shard address is required")
+	}
+	switch cfg.Degraded {
+	case "", DegradedFail, DegradedPartial:
+	default:
+		return nil, fmt.Errorf("cluster: unknown degraded policy %q (want %q or %q)", cfg.Degraded, DegradedFail, DegradedPartial)
+	}
+	cfg = cfg.withDefaults()
+	rt := &Router{cfg: cfg, st: newRouterStats()}
+	rt.baseCtx, rt.cancel = context.WithCancel(context.Background())
+	for i, addr := range cfg.Shards {
+		opts := []client.Option{}
+		if cfg.HTTPClient != nil {
+			opts = append(opts, client.WithHTTPClient(cfg.HTTPClient))
+		}
+		rt.shards = append(rt.shards, &shard{id: i, addr: addr, cl: client.New(addr, opts...)})
+	}
+	rt.coal = newCoalescer(rt.baseCtx, rt.scatter, cfg.MaxBatch, cfg.MaxWait, cfg.QueueReads, rt.st)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/align", rt.handleAlign)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /v1/targets", rt.handleTargets)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux = mux
+
+	rt.bg.Add(1)
+	go rt.warm()
+	for _, sh := range rt.shards {
+		rt.bg.Add(1)
+		go rt.health(sh)
+	}
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Ready reports whether the fleet catalog has been assembled and validated
+// (the /readyz condition, minus draining).
+func (rt *Router) Ready() bool { return rt.cat.Load() != nil }
+
+// Draining reports whether Drain or Close has started.
+func (rt *Router) Draining() bool { return rt.draining.Load() }
+
+// Drain gracefully stops the Router: admission closes (new requests answer
+// 503), queued requests still scatter and complete, then the background
+// probes stop. When ctx expires first, in-flight scatters are aborted and
+// ctx's error is returned.
+func (rt *Router) Drain(ctx context.Context) error {
+	rt.draining.Store(true)
+	err := rt.coal.drain(ctx)
+	rt.cancel()
+	rt.bg.Wait()
+	return err
+}
+
+// Close hard-stops: cancels in-flight scatters and the background probes.
+func (rt *Router) Close() {
+	rt.draining.Store(true)
+	rt.cancel()
+	rt.coal.closeNow()
+	rt.bg.Wait()
+}
+
+// warm assembles the fleet catalog, retrying until it validates or the
+// Router is closed. A fleet that is still starting up (shards answering 503
+// warming) simply keeps the Router not-ready; a fleet that validates
+// inconsistently (mixed K, wrong shard order) also keeps it not-ready, with
+// the reason surfaced by /readyz — misconfiguration is loud, not wrong.
+func (rt *Router) warm() {
+	defer rt.bg.Done()
+	for {
+		cat, err := rt.assembleCatalog(rt.baseCtx)
+		if err == nil {
+			rt.cat.Store(cat)
+			return
+		}
+		msg := err.Error()
+		rt.warmNote.Store(&msg)
+		select {
+		case <-rt.baseCtx.Done():
+			return
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+}
+
+// assembleCatalog fetches every shard's catalog and validates the fleet:
+// one K everywhere, and — when shard snapshots carry their SHRD identity —
+// each shard in its configured position, the full fleet present, and the
+// global target offsets consistent with the concatenation order.
+func (rt *Router) assembleCatalog(ctx context.Context) (*fleetCatalog, error) {
+	resps := make([]*client.TargetsResponse, len(rt.shards))
+	errs := make([]error, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			resps[i], errs[i] = sh.targets(ctx, rt.cfg.Retry)
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d (%s): fetching targets: %w", i, rt.shards[i].addr, err)
+		}
+	}
+	cat := &fleetCatalog{k: resps[0].K}
+	targetBase := 0
+	for i, resp := range resps {
+		if resp.K != cat.k {
+			return nil, fmt.Errorf("shard %d (%s): seed length K=%d, shard 0 has K=%d — mixed-K fleet", i, rt.shards[i].addr, resp.K, cat.k)
+		}
+		if meta := resp.Shard; meta != nil {
+			if meta.ID != i {
+				return nil, fmt.Errorf("shard %d (%s): snapshot says shard id %d — fleet out of order", i, rt.shards[i].addr, meta.ID)
+			}
+			if meta.Count != len(rt.shards) {
+				return nil, fmt.Errorf("shard %d (%s): snapshot says %d shards, router has %d", i, rt.shards[i].addr, meta.Count, len(rt.shards))
+			}
+			if meta.TargetBase != targetBase {
+				return nil, fmt.Errorf("shard %d (%s): snapshot says target base %d, concatenation expects %d", i, rt.shards[i].addr, meta.TargetBase, targetBase)
+			}
+		}
+		for _, t := range resp.Targets {
+			cat.refs = append(cat.refs, seqio.SAMRef{Name: t.Name, Len: t.Length})
+			cat.targets = append(cat.targets, t)
+		}
+		targetBase += len(resp.Targets)
+	}
+	return cat, nil
+}
+
+// health is one shard's readiness probe loop, feeding merrouted_shard_up.
+func (rt *Router) health(sh *shard) {
+	defer rt.bg.Done()
+	probe := func() {
+		ctx, cancel := context.WithTimeout(rt.baseCtx, rt.cfg.HealthInterval)
+		sh.up.Store(sh.cl.Ready(ctx) == nil)
+		cancel()
+	}
+	probe()
+	tick := time.NewTicker(rt.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.baseCtx.Done():
+			return
+		case <-tick.C:
+			probe()
+		}
+	}
+}
+
+// scatter is the coalescer's fleet call: fan the batch to every shard,
+// screen protocol violations, apply the degraded policy, merge.
+func (rt *Router) scatter(ctx context.Context, reads []meraligner.Seq) (*gather, error) {
+	req := client.AlignRequest{Reads: client.FromSeqs(reads)}
+	resps := make([]*client.AlignResponse, len(rt.shards))
+	errs := make([]error, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			resps[i], errs[i] = sh.align(ctx, rt.cfg.Retry, req)
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, resp := range resps {
+		if errs[i] == nil && len(resp.Reads) != len(reads) {
+			// A shard answering for a different batch shape is as lost as an
+			// unreachable one — its data cannot be trusted into a merge.
+			errs[i] = fmt.Errorf("protocol violation: %d results for %d reads", len(resp.Reads), len(reads))
+			resps[i] = nil
+			rt.shards[i].errors.Add(1)
+		}
+	}
+	var failed []ShardFailure
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, ShardFailure{ID: i, Addr: rt.shards[i].addr, Err: err})
+		}
+	}
+	var degraded []string
+	if len(failed) > 0 {
+		if rt.cfg.Degraded != DegradedPartial || len(failed) == len(rt.shards) {
+			return nil, &ShardError{Failed: failed}
+		}
+		for _, f := range failed {
+			degraded = append(degraded, f.Addr)
+		}
+	}
+	return &gather{results: mergeResults(reads, resps), degraded: degraded}, nil
+}
+
+// serve is the request-serving core: big requests scatter directly with the
+// caller's context, small ones ride the coalescer; accounting matches the
+// single node's (requests/reads count served work only).
+func (rt *Router) serve(ctx context.Context, reads []meraligner.Seq) (*cwindow, error) {
+	start := time.Now()
+	var win *cwindow
+	if len(reads) >= rt.cfg.MaxBatch {
+		rt.coal.enterDirect()
+		g, err := rt.scatter(ctx, reads)
+		rt.coal.exitDirect()
+		if err != nil {
+			return nil, err
+		}
+		rt.st.observeBatch(1, len(reads))
+		win = &cwindow{g: g, lo: 0, hi: len(reads)}
+	} else {
+		var err error
+		if win, err = rt.coal.submit(ctx, reads); err != nil {
+			return nil, err
+		}
+	}
+	rt.st.requests.Add(1)
+	rt.st.reads.Add(int64(len(reads)))
+	rt.st.reqLatency.observe(time.Since(start).Nanoseconds())
+	return win, nil
+}
+
+// admit replicates the single node's admission check byte-for-byte (same
+// messages, same typed detail), using the fleet catalog's K.
+func (rt *Router) admit(k int, reads []meraligner.Seq) *client.ErrorResponse {
+	if len(reads) == 0 {
+		return &client.ErrorResponse{Error: "empty request: no reads"}
+	}
+	var short []string
+	for i := range reads {
+		if reads[i].Seq.Len() < k {
+			short = append(short, reads[i].Name)
+		}
+	}
+	if short != nil {
+		rt.st.tooShort.Add(int64(len(short)))
+		return &client.ErrorResponse{
+			Error:    fmt.Sprintf("%d read(s) shorter than the seed length K=%d cannot be aligned", len(short), k),
+			TooShort: short,
+		}
+	}
+	return nil
+}
+
+// ---- HTTP handlers ----
+
+func (rt *Router) handleAlign(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		rt.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{Error: "draining"})
+		return
+	}
+	cat := rt.cat.Load()
+	if cat == nil {
+		rt.warming(w, r)
+		return
+	}
+	reads, err := service.ParseReads(w, r, rt.cfg.MaxRequestBytes)
+	if err != nil {
+		rt.writeError(w, r, service.ParseStatus(err), &client.ErrorResponse{Error: err.Error()})
+		return
+	}
+	if er := rt.admit(cat.k, reads); er != nil {
+		rt.writeError(w, r, http.StatusBadRequest, er)
+		return
+	}
+	win, err := rt.serve(r.Context(), reads)
+	if err != nil {
+		rt.routerError(w, r, err)
+		return
+	}
+	results := win.g.results[win.lo:win.hi]
+	degraded := win.g.degraded
+	if len(degraded) > 0 {
+		rt.st.degradedServed.Add(1)
+	}
+	if wantsSAM(r) {
+		w.Header().Set("Content-Type", "text/x-sam")
+		body, finish := rt.maybeGzip(w, r)
+		var comments []string
+		if len(degraded) > 0 {
+			comments = append(comments, degradedComment(degraded))
+		}
+		if werr := writeSAM(body, cat.refs, reads, results, comments); werr == nil {
+			_ = finish()
+		}
+		return
+	}
+	rt.writeJSON(w, r, http.StatusOK, &client.AlignResponse{Reads: results, DegradedShards: degraded})
+}
+
+// degradedComment is the @CO annotation of a partial SAM response.
+func degradedComment(degraded []string) string {
+	return "degraded: results missing from shard(s) " + strings.Join(degraded, ", ")
+}
+
+// routerError maps serving failures onto HTTP statuses, mirroring the
+// single node's engineError for the shared cases.
+func (rt *Router) routerError(w http.ResponseWriter, r *http.Request, err error) {
+	var se *ShardError
+	switch {
+	case errors.Is(err, errOverloaded):
+		rt.st.rejected.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(rt.cfg.RetryAfter))
+		rt.writeError(w, r, http.StatusTooManyRequests, &client.ErrorResponse{Error: "overloaded: admission queue full"})
+	case errors.Is(err, errDraining):
+		rt.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{Error: "draining"})
+	case errors.As(err, &se):
+		rt.st.failedRequests.Add(1)
+		rt.writeError(w, r, http.StatusBadGateway, &client.ErrorResponse{Error: se.Error()})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Client is gone; nothing useful to write.
+	default:
+		rt.writeError(w, r, http.StatusInternalServerError, &client.ErrorResponse{Error: err.Error()})
+	}
+}
+
+// warming answers 503 with a Retry-After while the fleet catalog is not yet
+// assembled.
+func (rt *Router) warming(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", retryAfterSeconds(rt.cfg.RetryAfter))
+	msg := "warming: fleet catalog not ready"
+	if note := rt.warmNote.Load(); note != nil {
+		msg = "warming: " + *note
+	}
+	rt.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{Error: msg})
+}
+
+// Stats renders the live RouterStats document (the /v1/stats body), also
+// available in-process for embedders and benchmarks.
+func (rt *Router) Stats() client.RouterStats {
+	st := rt.st.snapshot()
+	st.Version = rt.cfg.Version
+	st.Draining = rt.draining.Load()
+	st.Degraded = rt.cfg.Degraded
+	st.QueueReads = int64(rt.coal.queuedReads())
+	if cat := rt.cat.Load(); cat != nil {
+		st.Ready = true
+		st.K = cat.k
+	}
+	st.Shards = make([]client.ShardStatus, len(rt.shards))
+	for i, sh := range rt.shards {
+		st.Shards[i] = sh.status()
+	}
+	return st
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, r, http.StatusOK, rt.Stats())
+}
+
+func (rt *Router) handleTargets(w http.ResponseWriter, r *http.Request) {
+	cat := rt.cat.Load()
+	if cat == nil {
+		rt.warming(w, r)
+		return
+	}
+	rt.writeJSON(w, r, http.StatusOK, &client.TargetsResponse{K: cat.k, Targets: cat.targets})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case rt.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+	case rt.cat.Load() == nil:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		msg := "warming\n"
+		if note := rt.warmNote.Load(); note != nil {
+			msg = "warming: " + *note + "\n"
+		}
+		io.WriteString(w, msg)
+	default:
+		io.WriteString(w, "ready\n")
+	}
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	body, finish := rt.maybeGzip(w, r)
+	writeMetrics(body, rt.Stats())
+	_ = finish()
+}
+
+// ---- response plumbing (mirrors internal/service's) ----
+
+func (rt *Router) maybeGzip(w http.ResponseWriter, r *http.Request) (io.Writer, func() error) {
+	if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		return w, func() error { return nil }
+	}
+	w.Header().Set("Content-Encoding", "gzip")
+	w.Header().Add("Vary", "Accept-Encoding")
+	gz := gzip.NewWriter(w)
+	return gz, gz.Close
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, r *http.Request, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	body, finish := rt.maybeGzip(w, r)
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
+	_ = json.NewEncoder(body).Encode(v)
+	_ = finish()
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, code int, er *client.ErrorResponse) {
+	rt.writeJSON(w, r, code, er)
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	return strconv.Itoa(int((d + time.Second - 1) / time.Second))
+}
+
+// wantsSAM reports whether the request asked for SAM output.
+func wantsSAM(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "sam")
+}

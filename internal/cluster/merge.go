@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/client"
+)
+
+// Merge semantics: one read, N shard verdicts, one deterministic outcome.
+//
+// Shards hold disjoint target slices of one reference, so their alignment
+// lists for a read never overlap; the merged list is the concatenation,
+// re-sorted into the canonical output order every server emits
+// (client.CanonicalizeAlignments: score desc, then target name, position,
+// strand, query interval, cigar). Because a single whole-reference node
+// sorts its own output with the same rule, the merged document is
+// byte-identical to the single node's — the property the e2e tests pin.
+//
+// Status merging: too_short wins (every shard has the same K, so one shard
+// saying too-short means all did — but one vote suffices and never loses
+// data), then ok if any shard aligned the read, else unmapped.
+
+// gather is the merged outcome of one scatter across the fleet, shared by
+// every request of a coalesced batch.
+type gather struct {
+	results []client.ReadResult
+	// degraded names the shards (addresses, in shard order) whose results
+	// are missing — non-empty only under the partial policy.
+	degraded []string
+}
+
+// ShardFailure is one shard's terminal failure during a scatter (its
+// retries exhausted).
+type ShardFailure struct {
+	ID   int
+	Addr string
+	Err  error
+}
+
+// ShardError reports the shards a scatter lost. Under the fail policy any
+// loss surfaces as this error (HTTP 502); under the partial policy it
+// surfaces only when every shard failed.
+type ShardError struct {
+	Failed []ShardFailure
+}
+
+// Error names every failed shard and its reason.
+func (e *ShardError) Error() string {
+	parts := make([]string, len(e.Failed))
+	for i, f := range e.Failed {
+		parts[i] = fmt.Sprintf("shard %d (%s): %v", f.ID, f.Addr, f.Err)
+	}
+	return "cluster: shard(s) unavailable: " + strings.Join(parts, "; ")
+}
+
+// mergeResults folds per-shard responses into per-read results. per is in
+// shard order; a nil entry is a shard excluded by the partial policy. Every
+// included response must cover exactly the request's reads — a shard
+// answering for a different batch shape is a protocol violation the caller
+// screens out before merging.
+func mergeResults(reads []meraligner.Seq, per []*client.AlignResponse) []client.ReadResult {
+	out := make([]client.ReadResult, len(reads))
+	for i := range reads {
+		out[i] = client.ReadResult{Name: reads[i].Name, Status: client.StatusUnmapped}
+	}
+	for _, resp := range per {
+		if resp == nil {
+			continue
+		}
+		for i := range resp.Reads {
+			rr := &resp.Reads[i]
+			if rr.Status == client.StatusTooShort {
+				out[i].Status = client.StatusTooShort
+			}
+			out[i].Alignments = append(out[i].Alignments, rr.Alignments...)
+		}
+	}
+	for i := range out {
+		client.CanonicalizeAlignments(out[i].Alignments)
+		if len(out[i].Alignments) > 0 && out[i].Status != client.StatusTooShort {
+			out[i].Status = client.StatusOK
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"github.com/lbl-repro/meraligner/client"
+)
+
+// Router observability: lock-free counters and log2-bucketed latency
+// histograms, mirroring internal/service's scheme (same bucket layout, same
+// quantile estimator) so a merrouted dashboard reads like a merserved one.
+// The hist type is a deliberate copy — service keeps its unexported, and 35
+// lines of atomics are cheaper than a shared package for two users.
+
+// hist is a log2-bucketed latency histogram over nanoseconds: bucket i
+// counts observations in [2^i, 2^(i+1)).
+type hist struct {
+	count   atomic.Int64
+	buckets [63]atomic.Int64
+}
+
+func (h *hist) observe(ns int64) {
+	if ns < 1 {
+		ns = 1
+	}
+	h.buckets[bits.Len64(uint64(ns))-1].Add(1)
+	h.count.Add(1)
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) in nanoseconds as the
+// geometric midpoint of the bucket holding the target rank; 0 when empty.
+func (h *hist) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			return 1.5 * float64(int64(1)<<i)
+		}
+	}
+	return 1.5 * float64(int64(1)<<62)
+}
+
+// routerStats aggregates the router's live counters. It implements the
+// coalescer's stats hooks (observeBatch, observeCanceled).
+type routerStats struct {
+	start time.Time
+
+	requests atomic.Int64 // align requests served to completion
+	rejected atomic.Int64 // 429s (admission queue full)
+	canceled atomic.Int64 // client disconnects
+	reads    atomic.Int64 // reads accepted for scattering
+	tooShort atomic.Int64 // reads rejected as shorter than K
+
+	degradedServed atomic.Int64 // partial responses served (partial policy)
+	failedRequests atomic.Int64 // requests failed on shard errors
+
+	batches          atomic.Int64 // scatters issued by the coalescer
+	batchedReads     atomic.Int64 // reads across those scatters
+	coalescedBatches atomic.Int64 // scatters gluing >= 2 requests
+	maxBatchReads    atomic.Int64 // largest scatter seen
+
+	reqLatency hist // request wall time, enqueue -> response ready
+}
+
+func newRouterStats() *routerStats { return &routerStats{start: time.Now()} }
+
+func (s *routerStats) observeBatch(requests, reads int) {
+	s.batches.Add(1)
+	s.batchedReads.Add(int64(reads))
+	if requests >= 2 {
+		s.coalescedBatches.Add(1)
+	}
+	for {
+		cur := s.maxBatchReads.Load()
+		if int64(reads) <= cur || s.maxBatchReads.CompareAndSwap(cur, int64(reads)) {
+			return
+		}
+	}
+}
+
+func (s *routerStats) observeCanceled() { s.canceled.Add(1) }
+
+// snapshot renders the wire RouterStats counters (identity, readiness, and
+// the shard list are filled in by the Router).
+func (s *routerStats) snapshot() client.RouterStats {
+	st := client.RouterStats{
+		Requests:         s.requests.Load(),
+		Rejected:         s.rejected.Load(),
+		Canceled:         s.canceled.Load(),
+		Reads:            s.reads.Load(),
+		TooShort:         s.tooShort.Load(),
+		DegradedServed:   s.degradedServed.Load(),
+		FailedRequests:   s.failedRequests.Load(),
+		Batches:          s.batches.Load(),
+		BatchedReads:     s.batchedReads.Load(),
+		CoalescedBatches: s.coalescedBatches.Load(),
+		MaxBatchReads:    s.maxBatchReads.Load(),
+		RequestP50Ms:     s.reqLatency.quantile(0.50) / 1e6,
+		RequestP99Ms:     s.reqLatency.quantile(0.99) / 1e6,
+	}
+	if st.Batches > 0 {
+		st.MeanBatchReads = float64(st.BatchedReads) / float64(st.Batches)
+	}
+	return st
+}
+
+// writeMetrics renders the router's Prometheus text exposition:
+// merrouted_* request/coalescing series shaped like merserved_*, then the
+// per-shard merrouted_shard_* series labeled {shard="id",addr="..."}.
+func writeMetrics(w io.Writer, st client.RouterStats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	b01 := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	counter("merrouted_requests_total", "align requests served to completion", st.Requests)
+	counter("merrouted_rejected_total", "requests rejected with 429 (queue full)", st.Rejected)
+	counter("merrouted_canceled_total", "requests canceled by client disconnect", st.Canceled)
+	counter("merrouted_reads_total", "reads accepted for scattering", st.Reads)
+	counter("merrouted_too_short_reads_total", "reads rejected as shorter than K", st.TooShort)
+	counter("merrouted_degraded_requests_total", "partial responses served under the partial policy", st.DegradedServed)
+	counter("merrouted_failed_requests_total", "requests failed on shard errors", st.FailedRequests)
+	counter("merrouted_batches_total", "coalesced scatters issued", st.Batches)
+	counter("merrouted_batched_reads_total", "reads across coalesced scatters", st.BatchedReads)
+	counter("merrouted_coalesced_batches_total", "scatters serving >= 2 requests", st.CoalescedBatches)
+	gauge("merrouted_batch_reads_max", "largest coalesced scatter", float64(st.MaxBatchReads))
+	gauge("merrouted_batch_reads_mean", "mean reads per scatter", st.MeanBatchReads)
+	gauge("merrouted_queue_reads", "reads queued for the next batching window", float64(st.QueueReads))
+	gauge("merrouted_ready", "1 once the global target catalog is assembled", b01(st.Ready))
+	gauge("merrouted_draining", "1 while draining (healthz returns 503)", b01(st.Draining))
+	fmt.Fprintf(w, "# HELP merrouted_request_latency_seconds request wall time quantiles\n")
+	fmt.Fprintf(w, "# TYPE merrouted_request_latency_seconds summary\n")
+	fmt.Fprintf(w, "merrouted_request_latency_seconds{quantile=\"0.5\"} %g\n", st.RequestP50Ms/1e3)
+	fmt.Fprintf(w, "merrouted_request_latency_seconds{quantile=\"0.99\"} %g\n", st.RequestP99Ms/1e3)
+
+	shardSeries := func(name, help, typ string, v func(client.ShardStatus) float64, format string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, sh := range st.Shards {
+			fmt.Fprintf(w, "%s{shard=\"%d\",addr=%q} "+format+"\n", name, sh.ID, sh.Addr, v(sh))
+		}
+	}
+	shardCounter := func(name, help string, v func(client.ShardStatus) int64) {
+		shardSeries(name, help, "counter", func(sh client.ShardStatus) float64 { return float64(v(sh)) }, "%.0f")
+	}
+	shardSeries("merrouted_shard_up", "1 when the shard's last readiness probe succeeded", "gauge",
+		func(sh client.ShardStatus) float64 { return b01(sh.Up) }, "%g")
+	shardCounter("merrouted_shard_calls_total", "align RPC attempts issued to the shard",
+		func(sh client.ShardStatus) int64 { return sh.Calls })
+	shardCounter("merrouted_shard_retries_total", "align RPC attempts beyond the first",
+		func(sh client.ShardStatus) int64 { return sh.Retries })
+	shardCounter("merrouted_shard_errors_total", "align RPCs that exhausted their retries",
+		func(sh client.ShardStatus) int64 { return sh.Errors })
+	shardSeries("merrouted_shard_inflight", "align RPCs in flight right now", "gauge",
+		func(sh client.ShardStatus) float64 { return float64(sh.Inflight) }, "%g")
+	fmt.Fprintf(w, "# HELP merrouted_shard_call_latency_seconds per-attempt RPC wall time quantiles\n")
+	fmt.Fprintf(w, "# TYPE merrouted_shard_call_latency_seconds summary\n")
+	for _, sh := range st.Shards {
+		fmt.Fprintf(w, "merrouted_shard_call_latency_seconds{shard=\"%d\",addr=%q,quantile=\"0.5\"} %g\n", sh.ID, sh.Addr, sh.CallP50Ms/1e3)
+		fmt.Fprintf(w, "merrouted_shard_call_latency_seconds{shard=\"%d\",addr=%q,quantile=\"0.99\"} %g\n", sh.ID, sh.Addr, sh.CallP99Ms/1e3)
+	}
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+
+	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/client"
+	"github.com/lbl-repro/meraligner/internal/seqio"
+)
+
+// SAM rendering from wire data. The router holds no target bases, only the
+// fleet catalog (names and lengths) and the merged wire alignments, yet its
+// SAM output must be byte-identical to a single whole-reference node's.
+// That works because every field of a record is derivable from what the
+// wire carries: the header needs only names/lengths (seqio.SAMRef), NM is
+// computed shard-side and shipped on each alignment, and the canonical
+// alignment order (client.CanonicalizeAlignments) makes "first = primary"
+// mean the same thing here as in the single node's writeQuery. This file is
+// the wire-side mirror of SAMStream.writeQuery in samstream.go — any change
+// to record shape must land in both (the byte-identity e2e test catches a
+// drift).
+
+// writeSAM renders one response's merged results as a complete SAM
+// document: global header over refs, then records per read in request
+// order. comments become @CO lines after @PG — how a degraded partial
+// response annotates itself in-band.
+func writeSAM(w io.Writer, refs []seqio.SAMRef, reads []meraligner.Seq, results []client.ReadResult, comments []string) error {
+	// Program/version match NewSAMStream exactly — same header bytes.
+	sw, err := seqio.NewSAMWriterRefs(w, refs, "meraligner", "1.0", comments...)
+	if err != nil {
+		return err
+	}
+	for i := range reads {
+		if err := writeWireQuery(sw, reads[i], results[i]); err != nil {
+			return err
+		}
+	}
+	return sw.Flush()
+}
+
+// writeWireQuery emits one read's records from its merged wire alignments,
+// mirroring SAMStream.writeQuery: unmapped record when there are none (this
+// also covers too-short reads, exactly as the single node renders them);
+// otherwise the canonical-first alignment is primary and the rest are
+// secondary, with soft clips spanning the read and the shard-computed NM.
+func writeWireQuery(sw *seqio.SAMWriter, q meraligner.Seq, rr client.ReadResult) error {
+	as := rr.Alignments
+	if len(as) == 0 {
+		return sw.Write(seqio.SAMRecord{
+			QName: q.Name, Flag: seqio.FlagUnmapped,
+			Seq: q.Seq.String(), Qual: string(q.Qual),
+			TagAS: -1, TagNM: -1,
+		})
+	}
+	L := q.Seq.Len()
+	mapq := 60
+	if len(as) > 1 {
+		mapq = 3
+	}
+	for i, a := range as {
+		flag := 0
+		seq := q.Seq
+		rc := a.Strand == "-"
+		if rc {
+			flag |= seqio.FlagReverse
+			seq = seq.ReverseComplement()
+		}
+		// Alignments arrive canonicalized (score descending first), so the
+		// first entry is the best — the same record the single node flags
+		// primary after its own canonical sort.
+		if i != 0 {
+			flag |= seqio.FlagSecondary
+		}
+		qual := string(q.Qual)
+		if rc && qual != "" {
+			b := []byte(qual)
+			for l, r := 0, len(b)-1; l < r; l, r = l+1, r-1 {
+				b[l], b[r] = b[r], b[l]
+			}
+			qual = string(b)
+		}
+		body := a.Cigar
+		if body == "" {
+			body = fmt.Sprintf("%dM", a.QEnd-a.QStart)
+		}
+		cigar := body
+		if a.QStart > 0 {
+			cigar = fmt.Sprintf("%dS%s", a.QStart, cigar)
+		}
+		if a.QEnd < L {
+			cigar = fmt.Sprintf("%s%dS", cigar, L-a.QEnd)
+		}
+		if err := sw.Write(seqio.SAMRecord{
+			QName: q.Name, Flag: flag,
+			RName: a.Target,
+			Pos:   a.TStart + 1, MapQ: mapq,
+			Cigar: cigar,
+			Seq:   seq.String(), Qual: qual,
+			TagAS: a.Score, TagNM: a.NM,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -32,6 +32,11 @@ type ThreadedIndex struct {
 	buildPhases []upc.PhaseStat // extract+stage, drain, mark (wall-clock)
 	stats       dht.Stats       // computed once at seal time
 
+	// shard identifies this index as one slice of a sharded reference
+	// (SetShardInfo / the snapshot's "SHRD" section); nil for a whole
+	// reference.
+	shard *ShardInfo
+
 	// snap is the backing snapshot when the index was produced by LoadIndex
 	// rather than BuildIndex: the seed table and target sequences alias its
 	// mapping, so it must stay open for the index's lifetime (see Close).

@@ -20,16 +20,19 @@ import (
 // This file persists a ThreadedIndex as a .merx snapshot and loads it back:
 // Save writes three checksummed sections — the options/stats fingerprint
 // ("META", JSON), the packed reference ("TARG"), and the sealed seed table
-// ("DHTS", see dht.WriteTo) — and LoadIndex memory-maps them, so a serving
+// ("DHTS", see dht.WriteTo) — plus, on shard snapshots only, the shard
+// identity ("SHRD", JSON) — and LoadIndex memory-maps them, so a serving
 // process cold-starts in milliseconds instead of re-extracting, draining,
 // and sealing the whole index from FASTA. The byte-level layout of every
 // section is specified in docs/INDEX_FORMAT.md.
 
-// Section tags of an index snapshot.
+// Section tags of an index snapshot. SHRD is optional: present only on
+// snapshots produced by the shard producer, carrying the ShardInfo JSON.
 const (
 	sectionMeta    = "META"
 	sectionTargets = "TARG"
 	sectionDHT     = "DHTS"
+	sectionShard   = "SHRD"
 )
 
 // snapLayout is the struct-size fingerprint stamped into every snapshot
@@ -102,6 +105,18 @@ func (ix *ThreadedIndex) Save(path string) (err error) {
 		return werr
 	}); err != nil {
 		return err
+	}
+	if ix.shard != nil {
+		if err = w.Section(sectionShard, func(sw io.Writer) error {
+			enc, merr := json.MarshalIndent(*ix.shard, "", " ")
+			if merr != nil {
+				return merr
+			}
+			_, werr := sw.Write(append(enc, '\n'))
+			return werr
+		}); err != nil {
+			return err
+		}
 	}
 	if err = w.Finish(); err != nil {
 		return err
@@ -209,12 +224,30 @@ func loadFrom(workers int, f *merx.File) (*ThreadedIndex, error) {
 			ft.NumFragments(), meta.NumFragments)}
 	}
 
+	// The optional shard identity: absent on whole-reference snapshots.
+	var shard *ShardInfo
+	if f.HasSection(sectionShard) {
+		shardBytes, err := f.SectionData(sectionShard)
+		if err != nil {
+			return nil, err
+		}
+		var si ShardInfo
+		if err := json.Unmarshal(shardBytes, &si); err != nil {
+			return nil, &merx.CorruptError{Path: f.Path(), Section: sectionShard, Reason: fmt.Sprintf("undecodable shard identity: %v", err)}
+		}
+		if err := si.Validate(); err != nil {
+			return nil, &merx.CorruptError{Path: f.Path(), Section: sectionShard, Reason: err.Error()}
+		}
+		shard = &si
+	}
+
 	return &ThreadedIndex{
 		opt:     meta.Index,
 		targets: targets,
 		ft:      ft,
 		sx:      sx,
 		stats:   meta.Stats,
+		shard:   shard,
 		snap:    f,
 	}, nil
 }

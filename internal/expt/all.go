@@ -18,6 +18,7 @@ var Experiments = []struct {
 	{"fig11", Fig11, "single-node real-parallelism comparison on E. coli"},
 	{"serve", Serve, "build-once/serve-many vs rebuild-per-batch (post-paper)"},
 	{"service", Service, "merserved micro-batching: coalesced vs per-request serving (post-paper)"},
+	{"cluster", Cluster, "sharded fleet behind a scatter/gather router vs one node (post-paper)"},
 }
 
 // Run executes the experiment with the given id.

@@ -1,0 +1,340 @@
+package expt
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/client"
+	"github.com/lbl-repro/meraligner/internal/cluster"
+	"github.com/lbl-repro/meraligner/internal/core"
+	"github.com/lbl-repro/meraligner/internal/seqio"
+	"github.com/lbl-repro/meraligner/internal/service"
+)
+
+// Cluster measures the distributed alignment tier over loopback HTTP
+// (post-paper: the scatter/gather shape of the paper's distributed index —
+// §III partitions the seed index across nodes; here the partition is by
+// target slice with a stateless router merging per-read results). The same
+// read traffic is served twice: by one whole-reference merserved, and by a
+// 3-shard fleet behind a router. The router's output is checked
+// byte-identical to the single node's before anything is timed.
+func Cluster(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID:    "cluster",
+		Title: "distributed tier: 3-shard scatter/gather fleet vs one whole-reference node (loopback HTTP)",
+		Paper: "post-paper experiment: the paper distributes the index across nodes and aggregates " +
+			"lookups; the serving analogue shards the reference across merserved nodes behind a " +
+			"router whose merged output must be byte-identical to a single node's",
+		Headers: []string{"mode", "reads/s", "req p50 (ms)", "req p99 (ms)", "shard calls"},
+	}
+	ds, err := mkData(cfg.ecoliProfile())
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	opt := core.DefaultOptions(19)
+	opt.MaxSeedHits = 200
+
+	reads := ds.Reads
+	maxReads, clients, batch := 2000, 8, 32
+	if cfg.Quick {
+		maxReads, clients, batch = 400, 4, 16
+	}
+	if len(reads) > maxReads {
+		reads = reads[:maxReads]
+	}
+
+	cmp, err := RunClusterComparison(workers, opt, ds.Contigs, reads, ClusterLoad{
+		Shards: 3, Clients: clients, Batch: batch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !cmp.Identical {
+		return nil, errors.New("expt: router SAM differs from the single node's — the tier is broken, refusing to report timings")
+	}
+	rep.AddRow("single-node",
+		fmt.Sprintf("%.0f", cmp.Single.ReadsPerSec),
+		fmt.Sprintf("%.2f", cmp.Single.P50Ms),
+		fmt.Sprintf("%.2f", cmp.Single.P99Ms),
+		"-")
+	rep.AddRow(fmt.Sprintf("router x%d", cmp.Shards),
+		fmt.Sprintf("%.0f", cmp.Routed.ReadsPerSec),
+		fmt.Sprintf("%.2f", cmp.Routed.P50Ms),
+		fmt.Sprintf("%.2f", cmp.Routed.P99Ms),
+		fmt.Sprintf("%d", cmp.ShardCalls))
+	rep.Note("%d concurrent clients posting %d-read batches, %d reads total; SAM byte-identity between the tiers verified before timing", clients, batch, len(reads))
+	rep.Note("all %d shards and the router share one host, so the fleet row measures scatter/gather overhead, not scale-out speedup — on N hosts each shard would hold 1/N of the reference (the paper's motivation: references that fit no single node)", cmp.Shards)
+	return rep, nil
+}
+
+// ClusterLoad shapes one RunClusterComparison measurement.
+type ClusterLoad struct {
+	Shards  int // fleet size
+	Clients int // concurrent submitters
+	Batch   int // reads per request
+}
+
+// ClusterRun is one measured serving tier (shared with the repo-level
+// BENCH_cluster.json recorder): client-observed throughput and latency.
+type ClusterRun struct {
+	ReadsPerSec float64
+	WallS       float64
+	P50Ms       float64
+	P99Ms       float64
+	Requests    int64
+}
+
+// ClusterComparison is the full single-node vs routed-fleet measurement.
+type ClusterComparison struct {
+	Shards     int
+	Identical  bool // router SAM == single-node SAM on the probe batch
+	Single     ClusterRun
+	Routed     ClusterRun
+	ShardCalls int64 // align RPC attempts the router issued fleet-wide
+}
+
+// RunClusterComparison builds one whole-reference index and a Shards-way
+// fleet (real `SaveShards` snapshots reopened from disk), serves both over
+// loopback HTTP, checks the router's SAM output byte-identical to the
+// single node's, then drives the same batched traffic through each tier.
+func RunClusterComparison(workers int, opt core.Options, targets, reads []seqio.Seq, load ClusterLoad) (*ClusterComparison, error) {
+	if load.Shards < 2 {
+		load.Shards = 3
+	}
+	if load.Clients < 1 {
+		load.Clients = 4
+	}
+	if load.Batch < 1 {
+		load.Batch = 32
+	}
+
+	whole, err := meraligner.Build(workers, opt.IndexOptions, targets)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "merbench-cluster-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	paths, err := meraligner.SaveShards(workers, opt.IndexOptions, targets, load.Shards, dir)
+	if err != nil {
+		return nil, err
+	}
+	shardALs := make([]*meraligner.Aligner, 0, len(paths))
+	defer func() {
+		for _, sa := range shardALs {
+			sa.Close()
+		}
+	}()
+	for _, p := range paths {
+		sa, err := meraligner.OpenThreads(workers, p)
+		if err != nil {
+			return nil, err
+		}
+		shardALs = append(shardALs, sa)
+	}
+
+	// One loopback merserved per index.
+	single, err := startExptService(whole, opt.QueryOptions, workers, len(reads))
+	if err != nil {
+		return nil, err
+	}
+	defer single.stop()
+	shardURLs := make([]string, 0, len(shardALs))
+	var fleet []*exptServer
+	defer func() {
+		for _, s := range fleet {
+			s.stop()
+		}
+	}()
+	for _, sa := range shardALs {
+		s, err := startExptService(sa, opt.QueryOptions, workers, len(reads))
+		if err != nil {
+			return nil, err
+		}
+		fleet = append(fleet, s)
+		shardURLs = append(shardURLs, s.base)
+	}
+
+	rt, err := cluster.New(cluster.Config{
+		Shards:     shardURLs,
+		QueueReads: len(reads) + 1, // never 429 during the measurement
+		Version:    "merbench",
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	router, err := startExptHandler(rt)
+	if err != nil {
+		return nil, err
+	}
+	defer router.stop()
+	deadline := time.Now().Add(30 * time.Second)
+	for !rt.Ready() {
+		if time.Now().After(deadline) {
+			return nil, errors.New("expt: router never assembled its fleet catalog")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cmp := &ClusterComparison{Shards: load.Shards}
+
+	// Byte-identity probe before any timing: a routed fleet that answers
+	// differently from a single node is wrong, not slow.
+	probe := reads
+	if len(probe) > 256 {
+		probe = probe[:256]
+	}
+	req := client.AlignRequest{Reads: client.FromSeqs(probe)}
+	wantSAM, err := client.New(single.base).AlignSAM(context.Background(), req)
+	if err != nil {
+		return nil, err
+	}
+	gotSAM, err := client.New(router.base).AlignSAM(context.Background(), req)
+	if err != nil {
+		return nil, err
+	}
+	cmp.Identical = bytes.Equal(gotSAM, wantSAM)
+	if !cmp.Identical {
+		return cmp, nil
+	}
+
+	if cmp.Single, err = driveBatches(single.base, reads, load.Clients, load.Batch); err != nil {
+		return nil, err
+	}
+	if cmp.Routed, err = driveBatches(router.base, reads, load.Clients, load.Batch); err != nil {
+		return nil, err
+	}
+	for _, sh := range rt.Stats().Shards {
+		cmp.ShardCalls += sh.Calls
+	}
+	return cmp, nil
+}
+
+// exptServer is one loopback HTTP server plus its teardown.
+type exptServer struct {
+	base string
+	stop func()
+}
+
+func startExptHandler(h http.Handler) (*exptServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: h}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			_ = err // surfaced through failed client requests
+		}
+	}()
+	return &exptServer{
+		base: "http://" + ln.Addr().String(),
+		stop: func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = hs.Shutdown(ctx)
+			<-done
+		},
+	}, nil
+}
+
+func startExptService(al *meraligner.Aligner, qopt core.QueryOptions, workers, queue int) (*exptServer, error) {
+	srv, err := service.New(service.Config{
+		Aligner:    al,
+		Query:      qopt,
+		Workers:    workers,
+		QueueReads: queue + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s, err := startExptHandler(srv)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	stop := s.stop
+	s.stop = func() {
+		stop()
+		srv.Close()
+	}
+	return s, nil
+}
+
+// driveBatches posts reads in fixed-size batches from `clients` concurrent
+// loopback clients and reports client-observed throughput and latency.
+func driveBatches(base string, reads []seqio.Seq, clients, batch int) (ClusterRun, error) {
+	tr := &http.Transport{MaxIdleConns: clients * 2, MaxIdleConnsPerHost: clients * 2}
+	defer tr.CloseIdleConnections()
+	cl := client.New(base, client.WithHTTPClient(&http.Client{Transport: tr}))
+
+	nBatches := (len(reads) + batch - 1) / batch
+	latencies := make([]time.Duration, nBatches)
+	errs := make([]error, clients)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nBatches {
+					return
+				}
+				lo := b * batch
+				hi := lo + batch
+				if hi > len(reads) {
+					hi = len(reads)
+				}
+				req := client.AlignRequest{Reads: client.FromSeqs(reads[lo:hi])}
+				t0 := time.Now()
+				if _, err := cl.Align(context.Background(), req); err != nil {
+					errs[c] = fmt.Errorf("batch %d: %w", b, err)
+					return
+				}
+				latencies[b] = time.Since(t0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return ClusterRun{}, err
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	q := func(p float64) float64 {
+		i := int(p * float64(len(latencies)-1))
+		return float64(latencies[i].Microseconds()) / 1e3
+	}
+	return ClusterRun{
+		ReadsPerSec: float64(len(reads)) / wall,
+		WallS:       wall,
+		P50Ms:       q(0.5),
+		P99Ms:       q(0.99),
+		Requests:    int64(nBatches),
+	}, nil
+}

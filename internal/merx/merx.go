@@ -449,6 +449,18 @@ func (f *File) SectionData(tag string) ([]byte, error) {
 // Sections lists the verified sections in file order.
 func (f *File) Sections() []Section { return f.sections }
 
+// HasSection reports whether the snapshot carries the tagged section — the
+// probe for optional sections (like "SHRD") whose absence is a valid state,
+// not the corruption SectionData reports it as.
+func (f *File) HasSection(tag string) bool {
+	for _, s := range f.sections {
+		if s.Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
 // Path returns the path the snapshot was opened from.
 func (f *File) Path() string { return f.path }
 

@@ -38,15 +38,38 @@ type SAMWriter struct {
 	err error
 }
 
+// SAMRef names one reference sequence of a SAM header without requiring its
+// bases — all a scatter/gather router knows about the targets its remote
+// shards hold. The @SQ line it produces is byte-identical to the one a
+// local Seq with the same name and length produces.
+type SAMRef struct {
+	Name string
+	Len  int
+}
+
 // NewSAMWriter writes the header for the given reference sequences and the
 // program line. Sequence order defines the @SQ order.
 func NewSAMWriter(w io.Writer, refs []Seq, program, version string) (*SAMWriter, error) {
+	rs := make([]SAMRef, len(refs))
+	for i, r := range refs {
+		rs[i] = SAMRef{Name: r.Name, Len: r.Seq.Len()}
+	}
+	return NewSAMWriterRefs(w, rs, program, version)
+}
+
+// NewSAMWriterRefs is NewSAMWriter from reference names and lengths alone,
+// plus optional @CO comment lines appended after @PG (one per comment) —
+// how a degraded scatter/gather response annotates itself in-band.
+func NewSAMWriterRefs(w io.Writer, refs []SAMRef, program, version string, comments ...string) (*SAMWriter, error) {
 	sw := &SAMWriter{w: bufio.NewWriter(w)}
 	fmt.Fprintf(sw.w, "@HD\tVN:1.6\tSO:unknown\n")
 	for _, r := range refs {
-		fmt.Fprintf(sw.w, "@SQ\tSN:%s\tLN:%d\n", r.Name, r.Seq.Len())
+		fmt.Fprintf(sw.w, "@SQ\tSN:%s\tLN:%d\n", r.Name, r.Len)
 	}
 	fmt.Fprintf(sw.w, "@PG\tID:%s\tPN:%s\tVN:%s\n", program, program, version)
+	for _, c := range comments {
+		fmt.Fprintf(sw.w, "@CO\t%s\n", c)
+	}
 	return sw, sw.w.Flush()
 }
 

@@ -212,6 +212,7 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.Aligner != nil {
 		if s.cfg.Workers <= 0 {
@@ -222,6 +223,7 @@ func New(cfg Config) (*Server, error) {
 		s.single = t
 		mux.HandleFunc("POST /v1/align", s.singleHandler((*tenant).handleAlign))
 		mux.HandleFunc("POST /v1/align/stream", s.singleHandler((*tenant).handleAlignStream))
+		mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	} else {
 		if s.cfg.Workers <= 0 {
 			s.cfg.Workers = runtime.NumCPU()
@@ -240,6 +242,7 @@ func New(cfg Config) (*Server, error) {
 		mux.HandleFunc("POST /v1/{ref}/align", s.refHandler((*tenant).handleAlign))
 		mux.HandleFunc("POST /v1/{ref}/align/stream", s.refHandler((*tenant).handleAlignStream))
 		mux.HandleFunc("GET /v1/{ref}/stats", s.handleRefStats)
+		mux.HandleFunc("GET /v1/{ref}/targets", s.handleRefTargets)
 		mux.HandleFunc("GET /v1/refs", s.handleRefs)
 	}
 	s.mux = mux
@@ -458,13 +461,21 @@ func (t *tenant) alignBatch(ctx context.Context, reads []meraligner.Seq) (*engin
 
 // ---- request parsing ----
 
-// parseReads decodes the request body into native reads: a JSON
-// AlignRequest when the content type says JSON, a FASTQ document otherwise
-// (gzip sniffed transparently, matching the CLI's file handling). Bodies
-// over MaxRequestBytes surface as *http.MaxBytesError (parseStatus maps
-// them to 413).
+// parseReads decodes the request body under this server's byte bound.
 func (s *Server) parseReads(w http.ResponseWriter, r *http.Request) ([]meraligner.Seq, error) {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	return ParseReads(w, r, s.cfg.MaxRequestBytes)
+}
+
+// ParseReads decodes an align request body into native reads: a JSON
+// AlignRequest when the content type says JSON, a FASTQ document otherwise
+// (gzip sniffed transparently, matching the CLI's file handling). Wire
+// sequences are normalized exactly as this service does (N bases replaced
+// with A, bases packed), so any front end using this — the scatter/gather
+// router included — hands the engine, and re-serializes to other nodes,
+// byte-identical reads. Bodies over maxBytes surface as *http.MaxBytesError
+// (ParseStatus maps them to 413).
+func ParseReads(w http.ResponseWriter, r *http.Request, maxBytes int64) ([]meraligner.Seq, error) {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
 	ct := r.Header.Get("Content-Type")
 	if strings.Contains(ct, "json") {
 		var req client.AlignRequest
@@ -491,7 +502,7 @@ func (s *Server) parseReads(w http.ResponseWriter, r *http.Request) ([]meraligne
 		// MaxBytesReader bounded only the compressed bytes; cap the
 		// decompressed stream too, or a small gzip bomb expands unbounded.
 		// 8x leaves room for FASTQ's honest ~4x gzip ratio.
-		rd = &capReader{r: br, n: 8 * s.cfg.MaxRequestBytes}
+		rd = &capReader{r: br, n: 8 * maxBytes}
 	}
 	reads, err := seqio.ReadFastq(rd, seqio.ParseOptions{ReplaceN: true})
 	if err != nil {
@@ -501,7 +512,7 @@ func (s *Server) parseReads(w http.ResponseWriter, r *http.Request) ([]meraligne
 }
 
 // errDecompressedTooLarge marks a gzipped body whose expansion exceeded the
-// decompressed-size cap; parseStatus maps it to 413 like its compressed
+// decompressed-size cap; ParseStatus maps it to 413 like its compressed
 // counterpart.
 var errDecompressedTooLarge = errors.New("decompressed request body too large")
 
@@ -524,10 +535,10 @@ func (c *capReader) Read(p []byte) (int, error) {
 	return m, err
 }
 
-// parseStatus maps a request-parse failure to its HTTP status: 413 when
-// the body exceeded MaxRequestBytes compressed or its decompressed cap
-// (split the batch and retry), 400 for malformed input (don't retry).
-func parseStatus(err error) int {
+// ParseStatus maps a ParseReads failure to its HTTP status: 413 when the
+// body exceeded the byte bound compressed or its decompressed cap (split
+// the batch and retry), 400 for malformed input (don't retry).
+func ParseStatus(err error) int {
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) || errors.Is(err, errDecompressedTooLarge) {
 		return http.StatusRequestEntityTooLarge
@@ -581,7 +592,7 @@ func (t *tenant) handleAlign(w http.ResponseWriter, r *http.Request) {
 	s := t.s
 	reads, err := s.parseReads(w, r)
 	if err != nil {
-		s.writeError(w, r, parseStatus(err), &client.ErrorResponse{Error: err.Error()})
+		s.writeError(w, r, ParseStatus(err), &client.ErrorResponse{Error: err.Error()})
 		return
 	}
 	if er := t.admit(reads); er != nil {
@@ -730,7 +741,11 @@ func retryAfterSeconds(d time.Duration) string {
 }
 
 // buildResponse renders a window as the JSON wire response, naming targets
-// from the engine call's own pinned index (hot-swap safe).
+// from the engine call's own pinned index (hot-swap safe). Each read's
+// alignments are canonically ordered and carry a server-computed NM, so the
+// wire document is fully self-contained: a scatter/gather router can merge
+// shard responses and render SAM records byte-identical to this node's own
+// without ever seeing the target bases.
 func buildResponse(win *window) *client.AlignResponse {
 	res := win.slice()
 	reads := win.reads[win.lo:win.hi]
@@ -754,7 +769,11 @@ func buildResponse(win *window) *client.AlignResponse {
 			TStart: int(a.TStart), TEnd: int(a.TEnd),
 			Cigar: a.Cigar,
 			Exact: a.Exact,
+			NM:    meraligner.AlignmentNM(reads[a.Query], targets[a.Target], a),
 		})
+	}
+	for i := range out.Reads {
+		client.CanonicalizeAlignments(out.Reads[i].Alignments)
 	}
 	for _, qi := range res.TooShort {
 		out.Reads[qi].Status = client.StatusTooShort
@@ -793,7 +812,7 @@ func (t *tenant) handleAlignStream(w http.ResponseWriter, r *http.Request) {
 	s := t.s
 	reads, err := s.parseReads(w, r)
 	if err != nil {
-		s.writeError(w, r, parseStatus(err), &client.ErrorResponse{Error: err.Error()})
+		s.writeError(w, r, ParseStatus(err), &client.ErrorResponse{Error: err.Error()})
 		return
 	}
 	if er := t.admit(reads); er != nil {
@@ -968,6 +987,60 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is the readiness probe: 200 once the service can serve
+// traffic, 503 while it cannot (draining — and, in cmd/merserved, the whole
+// index build/open window before the real handler is installed answers 503
+// "warming" from the warming handler that fronts this server). Routers and
+// orchestrators gate traffic on this; /healthz stays the liveness probe.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+// TargetsOf renders one resident index's /v1/targets document: every target
+// name and length in @SQ order, the seed length, and the shard identity of
+// a shard snapshot. Exported for the scatter/gather router's loopback and
+// test paths.
+func TargetsOf(al *meraligner.Aligner) *client.TargetsResponse {
+	targets := al.Targets()
+	out := &client.TargetsResponse{
+		K:       al.IndexOptions().K,
+		Targets: make([]client.TargetInfo, len(targets)),
+	}
+	for i, t := range targets {
+		out.Targets[i] = client.TargetInfo{Name: t.Name, Length: t.Seq.Len()}
+	}
+	if si := al.ShardInfo(); si != nil {
+		out.Shard = &client.ShardMeta{ID: si.ID, Count: si.Count, TargetBase: si.TargetBase, FragmentBase: si.FragmentBase}
+	}
+	return out
+}
+
+// handleTargets serves the single-index reference catalog (GET /v1/targets):
+// the material a router needs to build the global SAM header and run
+// admission checks without holding any reference bases.
+func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, TargetsOf(s.cfg.Aligner))
+}
+
+// handleRefTargets is handleTargets for one reference of a catalog server
+// (GET /v1/{ref}/targets). The acquisition pins the index only while the
+// response is built — names and lengths are materialized, not aliased.
+func (s *Server) handleRefTargets(w http.ResponseWriter, r *http.Request) {
+	hdl, err := s.cat.Acquire(r.PathValue("ref"))
+	if err != nil {
+		s.acquireError(w, r, err)
+		return
+	}
+	resp := TargetsOf(hdl.Aligner())
+	hdl.Release()
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 // snapshotStats renders one tenant's wire Stats.

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/lbl-repro/meraligner/client"
+)
+
+func TestReadyzProbe(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ready\n" {
+		t.Fatalf("readyz = %d %q, want 200 ready", resp.StatusCode, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || string(body) != "draining\n" {
+		t.Fatalf("readyz while draining = %d %q, want 503 draining", resp.StatusCode, body)
+	}
+}
+
+func TestTargetsEndpoint(t *testing.T) {
+	al, _ := fixture(t)
+	_, ts := newTestServer(t, nil)
+
+	resp, err := http.Get(ts.URL + "/v1/targets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/targets = %d", resp.StatusCode)
+	}
+	var out client.TargetsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.K != al.IndexOptions().K {
+		t.Fatalf("K = %d, want %d", out.K, al.IndexOptions().K)
+	}
+	if out.Shard != nil {
+		t.Fatalf("unsharded index reports shard meta %+v", out.Shard)
+	}
+	targets := al.Targets()
+	if len(out.Targets) != len(targets) {
+		t.Fatalf("%d targets on the wire, index holds %d", len(out.Targets), len(targets))
+	}
+	for i, ti := range out.Targets {
+		if ti.Name != targets[i].Name || ti.Length != targets[i].Seq.Len() {
+			t.Fatalf("target %d = %+v, want %s/%d", i, ti, targets[i].Name, targets[i].Seq.Len())
+		}
+	}
+}

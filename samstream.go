@@ -3,6 +3,7 @@ package meraligner
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"github.com/lbl-repro/meraligner/internal/align"
 	"github.com/lbl-repro/meraligner/internal/dna"
@@ -69,7 +70,82 @@ func (s *SAMStream) WriteRange(res *Results, queries []Seq, lo, hi int) error {
 // Flush flushes buffered output; call once after the final batch.
 func (s *SAMStream) Flush() error { return s.sw.Flush() }
 
+// CanonicalizeAlignments sorts one read's alignments into the canonical
+// deterministic output order: score descending, then target name, target
+// start, strand (forward first), query start, query end, target end, and
+// finally cigar. The engine's raw order depends on seed traversal and is
+// not reconstructible from the records themselves; every output face (SAM
+// here, the JSON wire response in internal/service, and the scatter/gather
+// router merging per-shard results in internal/cluster) applies this one
+// rule, so any server topology over the same index contents emits
+// byte-identical documents. Every tie-break key is wire-visible — the
+// comparison never touches target indexes or sequences — which is exactly
+// what lets a router that only sees wire alignments reproduce the order.
+func CanonicalizeAlignments(targets []Seq, as []Alignment) {
+	if len(as) < 2 {
+		return
+	}
+	sort.SliceStable(as, func(i, j int) bool {
+		x, y := &as[i], &as[j]
+		if x.Score != y.Score {
+			return x.Score > y.Score
+		}
+		nx, ny := targets[x.Target].Name, targets[y.Target].Name
+		if nx != ny {
+			return nx < ny
+		}
+		if x.TStart != y.TStart {
+			return x.TStart < y.TStart
+		}
+		if x.RC != y.RC {
+			return !x.RC
+		}
+		if x.QStart != y.QStart {
+			return x.QStart < y.QStart
+		}
+		if x.QEnd != y.QEnd {
+			return x.QEnd < y.QEnd
+		}
+		if x.TEnd != y.TEnd {
+			return x.TEnd < y.TEnd
+		}
+		return x.Cigar < y.Cigar
+	})
+}
+
+// AlignmentNM computes the SAM NM tag (edit distance) of one alignment of
+// read q against target t: mismatches inside M runs plus all inserted and
+// deleted bases, walked from the cigar exactly as the SAM writer does. An
+// empty cigar means a pure match of QEnd-QStart bases (the exact-path
+// convention). Returns -1 when the tag cannot be derived — unparseable
+// cigar or coordinates outside either sequence — matching the writer's
+// omit-the-tag convention. Shard servers compute this so a router can
+// render SAM records without holding any target bases.
+func AlignmentNM(q Seq, t Seq, a Alignment) int {
+	body := a.Cigar
+	if body == "" {
+		body = fmt.Sprintf("%dM", a.QEnd-a.QStart)
+	}
+	ops, ok := parseCigar(body)
+	if !ok {
+		return -1
+	}
+	seq := q.Seq
+	if a.RC {
+		seq = seq.ReverseComplement()
+	}
+	if int(a.TStart) < 0 || int(a.TEnd) > t.Seq.Len() || a.TStart > a.TEnd {
+		return -1
+	}
+	nm, ok := editDistance(ops, seq.Codes(), int(a.QStart), t.Seq, int(a.TStart), int(a.TEnd))
+	if !ok {
+		return -1
+	}
+	return nm
+}
+
 func (s *SAMStream) writeQuery(q Seq, as []Alignment) error {
+	CanonicalizeAlignments(s.targets, as)
 	if len(as) == 0 {
 		return s.sw.Write(seqio.SAMRecord{
 			QName: q.Name, Flag: seqio.FlagUnmapped,

@@ -1,0 +1,82 @@
+package meraligner
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/lbl-repro/meraligner/internal/core"
+)
+
+// Reference sharding: the producer half of the distributed alignment tier.
+// SaveShards cuts one reference into N contiguous, base-balanced target
+// slices and writes each as a self-contained .merx snapshot — a normal
+// single-node index over its slice plus a SHRD section recording the
+// shard's place in the fleet. Each snapshot is served by an ordinary
+// merserved; a scatter/gather router (internal/cluster, cmd/merrouted)
+// fans queries across the fleet and merges per-read results back into the
+// exact output a single whole-reference node would have produced. Targets
+// keep their global names and per-target coordinates, so shard alignments
+// need no rebasing — the SHRD offsets exist for fleet-consistency checks
+// and for reasoning about global target/fragment ids.
+
+// ShardInfo is one shard's identity within a sharded reference: its
+// position, the fleet size, and the global target/fragment offsets of its
+// slice (see the SHRD section spec in docs/INDEX_FORMAT.md).
+type ShardInfo = core.ShardInfo
+
+// ShardInfo returns the shard identity of the resident index, or nil when
+// it covers a whole (unsharded) reference. Shard snapshots get their
+// identity from `meraligner -shard-save` via SaveShards.
+func (a *Aligner) ShardInfo() *ShardInfo {
+	return a.ix.ShardInfo()
+}
+
+// ShardRanges computes the contiguous [lo, hi) target ranges SaveShards
+// would build, balanced by total bases (the partition of §II-A). Exposed so
+// tooling can predict or display a sharding without building anything.
+func ShardRanges(targets []Seq, n int) ([][2]int, error) {
+	return core.ShardRanges(targets, n)
+}
+
+// SaveShards partitions targets into n shards and writes one index
+// snapshot per shard under dir as shard-000.merx, shard-001.merx, ...,
+// returning the written paths in shard order. Each shard's index is built
+// independently with opt (identical K and build options across the fleet —
+// a router refuses mixed-K fleets); threads sizes each build's worker pool.
+// Snapshot writes are atomic, but the set is not transactional: a failure
+// partway leaves the already-written shards on disk for the caller to
+// clean up or resume over.
+func SaveShards(threads int, opt IndexOptions, targets []Seq, n int, dir string) ([]string, error) {
+	ranges, err := core.ShardRanges(targets, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("meraligner: creating shard directory: %w", err)
+	}
+	paths := make([]string, 0, n)
+	targetBase, fragmentBase := 0, 0
+	for id, r := range ranges {
+		slice := targets[r[0]:r[1]]
+		ix, err := core.BuildIndex(threads, opt, slice)
+		if err != nil {
+			return paths, fmt.Errorf("meraligner: building shard %d/%d: %w", id, n, err)
+		}
+		if err := ix.SetShardInfo(core.ShardInfo{
+			ID: id, Count: n, TargetBase: targetBase, FragmentBase: fragmentBase,
+		}); err != nil {
+			return paths, err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("shard-%03d.merx", id))
+		if err := ix.Save(path); err != nil {
+			return paths, fmt.Errorf("meraligner: saving shard %d/%d: %w", id, n, err)
+		}
+		paths = append(paths, path)
+		targetBase += len(slice)
+		for _, t := range slice {
+			fragmentBase += core.CountTargetFragments(t.Seq.Len(), opt.K, opt.FragmentLen)
+		}
+	}
+	return paths, nil
+}
