@@ -30,6 +30,7 @@ import (
 	"time"
 
 	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
 // Read is one query read on the wire.
@@ -136,6 +137,10 @@ type ErrorResponse struct {
 	// TooShort names the reads shorter than the seed length K when the
 	// request was rejected with 400 for that reason.
 	TooShort []string `json:"too_short,omitempty"`
+	// RequestID echoes the request's trace identifier (also in the
+	// X-Request-Id response header), so a failed call can be correlated
+	// with server-side logs and /debug/requests traces.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Stats is the JSON body of GET /v1/stats (single-index servers) and of
@@ -516,6 +521,7 @@ func (c *Client) getJSON(ctx context.Context, url string, out any) error {
 		if err != nil {
 			return err
 		}
+		telemetry.Inject(ctx, req.Header)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return err
@@ -565,6 +571,7 @@ func (c *Client) post(ctx context.Context, path string, req AlignRequest, accept
 		}
 		hreq.Header.Set("Content-Type", "application/json")
 		hreq.Header.Set("Accept", accept)
+		telemetry.Inject(ctx, hreq.Header)
 		resp, err := c.hc.Do(hreq)
 		if err != nil {
 			return err

@@ -48,6 +48,7 @@ import (
 	"github.com/lbl-repro/meraligner"
 	"github.com/lbl-repro/meraligner/internal/buildinfo"
 	"github.com/lbl-repro/meraligner/internal/seqio"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
 func main() {
@@ -74,7 +75,13 @@ func main() {
 		verbose     = flag.Bool("v", false, "print build/align timing summary to stderr")
 	)
 	bi := buildinfo.Register(flag.CommandLine)
+	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if logger, err := logOpts.Logger("meraligner: "); err != nil {
+		log.Fatal(err)
+	} else {
+		telemetry.CaptureStdLog(logger)
+	}
 	stopProfile, err := bi.Apply("meraligner")
 	if err != nil {
 		log.Fatal(err)

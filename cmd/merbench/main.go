@@ -24,6 +24,7 @@ import (
 
 	"github.com/lbl-repro/meraligner/internal/buildinfo"
 	"github.com/lbl-repro/meraligner/internal/expt"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
 func main() {
@@ -41,7 +42,13 @@ func main() {
 		outPath    = flag.String("o", "", "also write the reports to this file")
 	)
 	bi := buildinfo.Register(flag.CommandLine)
+	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if logger, err := logOpts.Logger("merbench: "); err != nil {
+		log.Fatal(err)
+	} else {
+		telemetry.CaptureStdLog(logger)
+	}
 	stopProfile, err := bi.Apply("merbench")
 	if err != nil {
 		log.Fatal(err)

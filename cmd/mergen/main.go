@@ -19,6 +19,7 @@ import (
 	"github.com/lbl-repro/meraligner/internal/buildinfo"
 	"github.com/lbl-repro/meraligner/internal/genome"
 	"github.com/lbl-repro/meraligner/internal/seqio"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
 func main() {
@@ -37,7 +38,13 @@ func main() {
 		outPrefix = flag.String("out-prefix", "workload", "output prefix: <p>.contigs.fa, <p>.reads.fq, <p>.genome.fa")
 	)
 	bi := buildinfo.Register(flag.CommandLine)
+	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if logger, err := logOpts.Logger("mergen: "); err != nil {
+		log.Fatal(err)
+	} else {
+		telemetry.CaptureStdLog(logger)
+	}
 	stopProfile, err := bi.Apply("mergen")
 	if err != nil {
 		log.Fatal(err)

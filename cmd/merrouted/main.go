@@ -12,6 +12,8 @@
 //	          [-addr :8491] [-degraded fail|partial]
 //	          [-call-timeout 15s] [-retries 3] [-health-interval 2s]
 //	          [-max-batch 256] [-max-wait 2ms] [-queue 1024] [-v]
+//	          [-log-level info] [-log-format text|json]
+//	          [-slow-request-ms 0] [-debug-addr 127.0.0.1:0]
 //
 // -shards lists the fleet in shard order; the router validates each
 // shard's SHRD identity against its position at warmup and stays 503
@@ -24,6 +26,13 @@
 // Endpoints: POST /v1/align, GET /v1/stats, /v1/targets, /healthz,
 // /readyz, /metrics (merrouted_* and per-shard merrouted_shard_* series).
 // SIGINT/SIGTERM drain gracefully.
+//
+// Observability: align requests carry a request ID propagated to every
+// shard (traceparent / X-Request-Id) and echoed in the response header,
+// error bodies, and -log-level debug request logs. -slow-request-ms logs
+// a full span trace at warn for slow requests. -debug-addr starts a
+// private listener with /debug/pprof/ and /debug/requests — bind it to
+// localhost only; it is not for public exposure.
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"github.com/lbl-repro/meraligner/client"
 	"github.com/lbl-repro/meraligner/internal/buildinfo"
 	"github.com/lbl-repro/meraligner/internal/cluster"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
 func main() {
@@ -60,14 +70,27 @@ func main() {
 		queueReads  = flag.Int("queue", 0, "admission bound on queued reads (0 = 4*max-batch)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM")
 		verbose     = flag.Bool("v", false, "log per-request summaries")
+		slowMs      = flag.Int("slow-request-ms", 0, "log a full span trace at warn for requests at least this slow (0 disables)")
+		debugAddr   = flag.String("debug-addr", "", "private debug listener with /debug/pprof/ and /debug/requests (bind to localhost only; empty disables)")
 	)
 	bi := buildinfo.Register(flag.CommandLine)
+	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logOpts.Logger("merrouted: ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	telemetry.CaptureStdLog(logger)
 	stopProfile, err := bi.Apply("merrouted")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer stopProfile()
+	fatal := func(err error) {
+		logger.Error(err.Error())
+		stopProfile()
+		os.Exit(1)
+	}
 
 	var shards []string
 	for _, part := range strings.Split(*shardsFlag, ",") {
@@ -95,17 +118,27 @@ func main() {
 		QueueReads:     *queueReads,
 		HealthInterval: *healthEvery,
 		Version:        buildinfo.Version,
+		Logger:         logger,
+		SlowRequest:    time.Duration(*slowMs) * time.Millisecond,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	log.Printf("scattering over %d shard(s), degraded policy %q", len(shards), *degraded)
+	logger.Info(fmt.Sprintf("scattering over %d shard(s), degraded policy %q", len(shards), *degraded))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	log.Printf("listening on %s", ln.Addr())
+	logger.Info("listening on " + ln.Addr().String())
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(fmt.Errorf("-debug-addr: %w", err))
+		}
+		logger.Info("debug listening on " + dln.Addr().String())
+		go func() { _ = http.Serve(dln, telemetry.NewDebugMux(rt.TraceRing())) }()
+	}
 
 	var handler http.Handler = rt
 	if *verbose {
@@ -120,27 +153,27 @@ func main() {
 
 	select {
 	case err := <-done:
-		log.Fatal(err)
+		fatal(err)
 	case <-ctx.Done():
 	}
 	stopSignals()
-	log.Printf("signal received, draining (deadline %s)", *drainWait)
+	logger.Info(fmt.Sprintf("signal received, draining (deadline %s)", *drainWait))
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	clean := true
 	if err := rt.Drain(drainCtx); err != nil {
-		log.Printf("drain incomplete: %v (in-flight work aborted)", err)
+		logger.Warn(fmt.Sprintf("drain incomplete: %v (in-flight work aborted)", err))
 		clean = false
 	}
 	if err := hs.Shutdown(drainCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn(fmt.Sprintf("http shutdown: %v", err))
 		clean = false
 	}
 	if !clean {
 		stopProfile()
 		os.Exit(1)
 	}
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 }
 
 // logRequests is a minimal access log for -v.

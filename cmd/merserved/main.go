@@ -14,6 +14,8 @@
 //	merserved -router -shards http://h1:8490,http://h2:8490,...
 //	          [-degraded fail|partial] [-call-timeout 15s] [-retries 3]
 //	          [-health-interval 2s] ...
+//	merserved ... [-log-level info] [-log-format text|json]
+//	          [-slow-request-ms 0] [-debug-addr 127.0.0.1:0]
 //
 // With -index the server memory-maps a .merx snapshot written by
 // `meraligner -save-index` instead of building: warm start in
@@ -46,6 +48,14 @@
 // per-reference under /v1/<ref>/ in catalog mode, plus GET /v1/refs.
 // Responses honor Accept-Encoding: gzip. SIGINT/SIGTERM drain gracefully:
 // health flips to 503, queued requests finish, then the listener closes.
+//
+// Observability: every align request carries a request ID (minted, or
+// adopted from traceparent / X-Request-Id) echoed in the X-Request-Id
+// response header, error bodies, and -log-level debug request logs.
+// -slow-request-ms logs a full span trace at warn for slow requests.
+// -debug-addr starts a second, private listener with /debug/pprof/ and
+// /debug/requests (recent request traces) — bind it to localhost only;
+// it is not for public exposure.
 package main
 
 import (
@@ -70,6 +80,7 @@ import (
 	"github.com/lbl-repro/meraligner/internal/buildinfo"
 	"github.com/lbl-repro/meraligner/internal/cluster"
 	"github.com/lbl-repro/meraligner/internal/service"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
 func main() {
@@ -94,6 +105,8 @@ func main() {
 		noExact     = flag.Bool("no-exact", false, "disable the exact-match optimization (§IV-A)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM")
 		verbose     = flag.Bool("v", false, "log per-request summaries")
+		slowMs      = flag.Int("slow-request-ms", 0, "log a full span trace at warn for requests at least this slow (0 disables)")
+		debugAddr   = flag.String("debug-addr", "", "private debug listener with /debug/pprof/ and /debug/requests (bind to localhost only; empty disables)")
 
 		routerMode  = flag.Bool("router", false, "scatter/gather router mode over a shard fleet (requires -shards)")
 		shardsFlag  = flag.String("shards", "", "comma-separated shard base URLs in shard order (router mode)")
@@ -103,12 +116,25 @@ func main() {
 		healthEvery = flag.Duration("health-interval", 2*time.Second, "shard readiness probe interval (router mode)")
 	)
 	bi := buildinfo.Register(flag.CommandLine)
+	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logOpts.Logger("merserved: ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Route stray log.Printf (libraries, and this file's lifecycle lines)
+	// through the structured logger so every line honors -log-format.
+	telemetry.CaptureStdLog(logger)
 	stopProfile, err := bi.Apply("merserved")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer stopProfile()
+	fatal := func(err error) {
+		logger.Error(err.Error())
+		stopProfile()
+		os.Exit(1)
+	}
 
 	modes := 0
 	for _, set := range []bool{*targetsPath != "", *indexPath != "", *indexDir != "", *routerMode} {
@@ -131,13 +157,13 @@ func main() {
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "k" || f.Name == "no-exact" {
-				log.Fatalf("-%s is a build-time option; it is stored in the snapshot and cannot be set with %s", f.Name, mode)
+				fatal(fmt.Errorf("-%s is a build-time option; it is stored in the snapshot and cannot be set with %s", f.Name, mode))
 			}
 		})
 	}
 	budget, err := parseBytes(*budgetStr)
 	if err != nil {
-		log.Fatalf("-resident-budget: %v", err)
+		fatal(fmt.Errorf("-resident-budget: %v", err))
 	}
 
 	// Bind before any heavy work: orchestrators see the port immediately and
@@ -145,9 +171,9 @@ func main() {
 	// handler swaps in below.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	log.Printf("listening on %s", ln.Addr())
+	logger.Info("listening on " + ln.Addr().String())
 	var sw swapHandler
 	sw.set(warmingHandler())
 	var handler http.Handler = &sw
@@ -163,10 +189,11 @@ func main() {
 	var app interface {
 		Drain(context.Context) error
 	}
+	var ring *telemetry.Ring
 	if *routerMode {
 		shards := splitShards(*shardsFlag)
 		if len(shards) == 0 {
-			log.Fatal("-router requires -shards with at least one base URL")
+			fatal(fmt.Errorf("-router requires -shards with at least one base URL"))
 		}
 		rt, err := cluster.New(cluster.Config{
 			Shards:         shards,
@@ -178,13 +205,16 @@ func main() {
 			QueueReads:     *queueReads,
 			HealthInterval: *healthEvery,
 			Version:        buildinfo.Version,
+			Logger:         logger,
+			SlowRequest:    time.Duration(*slowMs) * time.Millisecond,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		log.Printf("router mode: scattering over %d shard(s), degraded policy %q", len(shards), *degraded)
+		logger.Info(fmt.Sprintf("router mode: scattering over %d shard(s), degraded policy %q", len(shards), *degraded))
 		sw.set(rt)
 		app = rt
+		ring = rt.TraceRing()
 	} else {
 		iopt := meraligner.DefaultIndexOptions(*k)
 		iopt.ExactMatch = !*noExact
@@ -200,6 +230,8 @@ func main() {
 			Workers:           *threads,
 			MaxInflightPerRef: *maxInflight,
 			Version:           buildinfo.Version,
+			Logger:            logger,
+			SlowRequest:       time.Duration(*slowMs) * time.Millisecond,
 		}
 		if *indexDir != "" {
 			cfg.IndexDir = *indexDir
@@ -209,7 +241,7 @@ func main() {
 			if budget > 0 {
 				budgetDesc = fmt.Sprintf("~%d MiB", budget>>20)
 			}
-			log.Printf("catalog mode: serving *%s from %s (resident budget %s)", service.SnapshotExt, *indexDir, budgetDesc)
+			logger.Info(fmt.Sprintf("catalog mode: serving *%s from %s (resident budget %s)", service.SnapshotExt, *indexDir, budgetDesc))
 		} else {
 			buildStart := time.Now()
 			var al *meraligner.Aligner
@@ -219,7 +251,7 @@ func main() {
 				al, err = meraligner.BuildFiles(*threads, iopt, *targetsPath)
 			}
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			defer al.Close()
 			verb := "built"
@@ -227,46 +259,55 @@ func main() {
 				verb = "mapped"
 			}
 			st := al.IndexStats()
-			log.Printf("index %s in %.3fs (k=%d): %d targets, %d distinct seeds, %d locations, ~%d MiB resident",
-				verb, time.Since(buildStart).Seconds(), al.IndexOptions().K, len(al.Targets()), st.DistinctSeeds, st.TotalLocs, al.ResidentBytes()>>20)
+			logger.Info(fmt.Sprintf("index %s in %.3fs (k=%d): %d targets, %d distinct seeds, %d locations, ~%d MiB resident",
+				verb, time.Since(buildStart).Seconds(), al.IndexOptions().K, len(al.Targets()), st.DistinctSeeds, st.TotalLocs, al.ResidentBytes()>>20))
 			cfg.Aligner = al
 		}
 
 		srv, err := service.New(cfg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		sw.set(srv)
 		app = srv
+		ring = srv.TraceRing()
+	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(fmt.Errorf("-debug-addr: %w", err))
+		}
+		logger.Info("debug listening on " + dln.Addr().String())
+		go func() { _ = http.Serve(dln, telemetry.NewDebugMux(ring)) }()
 	}
 
 	// Graceful drain: stop admission, flush the batcher, then close the
 	// listener so in-flight responses finish writing.
 	select {
 	case err := <-done:
-		log.Fatal(err)
+		fatal(err)
 	case <-ctx.Done():
 	}
 	// Restore default signal handling: a second SIGINT/SIGTERM during the
 	// drain kills the process instead of being swallowed.
 	stopSignals()
-	log.Printf("signal received, draining (deadline %s)", *drainWait)
+	logger.Info(fmt.Sprintf("signal received, draining (deadline %s)", *drainWait))
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	clean := true
 	if err := app.Drain(drainCtx); err != nil {
-		log.Printf("drain incomplete: %v (in-flight work aborted)", err)
+		logger.Warn(fmt.Sprintf("drain incomplete: %v (in-flight work aborted)", err))
 		clean = false
 	}
 	if err := hs.Shutdown(drainCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn(fmt.Sprintf("http shutdown: %v", err))
 		clean = false
 	}
 	if !clean {
 		stopProfile()
 		os.Exit(1)
 	}
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 }
 
 // swapHandler lets the real handler be installed after the listener is

@@ -17,6 +17,7 @@ import (
 
 	"github.com/lbl-repro/meraligner/internal/buildinfo"
 	"github.com/lbl-repro/meraligner/internal/seqio"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
 func main() {
@@ -30,7 +31,13 @@ func main() {
 		chunk   = flag.Int("chunk", 4096, "records per chunk when writing SeqDB")
 	)
 	bi := buildinfo.Register(flag.CommandLine)
+	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if logger, err := logOpts.Logger("seqdb: "); err != nil {
+		log.Fatal(err)
+	} else {
+		telemetry.CaptureStdLog(logger)
+	}
 	stopProfile, err := bi.Apply("seqdb")
 	if err != nil {
 		log.Fatal(err)

@@ -43,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -54,6 +55,7 @@ import (
 	"github.com/lbl-repro/meraligner/client"
 	"github.com/lbl-repro/meraligner/internal/seqio"
 	"github.com/lbl-repro/meraligner/internal/service"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
 // Degraded policies: what a Router serves when a shard stays down after
@@ -113,6 +115,18 @@ type Config struct {
 	// HTTPClient overrides the shard clients' *http.Client (transport
 	// limits, test doubles).
 	HTTPClient *http.Client
+
+	// Logger receives the router's structured logs (request completions at
+	// debug, slow requests at warn, shard health transitions). Nil discards.
+	Logger *slog.Logger
+
+	// SlowRequest, when positive, logs a full span trace at warn level for
+	// any request that takes at least this long.
+	SlowRequest time.Duration
+
+	// TraceCapacity bounds the /debug/requests ring of completed request
+	// traces. Zero means telemetry.DefaultRingCapacity.
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -162,21 +176,19 @@ type shard struct {
 	cl   *client.Client
 
 	up       atomic.Bool
-	calls    atomic.Int64 // RPC attempts issued
-	retries  atomic.Int64 // attempts beyond a call's first
-	errors   atomic.Int64 // calls that exhausted their retries
-	inflight atomic.Int64 // calls in flight
-	lat      hist         // per-attempt wall time
+	calls    atomic.Int64   // RPC attempts issued
+	retries  atomic.Int64   // attempts beyond a call's first
+	errors   atomic.Int64   // calls that exhausted their retries
+	inflight atomic.Int64   // calls in flight
+	lat      telemetry.Hist // per-attempt wall time
 }
 
 // align runs one align RPC against the shard under the retry policy,
-// counting every attempt.
-func (sh *shard) align(ctx context.Context, pol client.RetryPolicy, req client.AlignRequest) (*client.AlignResponse, error) {
+// counting every attempt; the attempt count feeds the caller's rpc span.
+func (sh *shard) align(ctx context.Context, pol client.RetryPolicy, req client.AlignRequest) (resp *client.AlignResponse, attempts int, err error) {
 	sh.inflight.Add(1)
 	defer sh.inflight.Add(-1)
-	var resp *client.AlignResponse
-	attempts := 0
-	err := pol.Do(ctx, func(actx context.Context) error {
+	err = pol.Do(ctx, func(actx context.Context) error {
 		attempts++
 		if attempts > 1 {
 			sh.retries.Add(1)
@@ -184,7 +196,7 @@ func (sh *shard) align(ctx context.Context, pol client.RetryPolicy, req client.A
 		sh.calls.Add(1)
 		t0 := time.Now()
 		r, rerr := sh.cl.Align(actx, req)
-		sh.lat.observe(time.Since(t0).Nanoseconds())
+		sh.lat.Observe(time.Since(t0).Nanoseconds())
 		if rerr != nil {
 			return rerr
 		}
@@ -193,9 +205,9 @@ func (sh *shard) align(ctx context.Context, pol client.RetryPolicy, req client.A
 	})
 	if err != nil {
 		sh.errors.Add(1)
-		return nil, err
+		return nil, attempts, err
 	}
-	return resp, nil
+	return resp, attempts, nil
 }
 
 // targets fetches the shard's reference catalog under the retry policy
@@ -222,8 +234,8 @@ func (sh *shard) status() client.ShardStatus {
 		Retries:   sh.retries.Load(),
 		Errors:    sh.errors.Load(),
 		Inflight:  sh.inflight.Load(),
-		CallP50Ms: sh.lat.quantile(0.50) / 1e6,
-		CallP99Ms: sh.lat.quantile(0.99) / 1e6,
+		CallP50Ms: sh.lat.Quantile(0.50) / 1e6,
+		CallP99Ms: sh.lat.Quantile(0.99) / 1e6,
 	}
 }
 
@@ -238,10 +250,12 @@ type fleetCatalog struct {
 // Router is the scatter/gather HTTP tier. Create with New, serve with
 // net/http, stop with Drain (graceful) or Close (hard).
 type Router struct {
-	cfg  Config
-	mux  *http.ServeMux
-	coal *coalescer
-	st   *routerStats
+	cfg    Config
+	mux    *http.ServeMux
+	coal   *coalescer
+	st     *routerStats
+	logger *slog.Logger
+	ring   *telemetry.Ring
 
 	shards []*shard
 
@@ -269,6 +283,11 @@ func New(cfg Config) (*Router, error) {
 	}
 	cfg = cfg.withDefaults()
 	rt := &Router{cfg: cfg, st: newRouterStats()}
+	rt.logger = cfg.Logger
+	if rt.logger == nil {
+		rt.logger = slog.New(slog.DiscardHandler)
+	}
+	rt.ring = telemetry.NewRing(cfg.TraceCapacity)
 	rt.baseCtx, rt.cancel = context.WithCancel(context.Background())
 	for i, addr := range cfg.Shards {
 		opts := []client.Option{}
@@ -280,7 +299,7 @@ func New(cfg Config) (*Router, error) {
 	rt.coal = newCoalescer(rt.baseCtx, rt.scatter, cfg.MaxBatch, cfg.MaxWait, cfg.QueueReads, rt.st)
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/align", rt.handleAlign)
+	mux.HandleFunc("POST /v1/align", rt.traced(rt.handleAlign))
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	mux.HandleFunc("GET /v1/targets", rt.handleTargets)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
@@ -299,6 +318,48 @@ func New(cfg Config) (*Router, error) {
 
 // ServeHTTP implements http.Handler.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// TraceRing exposes the ring of completed request traces for a debug
+// listener (telemetry.NewDebugMux).
+func (rt *Router) TraceRing() *telemetry.Ring { return rt.ring }
+
+// traced wraps an align handler with request tracing: extract or mint the
+// span context, echo X-Request-Id, record the trace into the debug ring,
+// and log the completion (warn with the full span summary when the request
+// was slower than cfg.SlowRequest).
+func (rt *Router) traced(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sc, _ := telemetry.Extract(r.Header)
+		tr := telemetry.NewTrace(sc, r.URL.Path)
+		w.Header().Set(telemetry.HeaderRequestID, sc.RequestID())
+		sw := &telemetry.StatusRecorder{ResponseWriter: w, Code: http.StatusOK}
+		aborted := true
+		defer func() { rt.finishTrace(tr, sw, aborted) }()
+		h(sw, r.WithContext(telemetry.WithTrace(r.Context(), tr)))
+		aborted = false
+	}
+}
+
+func (rt *Router) finishTrace(tr *telemetry.Trace, sw *telemetry.StatusRecorder, aborted bool) {
+	rec := tr.Finish(sw.Code)
+	rt.ring.Add(rec)
+	attrs := []any{
+		"request_id", rec.RequestID,
+		"path", rec.Path,
+		"status", rec.Status,
+		"reads", rec.Reads,
+		"duration_ms", float64(rec.DurationUs) / 1e3,
+	}
+	if aborted {
+		attrs = append(attrs, "aborted", true)
+	}
+	if rt.cfg.SlowRequest > 0 && time.Duration(rec.DurationUs)*time.Microsecond >= rt.cfg.SlowRequest {
+		attrs = append(attrs, "spans", rec.SpanSummary())
+		rt.logger.Warn("slow request", attrs...)
+		return
+	}
+	rt.logger.Debug("request", attrs...)
+}
 
 // Ready reports whether the fleet catalog has been assembled and validated
 // (the /readyz condition, minus draining).
@@ -338,6 +399,8 @@ func (rt *Router) warm() {
 		cat, err := rt.assembleCatalog(rt.baseCtx)
 		if err == nil {
 			rt.cat.Store(cat)
+			rt.logger.Info("fleet catalog assembled",
+				"shards", len(rt.shards), "k", cat.k, "targets", len(cat.targets))
 			return
 		}
 		msg := err.Error()
@@ -402,7 +465,14 @@ func (rt *Router) health(sh *shard) {
 	defer rt.bg.Done()
 	probe := func() {
 		ctx, cancel := context.WithTimeout(rt.baseCtx, rt.cfg.HealthInterval)
-		sh.up.Store(sh.cl.Ready(ctx) == nil)
+		up := sh.cl.Ready(ctx) == nil
+		if sh.up.Swap(up) != up {
+			if up {
+				rt.logger.Info("shard up", "shard", sh.id, "addr", sh.addr)
+			} else {
+				rt.logger.Warn("shard down", "shard", sh.id, "addr", sh.addr)
+			}
+		}
 		cancel()
 	}
 	probe()
@@ -424,12 +494,16 @@ func (rt *Router) scatter(ctx context.Context, reads []meraligner.Seq) (*gather,
 	req := client.AlignRequest{Reads: client.FromSeqs(reads)}
 	resps := make([]*client.AlignResponse, len(rt.shards))
 	errs := make([]error, len(rt.shards))
+	calls := make([]rpcCall, len(rt.shards))
 	var wg sync.WaitGroup
 	for i, sh := range rt.shards {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
-			resps[i], errs[i] = sh.align(ctx, rt.cfg.Retry, req)
+			t0 := time.Now()
+			resp, attempts, err := sh.align(ctx, rt.cfg.Retry, req)
+			calls[i] = rpcCall{shard: sh.id, addr: sh.addr, start: t0, dur: time.Since(t0), attempts: attempts, err: err}
+			resps[i], errs[i] = resp, err
 		}(i, sh)
 	}
 	wg.Wait()
@@ -439,6 +513,7 @@ func (rt *Router) scatter(ctx context.Context, reads []meraligner.Seq) (*gather,
 			// unreachable one — its data cannot be trusted into a merge.
 			errs[i] = fmt.Errorf("protocol violation: %d results for %d reads", len(resp.Reads), len(reads))
 			resps[i] = nil
+			calls[i].err = errs[i]
 			rt.shards[i].errors.Add(1)
 		}
 	}
@@ -457,7 +532,11 @@ func (rt *Router) scatter(ctx context.Context, reads []meraligner.Seq) (*gather,
 			degraded = append(degraded, f.Addr)
 		}
 	}
-	return &gather{results: mergeResults(reads, resps), degraded: degraded}, nil
+	g := &gather{results: mergeResults(reads, resps), degraded: degraded, calls: calls}
+	if sc, ok := telemetry.SpanContextFrom(ctx); ok {
+		g.carrier = sc.RequestID()
+	}
+	return g, nil
 }
 
 // serve is the request-serving core: big requests scatter directly with the
@@ -469,12 +548,13 @@ func (rt *Router) serve(ctx context.Context, reads []meraligner.Seq) (*cwindow, 
 	if len(reads) >= rt.cfg.MaxBatch {
 		rt.coal.enterDirect()
 		g, err := rt.scatter(ctx, reads)
+		finished := time.Now()
 		rt.coal.exitDirect()
 		if err != nil {
 			return nil, err
 		}
 		rt.st.observeBatch(1, len(reads))
-		win = &cwindow{g: g, lo: 0, hi: len(reads)}
+		win = &cwindow{g: g, lo: 0, hi: len(reads), enq: start, disp: start, done: finished, requests: 1}
 	} else {
 		var err error
 		if win, err = rt.coal.submit(ctx, reads); err != nil {
@@ -483,7 +563,7 @@ func (rt *Router) serve(ctx context.Context, reads []meraligner.Seq) (*cwindow, 
 	}
 	rt.st.requests.Add(1)
 	rt.st.reads.Add(int64(len(reads)))
-	rt.st.reqLatency.observe(time.Since(start).Nanoseconds())
+	rt.st.reqLatency.Observe(time.Since(start).Nanoseconds())
 	return win, nil
 }
 
@@ -521,6 +601,8 @@ func (rt *Router) handleAlign(w http.ResponseWriter, r *http.Request) {
 		rt.warming(w, r)
 		return
 	}
+	tr := telemetry.TraceFrom(r.Context())
+	admitStart := time.Now()
 	reads, err := service.ParseReads(w, r, rt.cfg.MaxRequestBytes)
 	if err != nil {
 		rt.writeError(w, r, service.ParseStatus(err), &client.ErrorResponse{Error: err.Error()})
@@ -530,16 +612,22 @@ func (rt *Router) handleAlign(w http.ResponseWriter, r *http.Request) {
 		rt.writeError(w, r, http.StatusBadRequest, er)
 		return
 	}
+	if tr != nil {
+		tr.Add("admission", admitStart, time.Since(admitStart), func(sp *telemetry.Span) { sp.Reads = len(reads) })
+		tr.AddReads(len(reads))
+	}
 	win, err := rt.serve(r.Context(), reads)
 	if err != nil {
 		rt.routerError(w, r, err)
 		return
 	}
+	win.record(tr)
 	results := win.g.results[win.lo:win.hi]
 	degraded := win.g.degraded
 	if len(degraded) > 0 {
 		rt.st.degradedServed.Add(1)
 	}
+	renderStart := time.Now()
 	if wantsSAM(r) {
 		w.Header().Set("Content-Type", "text/x-sam")
 		body, finish := rt.maybeGzip(w, r)
@@ -550,9 +638,12 @@ func (rt *Router) handleAlign(w http.ResponseWriter, r *http.Request) {
 		if werr := writeSAM(body, cat.refs, reads, results, comments); werr == nil {
 			_ = finish()
 		}
-		return
+	} else {
+		rt.writeJSON(w, r, http.StatusOK, &client.AlignResponse{Reads: results, DegradedShards: degraded})
 	}
-	rt.writeJSON(w, r, http.StatusOK, &client.AlignResponse{Reads: results, DegradedShards: degraded})
+	if tr != nil {
+		tr.Add("render", renderStart, time.Since(renderStart), nil)
+	}
 }
 
 // degradedComment is the @CO annotation of a partial SAM response.
@@ -653,7 +744,11 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	body, finish := rt.maybeGzip(w, r)
-	writeMetrics(body, rt.Stats())
+	shardLat := make([]telemetry.HistSnapshot, len(rt.shards))
+	for i, sh := range rt.shards {
+		shardLat[i] = sh.lat.Snapshot()
+	}
+	writeMetrics(body, rt.Stats(), rt.st.reqLatency.Snapshot(), shardLat)
 	_ = finish()
 }
 
@@ -680,6 +775,9 @@ func (rt *Router) writeJSON(w http.ResponseWriter, r *http.Request, code int, v 
 }
 
 func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, code int, er *client.ErrorResponse) {
+	if tr := telemetry.TraceFrom(r.Context()); tr != nil && er.RequestID == "" {
+		er.RequestID = tr.RequestID()
+	}
 	rt.writeJSON(w, r, code, er)
 }
 

@@ -245,6 +245,9 @@ func post(t *testing.T, url string, reads []meraligner.Seq, accept string) (int,
 		t.Fatal(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Pin the request ID so error bodies (which echo it) stay
+	// byte-comparable between the router and a single node.
+	req.Header.Set("X-Request-Id", "00112233445566778899aabbccddeeff")
 	if accept != "" {
 		req.Header.Set("Accept", accept)
 	}

@@ -3,11 +3,13 @@ package cluster
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
 // The router's micro-batcher: the same continuous coalescing scheme as
@@ -32,17 +34,50 @@ var (
 type scatterFunc func(ctx context.Context, reads []meraligner.Seq) (*gather, error)
 
 // cwindow is one request's view of a coalesced scatter: the shared merged
-// gather plus this request's read range within it.
+// gather plus this request's read range within it, and the timing needed
+// to replay the scatter into the request's trace.
 type cwindow struct {
 	g  *gather
 	lo int
 	hi int
+
+	enq      time.Time // when this request entered the queue
+	disp     time.Time // when its scatter dispatched
+	done     time.Time // when the scatter finished
+	requests int       // member requests sharing the scatter
+}
+
+// record replays the window into a request trace: the queue wait as a
+// batch_wait span, then one rpc span per shard call of the scatter (with
+// the carrier trace ID as Link, so shard-side logs can be joined).
+func (w *cwindow) record(tr *telemetry.Trace) {
+	if tr == nil || w.disp.IsZero() {
+		return
+	}
+	tr.Add("batch_wait", w.enq, w.disp.Sub(w.enq), func(sp *telemetry.Span) {
+		sp.Requests = w.requests
+		sp.Reads = w.hi - w.lo
+	})
+	for i := range w.g.calls {
+		c := &w.g.calls[i]
+		tr.Add("rpc", c.start, c.dur, func(sp *telemetry.Span) {
+			sp.Shard = strconv.Itoa(c.shard)
+			sp.Addr = c.addr
+			sp.Retries = c.attempts - 1
+			sp.Link = w.g.carrier
+			if c.err != nil {
+				sp.Status = "error"
+				sp.Error = c.err.Error()
+			}
+		})
+	}
 }
 
 // cpending is one queued request.
 type cpending struct {
 	ctx   context.Context
 	reads []meraligner.Seq
+	enq   time.Time
 	win   *cwindow
 	err   error
 	done  chan struct{}
@@ -124,7 +159,7 @@ func (c *coalescer) exitDirect() {
 // submit enqueues one request's reads and blocks until its scatter
 // completes or ctx is done.
 func (c *coalescer) submit(ctx context.Context, reads []meraligner.Seq) (*cwindow, error) {
-	p := &cpending{ctx: ctx, reads: reads, done: make(chan struct{})}
+	p := &cpending{ctx: ctx, reads: reads, enq: time.Now(), done: make(chan struct{})}
 	c.mu.Lock()
 	switch {
 	case c.closed:
@@ -296,7 +331,24 @@ func (c *coalescer) execute(batch []*cpending, reads int) {
 		all = append(all, p.reads...)
 	}
 	ctx, cancel := groupContext(c.base, batch)
+	// Stamp a carrier span context on the scatter so shard-side logs can be
+	// correlated: a lone member's own trace travels to the shards intact; a
+	// multi-request batch gets a fresh carrier trace, recorded as Link on
+	// each member's rpc spans.
+	var carrier telemetry.SpanContext
+	if len(batch) == 1 {
+		if tr := telemetry.TraceFrom(batch[0].ctx); tr != nil {
+			carrier = tr.SpanContext().ChildOf()
+		} else {
+			carrier = telemetry.NewSpanContext()
+		}
+	} else {
+		carrier = telemetry.NewSpanContext()
+	}
+	ctx = telemetry.WithSpanContext(ctx, carrier)
+	disp := time.Now()
 	g, err := c.scatter(ctx, all)
+	finished := time.Now()
 	cancel()
 	if err == nil && c.st != nil {
 		c.st.observeBatch(len(batch), reads)
@@ -314,7 +366,7 @@ func (c *coalescer) execute(batch []*cpending, reads int) {
 				c.st.observeCanceled()
 			}
 		default:
-			p.win = &cwindow{g: g, lo: lo, hi: hi}
+			p.win = &cwindow{g: g, lo: lo, hi: hi, enq: p.enq, disp: disp, done: finished, requests: len(batch)}
 		}
 		close(p.done)
 		lo = hi

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	meraligner "github.com/lbl-repro/meraligner"
 	"github.com/lbl-repro/meraligner/client"
@@ -29,6 +30,24 @@ type gather struct {
 	// degraded names the shards (addresses, in shard order) whose results
 	// are missing — non-empty only under the partial policy.
 	degraded []string
+	// calls records each shard RPC of the scatter (shard order) so member
+	// request traces can replay them as rpc spans.
+	calls []rpcCall
+	// carrier is the trace ID the scatter propagated to the shards — the
+	// member's own trace for an uncoalesced call, a fresh carrier trace
+	// when several requests shared the scatter. Recorded as Link on rpc
+	// spans so shard-side logs can be joined from a member trace.
+	carrier string
+}
+
+// rpcCall is one shard RPC's timing within a scatter.
+type rpcCall struct {
+	shard    int
+	addr     string
+	start    time.Time
+	dur      time.Duration
+	attempts int
+	err      error
 }
 
 // ShardFailure is one shard's terminal failure during a scatter (its

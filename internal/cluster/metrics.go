@@ -3,54 +3,17 @@ package cluster
 import (
 	"fmt"
 	"io"
-	"math/bits"
 	"sync/atomic"
 	"time"
 
 	"github.com/lbl-repro/meraligner/client"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
-// Router observability: lock-free counters and log2-bucketed latency
-// histograms, mirroring internal/service's scheme (same bucket layout, same
-// quantile estimator) so a merrouted dashboard reads like a merserved one.
-// The hist type is a deliberate copy — service keeps its unexported, and 35
-// lines of atomics are cheaper than a shared package for two users.
-
-// hist is a log2-bucketed latency histogram over nanoseconds: bucket i
-// counts observations in [2^i, 2^(i+1)).
-type hist struct {
-	count   atomic.Int64
-	buckets [63]atomic.Int64
-}
-
-func (h *hist) observe(ns int64) {
-	if ns < 1 {
-		ns = 1
-	}
-	h.buckets[bits.Len64(uint64(ns))-1].Add(1)
-	h.count.Add(1)
-}
-
-// quantile estimates the q-quantile (0 < q <= 1) in nanoseconds as the
-// geometric midpoint of the bucket holding the target rank; 0 when empty.
-func (h *hist) quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := int64(q * float64(total))
-	if target < 1 {
-		target = 1
-	}
-	var seen int64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen >= target {
-			return 1.5 * float64(int64(1)<<i)
-		}
-	}
-	return 1.5 * float64(int64(1)<<62)
-}
+// Router observability: lock-free counters and the shared telemetry.Hist
+// latency histograms, mirroring internal/service's scheme (same bucket
+// layout, same quantile estimator) so a merrouted dashboard reads like a
+// merserved one.
 
 // routerStats aggregates the router's live counters. It implements the
 // coalescer's stats hooks (observeBatch, observeCanceled).
@@ -71,7 +34,7 @@ type routerStats struct {
 	coalescedBatches atomic.Int64 // scatters gluing >= 2 requests
 	maxBatchReads    atomic.Int64 // largest scatter seen
 
-	reqLatency hist // request wall time, enqueue -> response ready
+	reqLatency telemetry.Hist // request wall time, enqueue -> response ready
 }
 
 func newRouterStats() *routerStats { return &routerStats{start: time.Now()} }
@@ -107,8 +70,8 @@ func (s *routerStats) snapshot() client.RouterStats {
 		BatchedReads:     s.batchedReads.Load(),
 		CoalescedBatches: s.coalescedBatches.Load(),
 		MaxBatchReads:    s.maxBatchReads.Load(),
-		RequestP50Ms:     s.reqLatency.quantile(0.50) / 1e6,
-		RequestP99Ms:     s.reqLatency.quantile(0.99) / 1e6,
+		RequestP50Ms:     s.reqLatency.Quantile(0.50) / 1e6,
+		RequestP99Ms:     s.reqLatency.Quantile(0.99) / 1e6,
 	}
 	if st.Batches > 0 {
 		st.MeanBatchReads = float64(st.BatchedReads) / float64(st.Batches)
@@ -117,9 +80,12 @@ func (s *routerStats) snapshot() client.RouterStats {
 }
 
 // writeMetrics renders the router's Prometheus text exposition:
-// merrouted_* request/coalescing series shaped like merserved_*, then the
-// per-shard merrouted_shard_* series labeled {shard="id",addr="..."}.
-func writeMetrics(w io.Writer, st client.RouterStats) {
+// merrouted_* request/coalescing series shaped like merserved_*, the
+// per-shard merrouted_shard_* series labeled {shard="id",addr="..."},
+// native cumulative histograms, and the Go runtime gauges. req and
+// shardLat are the request and per-shard RPC latency histogram
+// snapshots; shardLat is indexed like st.Shards.
+func writeMetrics(w io.Writer, st client.RouterStats, req telemetry.HistSnapshot, shardLat []telemetry.HistSnapshot) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -177,4 +143,16 @@ func writeMetrics(w io.Writer, st client.RouterStats) {
 		fmt.Fprintf(w, "merrouted_shard_call_latency_seconds{shard=\"%d\",addr=%q,quantile=\"0.5\"} %g\n", sh.ID, sh.Addr, sh.CallP50Ms/1e3)
 		fmt.Fprintf(w, "merrouted_shard_call_latency_seconds{shard=\"%d\",addr=%q,quantile=\"0.99\"} %g\n", sh.ID, sh.Addr, sh.CallP99Ms/1e3)
 	}
+	// Native cumulative histograms under new *_duration_seconds names (the
+	// *_latency_seconds summaries above keep their historical type).
+	telemetry.WriteHistHeader(w, "merrouted_request_duration_seconds", "request wall time histogram")
+	req.WriteSeries(w, "merrouted_request_duration_seconds", "")
+	telemetry.WriteHistHeader(w, "merrouted_shard_call_duration_seconds", "per-attempt shard RPC wall time histogram")
+	for i, sh := range st.Shards {
+		if i < len(shardLat) {
+			shardLat[i].WriteSeries(w, "merrouted_shard_call_duration_seconds",
+				fmt.Sprintf("shard=\"%d\",addr=%q", sh.ID, sh.Addr))
+		}
+	}
+	telemetry.WriteRuntimeMetrics(w, "merrouted")
 }

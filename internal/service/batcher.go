@@ -8,6 +8,7 @@ import (
 	"time"
 
 	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
 // The dynamic micro-batcher: the core of merserved. Single-read and
@@ -91,6 +92,37 @@ type window struct {
 	reads []meraligner.Seq
 	lo    int
 	hi    int
+
+	// Trace material, stamped by the dispatcher (or the direct path):
+	// when this request entered the queue, when its engine call
+	// dispatched and completed, and how many member requests shared the
+	// call. Plain timestamps — the batcher itself knows nothing about
+	// traces.
+	enq      time.Time
+	disp     time.Time
+	done     time.Time
+	requests int
+}
+
+// record adds this request's queue-wait and engine spans to tr: the
+// batch_wait span is the coalesce wait (enqueue to dispatch), the engine
+// span the shared call itself, annotated with the call's aggregate read
+// stats. nil traces and windows without timing (in-process callers) are
+// no-ops.
+func (w *window) record(tr *telemetry.Trace) {
+	if tr == nil || w.disp.IsZero() {
+		return
+	}
+	tr.Add("batch_wait", w.enq, w.disp.Sub(w.enq), func(sp *telemetry.Span) {
+		sp.Requests = w.requests
+		sp.Reads = w.hi - w.lo
+	})
+	tr.Add("engine", w.disp, w.done.Sub(w.disp), func(sp *telemetry.Span) {
+		sp.Requests = w.requests
+		sp.Reads = len(w.reads)
+		sp.SWCalls = w.call.res.SWCalls
+		sp.SeedLookups = w.call.res.SeedLookups
+	})
 }
 
 // slice returns the request's own Results, rebased to its reads. The
@@ -105,6 +137,7 @@ func (w *window) finish() { w.call.finish() }
 type pending struct {
 	ctx   context.Context
 	reads []meraligner.Seq
+	enq   time.Time // when submit queued it (queue-wait span material)
 	win   *window
 	err   error
 	done  chan struct{}
@@ -196,7 +229,7 @@ func (b *batcher) exitDirect() {
 // or ctx is done. On success the returned window gives the request its
 // share of the coalesced call.
 func (b *batcher) submit(ctx context.Context, reads []meraligner.Seq) (*window, error) {
-	p := &pending{ctx: ctx, reads: reads, done: make(chan struct{})}
+	p := &pending{ctx: ctx, reads: reads, enq: time.Now(), done: make(chan struct{})}
 	b.mu.Lock()
 	switch {
 	case b.closed:
@@ -386,7 +419,9 @@ func (b *batcher) execute(batch []*pending, reads int) {
 		all = append(all, p.reads...)
 	}
 	ctx, cancel := groupContext(b.base, batch)
+	disp := time.Now()
 	call, err := b.align(ctx, all)
+	finished := time.Now()
 	cancel()
 	if err == nil && b.st != nil {
 		// Only completed calls count, matching the direct path — failed or
@@ -407,7 +442,8 @@ func (b *batcher) execute(batch []*pending, reads int) {
 			}
 		default:
 			call.retain() // the member's reference, dropped by win.finish
-			p.win = &window{call: call, reads: all, lo: lo, hi: hi}
+			p.win = &window{call: call, reads: all, lo: lo, hi: hi,
+				enq: p.enq, disp: disp, done: finished, requests: len(batch)}
 		}
 		close(p.done)
 		lo = hi

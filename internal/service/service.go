@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -58,6 +59,7 @@ import (
 	"github.com/lbl-repro/meraligner/internal/catalog"
 	"github.com/lbl-repro/meraligner/internal/dna"
 	"github.com/lbl-repro/meraligner/internal/seqio"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
 // SnapshotExt is the file extension a catalog directory entry must carry
@@ -121,6 +123,18 @@ type Config struct {
 
 	// Version is reported in /v1/stats (ldflags-injected by cmd/merserved).
 	Version string
+
+	// Logger receives the service's structured request logs (per-request
+	// debug lines, slow-request warnings). nil logs nothing.
+	Logger *slog.Logger
+
+	// SlowRequest, when > 0, logs the full span trace of any align
+	// request slower than this at warn level (the -slow-request-ms flag).
+	SlowRequest time.Duration
+
+	// TraceCapacity bounds the /debug/requests ring of completed request
+	// traces. <= 0 means telemetry.DefaultRingCapacity.
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -169,6 +183,9 @@ type Server struct {
 	tmu     sync.Mutex // guards tenants (catalog mode)
 	tenants map[string]*tenant
 
+	logger *slog.Logger
+	ring   *telemetry.Ring // completed request traces (/debug/requests)
+
 	draining atomic.Bool
 	baseCtx  context.Context
 	cancel   context.CancelFunc
@@ -207,6 +224,11 @@ func New(cfg Config) (*Server, error) {
 	qopt.CollectAlignments = true // responses need the records
 	qopt.CollectPerQuery = true   // stats need per-read latency
 	s := &Server{cfg: cfg, qopt: qopt}
+	s.logger = cfg.Logger
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	s.ring = telemetry.NewRing(cfg.TraceCapacity)
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 
 	mux := http.NewServeMux()
@@ -221,8 +243,8 @@ func New(cfg Config) (*Server, error) {
 		t := s.newTenant("", catalog.Static(cfg.Aligner))
 		t.noteIndex(cfg.Aligner)
 		s.single = t
-		mux.HandleFunc("POST /v1/align", s.singleHandler((*tenant).handleAlign))
-		mux.HandleFunc("POST /v1/align/stream", s.singleHandler((*tenant).handleAlignStream))
+		mux.HandleFunc("POST /v1/align", s.traced(s.singleHandler((*tenant).handleAlign)))
+		mux.HandleFunc("POST /v1/align/stream", s.traced(s.singleHandler((*tenant).handleAlignStream)))
 		mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	} else {
 		if s.cfg.Workers <= 0 {
@@ -239,8 +261,8 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.cat = cat
 		s.tenants = make(map[string]*tenant)
-		mux.HandleFunc("POST /v1/{ref}/align", s.refHandler((*tenant).handleAlign))
-		mux.HandleFunc("POST /v1/{ref}/align/stream", s.refHandler((*tenant).handleAlignStream))
+		mux.HandleFunc("POST /v1/{ref}/align", s.traced(s.refHandler((*tenant).handleAlign)))
+		mux.HandleFunc("POST /v1/{ref}/align/stream", s.traced(s.refHandler((*tenant).handleAlignStream)))
 		mux.HandleFunc("GET /v1/{ref}/stats", s.handleRefStats)
 		mux.HandleFunc("GET /v1/{ref}/targets", s.handleRefTargets)
 		mux.HandleFunc("GET /v1/refs", s.handleRefs)
@@ -337,6 +359,59 @@ func (s *Server) refHandler(h func(*tenant, http.ResponseWriter, *http.Request))
 		hdl.Release()
 		s.dispatch(t, h, w, r)
 	}
+}
+
+// TraceRing exposes the ring of completed request traces, for mounting
+// at /debug/requests on a private debug listener (telemetry.NewDebugMux)
+// and for tests.
+func (s *Server) TraceRing() *telemetry.Ring { return s.ring }
+
+// traced wraps an align handler with request-scoped tracing: extract or
+// mint the request's span context, echo X-Request-Id immediately (error
+// responses carry it too), thread the trace recorder through the
+// request context, then record the completed trace in the debug ring
+// and log it — at warn level with the full span trace when it exceeded
+// Config.SlowRequest. Spans are recorded per request, never per read,
+// so the engine's allocation-free query path is untouched.
+func (s *Server) traced(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sc, _ := telemetry.Extract(r.Header)
+		tr := telemetry.NewTrace(sc, r.URL.Path)
+		w.Header().Set(telemetry.HeaderRequestID, sc.RequestID())
+		sw := &telemetry.StatusRecorder{ResponseWriter: w, Code: http.StatusOK}
+		aborted := true
+		// The deferred finish also runs when a streaming handler aborts
+		// the connection (panic(http.ErrAbortHandler)); the panic
+		// propagates past it untouched.
+		defer func() { s.finishTrace(tr, sw, aborted) }()
+		h(sw, r.WithContext(telemetry.WithTrace(r.Context(), tr)))
+		aborted = false
+	}
+}
+
+// finishTrace seals one request's trace into the debug ring and emits
+// its structured log line.
+func (s *Server) finishTrace(tr *telemetry.Trace, sw *telemetry.StatusRecorder, aborted bool) {
+	rt := tr.Finish(sw.Code)
+	s.ring.Add(rt)
+	attrs := []any{
+		"request_id", rt.RequestID,
+		"path", rt.Path,
+		"status", rt.Status,
+		"reads", rt.Reads,
+		"duration_ms", float64(rt.DurationUs) / 1e3,
+	}
+	if rt.Ref != "" {
+		attrs = append(attrs, "ref", rt.Ref)
+	}
+	if aborted {
+		attrs = append(attrs, "aborted", true)
+	}
+	if s.cfg.SlowRequest > 0 && time.Duration(rt.DurationUs)*time.Microsecond >= s.cfg.SlowRequest {
+		s.logger.Warn("slow request", append(attrs, "spans", rt.SpanSummary())...)
+		return
+	}
+	s.logger.Debug("request", attrs...)
 }
 
 // dispatch applies the per-reference inflight quota around one handler.
@@ -590,6 +665,11 @@ func (t *tenant) admit(reads []meraligner.Seq) *client.ErrorResponse {
 
 func (t *tenant) handleAlign(w http.ResponseWriter, r *http.Request) {
 	s := t.s
+	tr := telemetry.TraceFrom(r.Context())
+	if tr != nil {
+		tr.SetRef(t.ref)
+	}
+	admitStart := time.Now()
 	reads, err := s.parseReads(w, r)
 	if err != nil {
 		s.writeError(w, r, ParseStatus(err), &client.ErrorResponse{Error: err.Error()})
@@ -599,18 +679,27 @@ func (t *tenant) handleAlign(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, er)
 		return
 	}
+	if tr != nil {
+		tr.AddReads(len(reads))
+		tr.Add("admission", admitStart, time.Since(admitStart), func(sp *telemetry.Span) { sp.Reads = len(reads) })
+	}
 	win, err := t.serve(r.Context(), reads)
 	if err != nil {
 		t.engineError(w, r, err)
 		return
 	}
 	defer win.finish() // response rendered: the index pin may drop
+	win.record(tr)
 
+	render := time.Now()
 	if wantsSAM(r) {
 		s.writeSAM(w, r, win)
-		return
+	} else {
+		s.writeJSON(w, r, http.StatusOK, buildResponse(win))
 	}
-	s.writeJSON(w, r, http.StatusOK, buildResponse(win))
+	if tr != nil {
+		tr.Add("render", render, time.Since(render), nil)
+	}
 }
 
 // serve is the request-serving core shared by the HTTP handler and
@@ -628,7 +717,8 @@ func (t *tenant) serve(ctx context.Context, reads []meraligner.Seq) (*window, er
 		if err != nil {
 			return nil, err
 		}
-		win = &window{call: call, reads: reads, lo: 0, hi: len(reads)}
+		win = &window{call: call, reads: reads, lo: 0, hi: len(reads),
+			enq: start, disp: start, done: time.Now(), requests: 1}
 	} else {
 		var err error
 		if win, err = t.bat.submit(ctx, reads); err != nil {
@@ -639,7 +729,7 @@ func (t *tenant) serve(ctx context.Context, reads []meraligner.Seq) (*window, er
 	// load (rejections are the separate `rejected` counter).
 	t.st.requests.Add(1)
 	t.st.reads.Add(int64(len(reads)))
-	t.st.reqLatency.observe(time.Since(start).Nanoseconds())
+	t.st.reqLatency.Observe(time.Since(start).Nanoseconds())
 	return win, nil
 }
 
@@ -810,6 +900,11 @@ func (s *Server) writeSAM(w http.ResponseWriter, r *http.Request, win *window) {
 // so a disconnect cancels the remaining work.
 func (t *tenant) handleAlignStream(w http.ResponseWriter, r *http.Request) {
 	s := t.s
+	tr := telemetry.TraceFrom(r.Context())
+	if tr != nil {
+		tr.SetRef(t.ref)
+	}
+	admitStart := time.Now()
 	reads, err := s.parseReads(w, r)
 	if err != nil {
 		s.writeError(w, r, ParseStatus(err), &client.ErrorResponse{Error: err.Error()})
@@ -818,6 +913,10 @@ func (t *tenant) handleAlignStream(w http.ResponseWriter, r *http.Request) {
 	if er := t.admit(reads); er != nil {
 		s.writeError(w, r, http.StatusBadRequest, er)
 		return
+	}
+	if tr != nil {
+		tr.AddReads(len(reads))
+		tr.Add("admission", admitStart, time.Since(admitStart), func(sp *telemetry.Span) { sp.Reads = len(reads) })
 	}
 	start := time.Now()
 
@@ -868,6 +967,7 @@ func (t *tenant) handleAlignStream(w http.ResponseWriter, r *http.Request) {
 			panic(http.ErrAbortHandler)
 		}
 		t.st.reads.Add(int64(len(chunk)))
+		win.record(tr)            // per-chunk batch_wait + engine spans (span cap applies)
 		if werr := func() error { // win.finish() per chunk, panic-safe
 			defer win.finish()
 			if sam {
@@ -902,7 +1002,7 @@ func (t *tenant) handleAlignStream(w http.ResponseWriter, r *http.Request) {
 		flush()
 	}
 	t.st.requests.Add(1) // served in full (chunk reads counted as they went)
-	t.st.reqLatency.observe(time.Since(start).Nanoseconds())
+	t.st.reqLatency.Observe(time.Since(start).Nanoseconds())
 	_ = finish()
 }
 
@@ -974,7 +1074,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	refs := make([]refMetrics, 0, 1)
 	for _, t := range s.allTenants() {
-		refs = append(refs, refMetrics{ref: t.ref, st: t.snapshotStats()})
+		refs = append(refs, refMetrics{
+			ref:   t.ref,
+			st:    t.snapshotStats(),
+			req:   t.st.reqLatency.Snapshot(),
+			align: t.st.alignRead.Snapshot(),
+		})
 	}
 	writeMetrics(body, refs, cat)
 	_ = finish()
@@ -1149,6 +1254,11 @@ func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, code int, v a
 }
 
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, code int, er *client.ErrorResponse) {
+	// Error payloads echo the request ID alongside the X-Request-Id
+	// header, so a failure pasted into a bug report still names its trace.
+	if tr := telemetry.TraceFrom(r.Context()); tr != nil && er.RequestID == "" {
+		er.RequestID = tr.RequestID()
+	}
 	s.writeJSON(w, r, code, er)
 }
 

@@ -687,21 +687,3 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
-
-// ---- histogram unit ----
-
-func TestHistQuantiles(t *testing.T) {
-	var h hist
-	for i := 1; i <= 1000; i++ {
-		h.observe(int64(i) * 1000) // 1µs .. 1ms
-	}
-	p50 := h.quantile(0.50)
-	p99 := h.quantile(0.99)
-	if p50 <= 0 || p99 < p50 {
-		t.Fatalf("quantiles disordered: p50=%g p99=%g", p50, p99)
-	}
-	// log2 buckets: p50 must land within a factor-of-2 of the true median.
-	if p50 < 250e3 || p50 > 1.5e6 {
-		t.Fatalf("p50=%gns implausible for a 1µs..1ms uniform ramp", p50)
-	}
-}

@@ -3,57 +3,19 @@ package service
 import (
 	"fmt"
 	"io"
-	"math/bits"
 	"sync/atomic"
 	"time"
 
 	meraligner "github.com/lbl-repro/meraligner"
 	"github.com/lbl-repro/meraligner/client"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
-// Lock-free service statistics: atomic counters plus power-of-two latency
-// histograms. Everything here is written on hot paths by many goroutines
-// and read whole by /v1/stats and /metrics, so there are no locks — only
-// atomics; snapshots are merely consistent-enough, which is all an
-// observability endpoint needs.
-
-// hist is a log2-bucketed latency histogram over nanoseconds: bucket i
-// counts observations in [2^i, 2^(i+1)). 63 buckets cover the full int64
-// range, so no observation is ever dropped.
-type hist struct {
-	count   atomic.Int64
-	buckets [63]atomic.Int64
-}
-
-func (h *hist) observe(ns int64) {
-	if ns < 1 {
-		ns = 1
-	}
-	h.buckets[bits.Len64(uint64(ns))-1].Add(1)
-	h.count.Add(1)
-}
-
-// quantile returns an estimate of the q-quantile (0 < q <= 1) in
-// nanoseconds: the geometric midpoint of the bucket holding the target
-// rank. Zero when nothing was observed.
-func (h *hist) quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := int64(q * float64(total))
-	if target < 1 {
-		target = 1
-	}
-	var seen int64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen >= target {
-			return 1.5 * float64(int64(1)<<i)
-		}
-	}
-	return 1.5 * float64(int64(1)<<62)
-}
+// Lock-free service statistics: atomic counters plus the shared
+// telemetry.Hist latency histograms. Everything here is written on hot
+// paths by many goroutines and read whole by /v1/stats and /metrics, so
+// there are no locks — only atomics; snapshots are merely
+// consistent-enough, which is all an observability endpoint needs.
 
 // serverStats aggregates the service's live counters. It implements
 // batcherStats for the micro-batcher's observations.
@@ -71,8 +33,8 @@ type serverStats struct {
 	coalescedBatches atomic.Int64 // calls gluing >= 2 requests
 	maxBatchReads    atomic.Int64 // largest coalesced call seen
 
-	reqLatency hist // request wall time, enqueue -> results ready
-	alignRead  hist // per-read engine nanos (engine PerQuery stats)
+	reqLatency telemetry.Hist // request wall time, enqueue -> results ready
+	alignRead  telemetry.Hist // per-read engine nanos (engine PerQuery stats)
 }
 
 func newServerStats() *serverStats { return &serverStats{start: time.Now()} }
@@ -97,7 +59,7 @@ func (s *serverStats) observeCanceled() { s.canceled.Add(1) }
 // per-read latency histogram.
 func (s *serverStats) observePerQuery(pq []meraligner.QueryStat) {
 	for i := range pq {
-		s.alignRead.observe(pq[i].Nanos)
+		s.alignRead.Observe(pq[i].Nanos)
 	}
 }
 
@@ -115,10 +77,10 @@ func (s *serverStats) snapshot() client.Stats {
 		BatchedReads:     s.batchedReads.Load(),
 		CoalescedBatches: s.coalescedBatches.Load(),
 		MaxBatchReads:    s.maxBatchReads.Load(),
-		RequestP50Ms:     s.reqLatency.quantile(0.50) / 1e6,
-		RequestP99Ms:     s.reqLatency.quantile(0.99) / 1e6,
-		AlignReadP50Us:   s.alignRead.quantile(0.50) / 1e3,
-		AlignReadP99Us:   s.alignRead.quantile(0.99) / 1e3,
+		RequestP50Ms:     s.reqLatency.Quantile(0.50) / 1e6,
+		RequestP99Ms:     s.reqLatency.Quantile(0.99) / 1e6,
+		AlignReadP50Us:   s.alignRead.Quantile(0.50) / 1e3,
+		AlignReadP99Us:   s.alignRead.Quantile(0.99) / 1e3,
 	}
 	if st.Batches > 0 {
 		st.MeanBatchReads = float64(st.BatchedReads) / float64(st.Batches)
@@ -130,8 +92,19 @@ func (s *serverStats) snapshot() client.Stats {
 // single-index server) emits unlabeled series, preserving the historical
 // single-index format; a catalog server labels every series {ref="..."}.
 type refMetrics struct {
-	ref string
-	st  client.Stats
+	ref   string
+	st    client.Stats
+	req   telemetry.HistSnapshot // request wall time
+	align telemetry.HistSnapshot // per-read engine time
+}
+
+// refLabel renders the ref label pair (no braces) for histogram series,
+// empty for the single-index server.
+func refLabel(ref string) string {
+	if ref == "" {
+		return ""
+	}
+	return fmt.Sprintf("ref=%q", ref)
 }
 
 // promLabel renders the label set of one series: the optional ref label
@@ -196,6 +169,17 @@ func writeMetrics(w io.Writer, refs []refMetrics, cat *client.CatalogCounters) {
 		fmt.Fprintf(w, "merserved_align_read_seconds%s %g\n", promLabel(rm.ref, `quantile="0.5"`), rm.st.AlignReadP50Us/1e6)
 		fmt.Fprintf(w, "merserved_align_read_seconds%s %g\n", promLabel(rm.ref, `quantile="0.99"`), rm.st.AlignReadP99Us/1e6)
 	}
+	// Native cumulative histograms under new *_duration_seconds names (the
+	// *_latency_seconds summaries above keep their historical type).
+	telemetry.WriteHistHeader(w, "merserved_request_duration_seconds", "request wall time histogram")
+	for _, rm := range refs {
+		rm.req.WriteSeries(w, "merserved_request_duration_seconds", refLabel(rm.ref))
+	}
+	telemetry.WriteHistHeader(w, "merserved_align_read_duration_seconds", "per-read engine time histogram")
+	for _, rm := range refs {
+		rm.align.WriteSeries(w, "merserved_align_read_duration_seconds", refLabel(rm.ref))
+	}
+	telemetry.WriteRuntimeMetrics(w, "merserved")
 	if cat == nil {
 		return
 	}

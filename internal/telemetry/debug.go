@@ -1,0 +1,26 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the private debug handler mounted behind the
+// -debug-addr flag: net/http/pprof under /debug/pprof/ and the trace
+// ring (when non-nil) at /debug/requests.
+//
+// The mux exposes profiling endpoints that can stall the process and
+// request traces that include client-supplied read names — bind it to
+// localhost only; it is not for public exposure.
+func NewDebugMux(ring *Ring) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if ring != nil {
+		mux.Handle("/debug/requests", ring)
+	}
+	return mux
+}

@@ -1,0 +1,36 @@
+package telemetry
+
+import "net/http"
+
+// StatusRecorder wraps a ResponseWriter to capture the response status
+// for trace and log records. It forwards Flush so streaming handlers
+// keep working; handlers that never call WriteHeader report the zero
+// value the wrapper was constructed with (conventionally 200).
+type StatusRecorder struct {
+	http.ResponseWriter
+	Code  int
+	wrote bool
+}
+
+// WriteHeader records the first explicit status and forwards it.
+func (sr *StatusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.Code = code
+		sr.wrote = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Write marks the status as committed and forwards the bytes.
+func (sr *StatusRecorder) Write(p []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying Flusher when present (chunked
+// streaming responses rely on it).
+func (sr *StatusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

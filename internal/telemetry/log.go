@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+)
+
+// LogOptions carries the -log-level / -log-format flag values shared by
+// every command.
+type LogOptions struct {
+	// Level is one of debug, info, warn, error.
+	Level string
+	// Format is text (plain prefixed lines, the historical log.Printf
+	// shape) or json (one slog JSON object per line).
+	Format string
+}
+
+// RegisterLogFlags adds -log-level and -log-format to fs and returns
+// the struct their values land in. Call before fs is parsed.
+func RegisterLogFlags(fs *flag.FlagSet) *LogOptions {
+	o := &LogOptions{Level: "info", Format: "text"}
+	fs.StringVar(&o.Level, "log-level", o.Level, "log verbosity: debug, info, warn, or error")
+	fs.StringVar(&o.Format, "log-format", o.Format, "log output format: text or json")
+	return o
+}
+
+// Logger builds a slog.Logger on stderr from the parsed flag values.
+// prefix is the program name prepended to text lines ("merserved: ")
+// and attached as logger=<name> in JSON mode.
+func (o *LogOptions) Logger(prefix string) (*slog.Logger, error) {
+	return NewLogger(os.Stderr, prefix, o.Format, o.Level)
+}
+
+// ParseLevel maps a flag string to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger builds a slog.Logger writing to w. format is "text" (plain
+// prefixed lines compatible with the historical log.Printf output) or
+// "json" (slog's JSON handler with a logger=<name> field). level is
+// parsed with ParseLevel.
+func NewLogger(w io.Writer, prefix, format, level string) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(strings.TrimSpace(prefix), ":")
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		return slog.New(&plainHandler{w: w, mu: &sync.Mutex{}, prefix: prefix, level: lvl}), nil
+	case "json":
+		l := slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lvl}))
+		if name != "" {
+			l = l.With("logger", name)
+		}
+		return l, nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+}
+
+// CaptureStdLog reroutes the standard library's global log package
+// through l at info level, so packages still calling log.Printf emit
+// structured lines. It clears the std logger's flags and prefix (the
+// slog handler owns both).
+func CaptureStdLog(l *slog.Logger) {
+	log.SetFlags(0)
+	log.SetPrefix("")
+	log.SetOutput(stdBridge{l})
+}
+
+// stdBridge adapts the std log package's writer contract (one formatted
+// line per Write) onto a slog.Logger.
+type stdBridge struct{ l *slog.Logger }
+
+// Write logs each line handed over by the std log package at info level.
+func (b stdBridge) Write(p []byte) (int, error) {
+	b.l.Info(strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
+
+// plainHandler renders records as the historical single-line text
+// format: "<prefix><level: ><msg> k=v k=v". Info-level lines carry no
+// level tag, so lifecycle messages ("listening on ...") keep the exact
+// shape scripts already grep for.
+type plainHandler struct {
+	w      io.Writer
+	mu     *sync.Mutex
+	prefix string
+	level  slog.Level
+	attrs  string // pre-rendered " k=v" pairs from WithAttrs
+	groups string // dotted open-group prefix from WithGroup
+}
+
+// Enabled implements slog.Handler.
+func (h *plainHandler) Enabled(_ context.Context, l slog.Level) bool { return l >= h.level }
+
+// Handle implements slog.Handler: one atomic line per record.
+func (h *plainHandler) Handle(_ context.Context, rec slog.Record) error {
+	var b strings.Builder
+	b.WriteString(h.prefix)
+	switch {
+	case rec.Level >= slog.LevelError:
+		b.WriteString("error: ")
+	case rec.Level >= slog.LevelWarn:
+		b.WriteString("warn: ")
+	case rec.Level < slog.LevelInfo:
+		b.WriteString("debug: ")
+	}
+	b.WriteString(rec.Message)
+	b.WriteString(h.attrs)
+	rec.Attrs(func(a slog.Attr) bool {
+		appendAttr(&b, h.groups, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+// WithAttrs implements slog.Handler by pre-rendering the attrs.
+func (h *plainHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	var b strings.Builder
+	b.WriteString(h.attrs)
+	for _, a := range attrs {
+		appendAttr(&b, h.groups, a)
+	}
+	nh := *h
+	nh.attrs = b.String()
+	return &nh
+}
+
+// WithGroup implements slog.Handler with dotted key prefixes.
+func (h *plainHandler) WithGroup(name string) slog.Handler {
+	nh := *h
+	if name != "" {
+		nh.groups = h.groups + name + "."
+	}
+	return &nh
+}
+
+// appendAttr renders one attr (recursing into groups) as " key=value",
+// quoting values that contain spaces or quotes.
+func appendAttr(b *strings.Builder, groups string, a slog.Attr) {
+	a.Value = a.Value.Resolve()
+	if a.Value.Kind() == slog.KindGroup {
+		prefix := groups
+		if a.Key != "" {
+			prefix += a.Key + "."
+		}
+		for _, ga := range a.Value.Group() {
+			appendAttr(b, prefix, ga)
+		}
+		return
+	}
+	if a.Key == "" {
+		return
+	}
+	v := a.Value.String()
+	b.WriteByte(' ')
+	b.WriteString(groups)
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	if strings.ContainsAny(v, " \t\n\"=") {
+		fmt.Fprintf(b, "%q", v)
+	} else {
+		b.WriteString(v)
+	}
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Ring is a bounded ring of recently completed request traces, served as
+// JSON at /debug/requests. Writes overwrite the oldest entry; readers
+// get a newest-first snapshot.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []RequestTrace
+	next int   // index of the slot the next Add writes
+	full bool  // buf has wrapped at least once
+	seen int64 // total traces ever added
+}
+
+// DefaultRingCapacity is used when a Ring is constructed with a
+// non-positive capacity.
+const DefaultRingCapacity = 128
+
+// NewRing returns a ring holding up to capacity completed traces.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]RequestTrace, capacity)}
+}
+
+// Add records one completed trace, evicting the oldest when full.
+func (r *Ring) Add(rt RequestTrace) {
+	r.mu.Lock()
+	r.buf[r.next] = rt
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.seen++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *Ring) Snapshot() []RequestTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]RequestTrace, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// ServeHTTP renders the ring as {"total": N, "requests": [...]} with the
+// newest trace first.
+func (r *Ring) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	seen := r.seen
+	r.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Total    int64          `json:"total"`
+		Requests []RequestTrace `json:"requests"`
+	}{seen, r.Snapshot()})
+}

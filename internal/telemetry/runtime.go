@@ -1,0 +1,32 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// WriteRuntimeMetrics appends the Go runtime gauge/counter series to a
+// Prometheus exposition under the given metric prefix (for example
+// "merserved" emits merserved_go_goroutines and friends). It calls
+// runtime.ReadMemStats, which briefly stops the world — fine at scrape
+// frequency, never on a request path.
+func WriteRuntimeMetrics(w io.Writer, prefix string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n%s_%s %g\n",
+			prefix, name, help, prefix, name, prefix, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %g\n",
+			prefix, name, help, prefix, name, prefix, name, v)
+	}
+	gauge("go_goroutines", "goroutines currently live", float64(runtime.NumGoroutine()))
+	gauge("go_heap_alloc_bytes", "heap bytes allocated and still in use", float64(ms.HeapAlloc))
+	gauge("go_heap_sys_bytes", "heap bytes obtained from the OS", float64(ms.HeapSys))
+	gauge("go_next_gc_bytes", "heap size that triggers the next GC cycle", float64(ms.NextGC))
+	counter("go_gc_cycles_total", "completed GC cycles", float64(ms.NumGC))
+	counter("go_gc_pause_seconds_total", "cumulative stop-the-world pause time", float64(ms.PauseTotalNs)/1e9)
+	counter("go_alloc_bytes_total", "cumulative bytes allocated", float64(ms.TotalAlloc))
+}
