@@ -157,11 +157,12 @@ type Stats struct {
 	Draining      bool    `json:"draining"`
 
 	// Request accounting.
-	Requests int64 `json:"requests"`
-	Rejected int64 `json:"rejected"` // 429s (admission queue full)
-	Canceled int64 `json:"canceled"` // client disconnects
-	Reads    int64 `json:"reads"`    // reads accepted into the engine
-	TooShort int64 `json:"too_short_reads"`
+	Requests         int64 `json:"requests"`
+	Rejected         int64 `json:"rejected"` // 429s (admission queue full)
+	Canceled         int64 `json:"canceled"` // client disconnects
+	Reads            int64 `json:"reads"`    // reads accepted into the engine
+	TooShort         int64 `json:"too_short_reads"`
+	DeadlineRejected int64 `json:"deadline_rejected"` // 503s: propagated deadline below the admission floor
 
 	// Micro-batcher observations. MeanBatchReads > 1 is the signature of
 	// coalescing actually happening under concurrent single-read load.
@@ -219,11 +220,22 @@ type TargetsResponse struct {
 	Targets []TargetInfo `json:"targets"`
 }
 
-// ShardStatus is one upstream shard's live state in a router's /v1/stats
-// body.
-type ShardStatus struct {
-	ID        int     `json:"id"`
+// Circuit-breaker states of one router replica, as reported in
+// ReplicaStatus.State and the merrouted_replica_state metric. closed
+// admits traffic; open admits none (consecutive failures crossed the
+// threshold); half_open admits one trial call at a time while readiness
+// probes and trial traffic decide between closing and re-opening.
+const (
+	BreakerClosed   = "closed"
+	BreakerHalfOpen = "half_open"
+	BreakerOpen     = "open"
+)
+
+// ReplicaStatus is one replica's live state inside a ShardStatus: its
+// circuit breaker, last probe result, and per-replica RPC counters.
+type ReplicaStatus struct {
 	Addr      string  `json:"addr"`
+	State     string  `json:"state"`    // BreakerClosed | BreakerHalfOpen | BreakerOpen
 	Up        bool    `json:"up"`       // last readiness probe succeeded
 	Calls     int64   `json:"calls"`    // align RPCs issued (attempts)
 	Retries   int64   `json:"retries"`  // attempts beyond the first
@@ -231,6 +243,23 @@ type ShardStatus struct {
 	Inflight  int64   `json:"inflight"` // RPCs in flight right now
 	CallP50Ms float64 `json:"call_p50_ms"`
 	CallP99Ms float64 `json:"call_p99_ms"`
+}
+
+// ShardStatus is one upstream shard's live state in a router's /v1/stats
+// body. With replicated shards the top-level counters aggregate across
+// replicas, Addr joins the replica addresses with "|", Up means at least
+// one replica is up, and Replicas carries the per-replica breakdown.
+type ShardStatus struct {
+	ID        int             `json:"id"`
+	Addr      string          `json:"addr"`
+	Up        bool            `json:"up"`       // at least one replica's last probe succeeded
+	Calls     int64           `json:"calls"`    // align RPCs issued (attempts)
+	Retries   int64           `json:"retries"`  // attempts beyond the first
+	Errors    int64           `json:"errors"`   // RPCs that exhausted their retries
+	Inflight  int64           `json:"inflight"` // RPCs in flight right now
+	CallP50Ms float64         `json:"call_p50_ms"`
+	CallP99Ms float64         `json:"call_p99_ms"`
+	Replicas  []ReplicaStatus `json:"replicas,omitempty"`
 }
 
 // RouterStats is the JSON body of GET /v1/stats on a scatter/gather router
@@ -255,6 +284,10 @@ type RouterStats struct {
 	MeanBatchReads   float64 `json:"mean_batch_reads"`
 	MaxBatchReads    int64   `json:"max_batch_reads"`
 	QueueReads       int64   `json:"queue_reads"`
+	Failovers        int64   `json:"failovers"`         // scatters re-launched on another replica after a failure
+	Hedges           int64   `json:"hedges"`            // speculative second-replica launches
+	HedgeWins        int64   `json:"hedge_wins"`        // hedges that answered before the primary
+	DeadlineRejected int64   `json:"deadline_rejected"` // requests rejected as already doomed by their deadline
 	RequestP50Ms     float64 `json:"request_p50_ms"`
 	RequestP99Ms     float64 `json:"request_p99_ms"`
 
@@ -513,6 +546,39 @@ func (c *Client) Ready(ctx context.Context) error {
 	return nil
 }
 
+// HeaderDeadlineMs propagates the caller's remaining time budget down one
+// hop, in integer milliseconds. The client stamps it from the attempt
+// context's deadline; a server's admission control may reject work that
+// cannot finish inside it instead of computing an answer nobody will read.
+const HeaderDeadlineMs = "X-Deadline-Ms"
+
+// injectDeadline stamps HeaderDeadlineMs from ctx's deadline, if any. An
+// already-expired deadline is stamped as 0 — the server's rejection is
+// cheaper and clearer than a mid-flight cancellation.
+func injectDeadline(ctx context.Context, h http.Header) {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	h.Set(HeaderDeadlineMs, strconv.FormatInt(max(time.Until(d).Milliseconds(), 0), 10))
+}
+
+// DeadlineFromHeader reads HeaderDeadlineMs from an incoming request's
+// headers: the remaining budget and true when present and well-formed.
+// A malformed value reads as absent — a confused client should not get
+// its work rejected over a header it may not even know it sent.
+func DeadlineFromHeader(h http.Header) (time.Duration, bool) {
+	v := h.Get(HeaderDeadlineMs)
+	if v == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
 // getJSON fetches one URL and decodes its JSON body into out, retrying
 // transient failures when the Client has a retry policy.
 func (c *Client) getJSON(ctx context.Context, url string, out any) error {
@@ -522,6 +588,7 @@ func (c *Client) getJSON(ctx context.Context, url string, out any) error {
 			return err
 		}
 		telemetry.Inject(ctx, req.Header)
+		injectDeadline(ctx, req.Header)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return err
@@ -572,6 +639,7 @@ func (c *Client) post(ctx context.Context, path string, req AlignRequest, accept
 		hreq.Header.Set("Content-Type", "application/json")
 		hreq.Header.Set("Accept", accept)
 		telemetry.Inject(ctx, hreq.Header)
+		injectDeadline(ctx, hreq.Header)
 		resp, err := c.hc.Do(hreq)
 		if err != nil {
 			return err

@@ -3,7 +3,7 @@ package client
 import (
 	"context"
 	"errors"
-	"math/rand"
+	"math/rand/v2"
 	"time"
 )
 
@@ -67,9 +67,16 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // (429), transient unavailability (502/503/504 — a shard warming, draining,
 // or behind a flaky proxy), per-attempt timeouts, and transport errors.
 // Other HTTP statuses (400 bad request, 404, 413...) mean the same request
-// would fail the same way, and a canceled caller context means stop.
-func Retryable(err error) bool {
+// would fail the same way, and a finished caller context means stop: ctx is
+// the *caller's* context, so a deadline-exceeded error with ctx already done
+// is the caller's own budget expiring — retrying against a spent budget can
+// only lose — whereas the same error with ctx still live is one attempt's
+// AttemptTimeout firing, which the next attempt may well beat.
+func Retryable(ctx context.Context, err error) bool {
 	if err == nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	if ctx.Err() != nil && errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
 	var re *RetryError
@@ -147,7 +154,7 @@ func (p RetryPolicy) Do(ctx context.Context, fn func(context.Context) error) err
 		if err == nil {
 			return nil
 		}
-		if ctx.Err() != nil || retry >= p.MaxAttempts || !Retryable(err) {
+		if ctx.Err() != nil || retry >= p.MaxAttempts || !Retryable(ctx, err) {
 			return err
 		}
 		hint, _ := RetryAfterHint(err)

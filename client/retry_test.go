@@ -31,9 +31,33 @@ func TestRetryableClassification(t *testing.T) {
 		{fmt.Errorf("wrapped: %w", &RetryError{}), true},
 	}
 	for _, c := range cases {
-		if got := Retryable(c.err); got != c.want {
+		if got := Retryable(context.Background(), c.err); got != c.want {
 			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
 		}
+	}
+}
+
+// TestRetryableCallerDeadline: a deadline-exceeded error with the caller's
+// own context done is the caller's budget expiring — not retryable — while
+// the same error under a live caller context is a per-attempt timeout worth
+// another try.
+func TestRetryableCallerDeadline(t *testing.T) {
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if Retryable(expired, context.DeadlineExceeded) {
+		t.Error("caller's own expired deadline classified retryable")
+	}
+	if Retryable(expired, fmt.Errorf("Post \"/v1/align\": %w", context.DeadlineExceeded)) {
+		t.Error("wrapped deadline error with expired caller ctx classified retryable")
+	}
+	if !Retryable(context.Background(), context.DeadlineExceeded) {
+		t.Error("per-attempt timeout with live caller ctx classified non-retryable")
+	}
+	// A live caller ctx with a 503 stays retryable; an expired one still
+	// reports non-deadline errors on their own merits (Do's ctx.Err() check
+	// is what stops the loop).
+	if !Retryable(expired, &StatusError{Code: 503}) {
+		t.Error("503 classification should not depend on ctx")
 	}
 }
 
@@ -59,6 +83,28 @@ func TestBackoffBoundsAndHint(t *testing.T) {
 		d := pj.Backoff(1, 0)
 		if d < 80*time.Millisecond || d > 120*time.Millisecond {
 			t.Fatalf("jittered Backoff = %s, outside [80ms, 120ms]", d)
+		}
+	}
+}
+
+// TestBackoffHintExceedsMaxDelay locks in the documented behavior: a server
+// hint longer than MaxDelay overrides the cap — the server knows its own
+// recovery time, and sleeping less just burns an attempt. Jitter still
+// applies around the hinted delay.
+func TestBackoffHintExceedsMaxDelay(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Jitter: -1}
+	hint := 400 * time.Millisecond
+	if got := p.Backoff(1, hint); got != hint {
+		t.Fatalf("Backoff with %s hint = %s, want the hint to override the %s cap", hint, got, p.MaxDelay)
+	}
+	if got := p.Backoff(5, hint); got != hint {
+		t.Fatalf("late-retry Backoff with hint = %s, want %s", got, hint)
+	}
+	pj := RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Jitter: 0.2}
+	for i := 0; i < 50; i++ {
+		d := pj.Backoff(1, hint)
+		if d < 320*time.Millisecond || d > 480*time.Millisecond {
+			t.Fatalf("jittered hinted Backoff = %s, outside [320ms, 480ms]", d)
 		}
 	}
 }
@@ -123,6 +169,39 @@ func TestDoRespectsCallerContext(t *testing.T) {
 	}
 	if attempts > 3 {
 		t.Fatalf("%d attempts despite an early cancel", attempts)
+	}
+}
+
+// TestDoCancelMidBackoff: a caller cancel during the backoff sleep returns
+// promptly with the last attempt's error instead of sleeping out the delay.
+func TestDoCancelMidBackoff(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Second, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	start := time.Now()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.Do(ctx, func(context.Context) error {
+			attempts++
+			return &StatusError{Code: 503, Message: "warming"}
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the first attempt fail and the backoff timer start
+	cancel()
+	select {
+	case err := <-errc:
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != 503 {
+			t.Fatalf("err = %v, want the last attempt's 503", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do did not return after cancel mid-backoff")
+	}
+	if attempts != 1 {
+		t.Fatalf("%d attempts, want 1 (cancel hit during the first backoff)", attempts)
+	}
+	if elapsed := time.Since(start); elapsed >= p.BaseDelay {
+		t.Fatalf("Do slept the full %s backoff despite the cancel", p.BaseDelay)
 	}
 }
 

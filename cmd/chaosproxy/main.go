@@ -1,0 +1,70 @@
+// Command chaosproxy is the shell face of internal/faultinject: a TCP
+// chaos proxy that forwards one listen address to one upstream target with
+// injectable faults, for smoke tests that want a flaky network between a
+// router and its replicas without touching either binary.
+//
+// Usage:
+//
+//	chaosproxy -target 127.0.0.1:8490 [-listen 127.0.0.1:0] [-seed 1]
+//	           [-latency 0] [-error-rate 0] [-blackhole]
+//	           [-truncate 0] [-slow-loris 0]
+//
+// The proxy logs "listening on <addr>" at startup (the same port-scraping
+// contract the serving binaries follow) and runs until SIGINT/SIGTERM,
+// then resets every live connection and exits. Faults are static for the
+// process's lifetime; restart with different flags to change the schedule
+// (the seeded schedule makes a restart reproducible).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/lbl-repro/meraligner/internal/faultinject"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaosproxy: ")
+
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address (use :0 for a random port)")
+		target    = flag.String("target", "", "upstream host:port to forward to (required)")
+		seed      = flag.Uint64("seed", 1, "fault-schedule seed (same seed, same faults)")
+		latency   = flag.Duration("latency", 0, "injected delay before each connection reaches upstream")
+		errorRate = flag.Float64("error-rate", 0, "probability in [0,1] of resetting each new connection")
+		blackhole = flag.Bool("blackhole", false, "accept connections and never answer them")
+		truncate  = flag.Int64("truncate", 0, "cut each response after this many bytes (0 = off)")
+		slowLoris = flag.Duration("slow-loris", 0, "per-chunk delay while trickling responses (0 = off)")
+	)
+	flag.Parse()
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "-target host:port is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p, err := faultinject.Listen(*listen, *target, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.SetLatency(*latency)
+	p.SetErrorRate(*errorRate)
+	p.SetBlackhole(*blackhole)
+	p.SetTruncate(*truncate)
+	p.SetSlowLoris(*slowLoris)
+	log.Printf("listening on %s -> %s (seed %d, latency %s, error-rate %g, blackhole %v, truncate %d, slow-loris %s)",
+		p.Addr(), *target, *seed, *latency, *errorRate, *blackhole, *truncate, *slowLoris)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	p.Close()
+	st := p.Stats()
+	log.Printf("closed: accepted %d, resets %d, blackholed %d, truncations %d",
+		st.Accepted, st.Resets, st.Blackholed, st.Truncations)
+}

@@ -11,17 +11,31 @@
 //	merrouted -shards http://h1:8490,http://h2:8490,http://h3:8490
 //	          [-addr :8491] [-degraded fail|partial]
 //	          [-call-timeout 15s] [-retries 3] [-health-interval 2s]
+//	          [-breaker-threshold 3] [-hedge-after 0] [-min-deadline 0]
 //	          [-max-batch 256] [-max-wait 2ms] [-queue 1024] [-v]
 //	          [-log-level info] [-log-format text|json]
 //	          [-slow-request-ms 0] [-debug-addr 127.0.0.1:0]
 //
 // -shards lists the fleet in shard order; the router validates each
 // shard's SHRD identity against its position at warmup and stays 503
-// not-ready (see GET /readyz) on any mismatch. Shard RPCs get a per-call
-// timeout and bounded jittered retries honoring Retry-After; a shard that
-// stays down is handled per -degraded: "fail" (default) fails requests
-// with 502, "partial" serves the surviving shards' results annotated with
-// degraded_shards (JSON) / an @CO line (SAM) and counted in metrics.
+// not-ready (see GET /readyz) on any mismatch. Each list element may name
+// several interchangeable replicas of its shard, separated by "|"
+// ("http://h1a:8490|http://h1b:8490"): the router sends each shard RPC to
+// one healthy replica (power-of-two-choices among the best circuit-breaker
+// class), fails over to the next replica on error, and counts a shard as
+// down only when all its replicas are. -breaker-threshold consecutive
+// failures open a replica's circuit breaker (taking it out of selection
+// until its readiness probes walk it back); -hedge-after, when positive,
+// races a shard RPC still unanswered after that long against a second
+// replica, first response winning, budget-capped at ~10% of RPCs.
+//
+// Shard RPCs get a per-call timeout and bounded jittered retries honoring
+// Retry-After; a shard whose replicas all stay down is handled per
+// -degraded: "fail" (default) fails requests with 502, "partial" serves
+// the surviving shards' results annotated with degraded_shards (JSON) / an
+// @CO line (SAM) and counted in metrics. -min-deadline, when positive,
+// rejects align requests whose propagated X-Deadline-Ms budget is below it
+// (503) instead of scattering doomed work.
 //
 // Endpoints: POST /v1/align, GET /v1/stats, /v1/targets, /healthz,
 // /readyz, /metrics (merrouted_* and per-shard merrouted_shard_* series).
@@ -59,12 +73,15 @@ func main() {
 	log.SetPrefix("merrouted: ")
 
 	var (
-		shardsFlag  = flag.String("shards", "", "comma-separated shard base URLs in shard order (required)")
+		shardsFlag  = flag.String("shards", "", "comma-separated shard base URLs in shard order, each optionally a |-separated replica set (required)")
 		addr        = flag.String("addr", ":8491", "listen address (use :0 for a random port)")
 		degraded    = flag.String("degraded", cluster.DegradedFail, "shard-failure policy: fail (502) or partial (serve surviving shards, annotated)")
 		callTimeout = flag.Duration("call-timeout", 15*time.Second, "per-attempt timeout of one shard RPC")
 		retries     = flag.Int("retries", 3, "max attempts per shard RPC")
-		healthEvery = flag.Duration("health-interval", 2*time.Second, "shard readiness probe interval")
+		healthEvery = flag.Duration("health-interval", 2*time.Second, "replica readiness probe interval")
+		breakerN    = flag.Int("breaker-threshold", 3, "consecutive failures opening a replica's circuit breaker (negative disables)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "race a shard RPC unanswered after this long against a second replica (0 disables)")
+		minDeadline = flag.Duration("min-deadline", 0, "reject requests whose propagated X-Deadline-Ms budget is below this (0 disables)")
 		maxBatch    = flag.Int("max-batch", 256, "max reads per coalesced scatter")
 		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "max wait behind a busy fleet before an overlapping scatter (negative disables window-holding)")
 		queueReads  = flag.Int("queue", 0, "admission bound on queued reads (0 = 4*max-batch)")
@@ -109,17 +126,20 @@ func main() {
 		pol.MaxAttempts = *retries
 	}
 	rt, err := cluster.New(cluster.Config{
-		Shards:         shards,
-		Degraded:       *degraded,
-		Retry:          pol,
-		CallTimeout:    *callTimeout,
-		MaxBatch:       *maxBatch,
-		MaxWait:        *maxWait,
-		QueueReads:     *queueReads,
-		HealthInterval: *healthEvery,
-		Version:        buildinfo.Version,
-		Logger:         logger,
-		SlowRequest:    time.Duration(*slowMs) * time.Millisecond,
+		Shards:           shards,
+		Degraded:         *degraded,
+		Retry:            pol,
+		CallTimeout:      *callTimeout,
+		MaxBatch:         *maxBatch,
+		MaxWait:          *maxWait,
+		QueueReads:       *queueReads,
+		HealthInterval:   *healthEvery,
+		BreakerThreshold: *breakerN,
+		HedgeAfter:       *hedgeAfter,
+		MinDeadline:      *minDeadline,
+		Version:          buildinfo.Version,
+		Logger:           logger,
+		SlowRequest:      time.Duration(*slowMs) * time.Millisecond,
 	})
 	if err != nil {
 		fatal(err)

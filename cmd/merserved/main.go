@@ -109,11 +109,14 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "private debug listener with /debug/pprof/ and /debug/requests (bind to localhost only; empty disables)")
 
 		routerMode  = flag.Bool("router", false, "scatter/gather router mode over a shard fleet (requires -shards)")
-		shardsFlag  = flag.String("shards", "", "comma-separated shard base URLs in shard order (router mode)")
+		shardsFlag  = flag.String("shards", "", "comma-separated shard base URLs in shard order, each optionally a |-separated replica set (router mode)")
 		degraded    = flag.String("degraded", cluster.DegradedFail, "shard-failure policy: fail (502) or partial (serve surviving shards, annotated)")
 		callTimeout = flag.Duration("call-timeout", 15*time.Second, "per-attempt timeout of one shard RPC (router mode)")
 		retries     = flag.Int("retries", 3, "max attempts per shard RPC (router mode)")
-		healthEvery = flag.Duration("health-interval", 2*time.Second, "shard readiness probe interval (router mode)")
+		healthEvery = flag.Duration("health-interval", 2*time.Second, "replica readiness probe interval (router mode)")
+		breakerN    = flag.Int("breaker-threshold", 3, "consecutive failures opening a replica's circuit breaker (router mode; negative disables)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "race a shard RPC unanswered after this long against a second replica (router mode; 0 disables)")
+		minDeadline = flag.Duration("min-deadline", 0, "reject requests whose propagated X-Deadline-Ms budget is below this (0 disables)")
 	)
 	bi := buildinfo.Register(flag.CommandLine)
 	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
@@ -196,17 +199,20 @@ func main() {
 			fatal(fmt.Errorf("-router requires -shards with at least one base URL"))
 		}
 		rt, err := cluster.New(cluster.Config{
-			Shards:         shards,
-			Degraded:       *degraded,
-			Retry:          routerRetry(*retries, *callTimeout),
-			CallTimeout:    *callTimeout,
-			MaxBatch:       *maxBatch,
-			MaxWait:        *maxWait,
-			QueueReads:     *queueReads,
-			HealthInterval: *healthEvery,
-			Version:        buildinfo.Version,
-			Logger:         logger,
-			SlowRequest:    time.Duration(*slowMs) * time.Millisecond,
+			Shards:           shards,
+			Degraded:         *degraded,
+			Retry:            routerRetry(*retries, *callTimeout),
+			CallTimeout:      *callTimeout,
+			MaxBatch:         *maxBatch,
+			MaxWait:          *maxWait,
+			QueueReads:       *queueReads,
+			HealthInterval:   *healthEvery,
+			BreakerThreshold: *breakerN,
+			HedgeAfter:       *hedgeAfter,
+			MinDeadline:      *minDeadline,
+			Version:          buildinfo.Version,
+			Logger:           logger,
+			SlowRequest:      time.Duration(*slowMs) * time.Millisecond,
 		})
 		if err != nil {
 			fatal(err)
@@ -229,6 +235,7 @@ func main() {
 			QueueReads:        *queueReads,
 			Workers:           *threads,
 			MaxInflightPerRef: *maxInflight,
+			MinDeadline:       *minDeadline,
 			Version:           buildinfo.Version,
 			Logger:            logger,
 			SlowRequest:       time.Duration(*slowMs) * time.Millisecond,

@@ -28,12 +28,18 @@
 //	GET  /readyz     503 until the fleet catalog is assembled and validated
 //	GET  /metrics    merrouted_* and merrouted_shard_* exposition
 //
-// Failure policy: every shard RPC gets a per-call timeout and bounded,
-// jittered, Retry-After-honoring retries (client.RetryPolicy). A shard that
-// still fails either fails the request (502, policy "fail" — the default:
-// silently missing alignments are corruption in a pipeline) or is dropped
-// from a partial response that says so in-band (policy "partial":
-// degraded_shards in JSON, an @CO line in SAM, and a counted metric).
+// Failure policy: each shard may be served by a replica set ("a1|a2" in
+// Config.Shards), and a scatter sends the shard's RPC to one healthy
+// replica — power-of-two-choices on in-flight count among the best
+// circuit-breaker class — failing over to the next replica on error and
+// optionally hedging a slow attempt against a second replica (see
+// replica.go). Every attempt gets a per-call timeout and bounded,
+// jittered, Retry-After-honoring retries (client.RetryPolicy). A shard
+// whose replicas all fail either fails the request (502, policy "fail" —
+// the default: silently missing alignments are corruption in a pipeline)
+// or is dropped from a partial response that says so in-band (policy
+// "partial": degraded_shards in JSON, an @CO line in SAM, and a counted
+// metric).
 package cluster
 
 import (
@@ -73,7 +79,11 @@ const (
 type Config struct {
 	// Shards lists the fleet's base URLs (e.g. "http://host:8490") in shard
 	// order — the order must match the shards' SHRD identities, and the
-	// warmup validation refuses a misordered or incomplete fleet.
+	// warmup validation refuses a misordered or incomplete fleet. Each
+	// element may name several interchangeable replicas of the shard,
+	// separated by "|" ("http://h1:8490|http://h2:8490"): the router picks
+	// a healthy replica per RPC and the shard is down only when all its
+	// replicas are.
 	Shards []string
 
 	// Degraded selects the shard-failure policy: DegradedFail (default) or
@@ -104,10 +114,28 @@ type Config struct {
 	// MaxRequestBytes bounds a request body. Default 64 MiB.
 	MaxRequestBytes int64
 
-	// HealthInterval paces the per-shard /readyz probes feeding the
-	// merrouted_shard_up gauge. Default 2s. Probes are observability only:
-	// a scatter always tries every shard and trusts the retry policy.
+	// HealthInterval paces the per-replica /readyz probes. Default 2s.
+	// Probes gate traffic: they feed the merrouted_replica_up gauge, bias
+	// replica selection toward probed-up replicas, and walk an open
+	// circuit breaker back into rotation (open → half-open → closed).
 	HealthInterval time.Duration
+
+	// BreakerThreshold is the consecutive-failure count that opens one
+	// replica's circuit breaker, taking it out of selection until its
+	// readiness probes recover. Default 3; negative disables breakers.
+	BreakerThreshold int
+
+	// HedgeAfter, when positive, arms hedged requests: a shard RPC that
+	// has not answered after this long is raced against a second replica,
+	// the first response wins, and the loser is canceled. Hedges are
+	// capped by an adaptive budget (~10% of shard RPCs) so a slow fleet
+	// is not doubled over. Zero disables hedging.
+	HedgeAfter time.Duration
+
+	// MinDeadline, when > 0, enables deadline admission: an align request
+	// whose propagated X-Deadline-Ms budget is below it is rejected with
+	// 503 instead of scattering work the caller will have abandoned.
+	MinDeadline time.Duration
 
 	// Version is reported in /v1/stats (ldflags-injected by cmd/merrouted).
 	Version string
@@ -166,77 +194,10 @@ func (c Config) withDefaults() Config {
 	if c.HealthInterval <= 0 {
 		c.HealthInterval = 2 * time.Second
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
 	return c
-}
-
-// shard is one upstream node: its client plus live counters.
-type shard struct {
-	id   int
-	addr string
-	cl   *client.Client
-
-	up       atomic.Bool
-	calls    atomic.Int64   // RPC attempts issued
-	retries  atomic.Int64   // attempts beyond a call's first
-	errors   atomic.Int64   // calls that exhausted their retries
-	inflight atomic.Int64   // calls in flight
-	lat      telemetry.Hist // per-attempt wall time
-}
-
-// align runs one align RPC against the shard under the retry policy,
-// counting every attempt; the attempt count feeds the caller's rpc span.
-func (sh *shard) align(ctx context.Context, pol client.RetryPolicy, req client.AlignRequest) (resp *client.AlignResponse, attempts int, err error) {
-	sh.inflight.Add(1)
-	defer sh.inflight.Add(-1)
-	err = pol.Do(ctx, func(actx context.Context) error {
-		attempts++
-		if attempts > 1 {
-			sh.retries.Add(1)
-		}
-		sh.calls.Add(1)
-		t0 := time.Now()
-		r, rerr := sh.cl.Align(actx, req)
-		sh.lat.Observe(time.Since(t0).Nanoseconds())
-		if rerr != nil {
-			return rerr
-		}
-		resp = r
-		return nil
-	})
-	if err != nil {
-		sh.errors.Add(1)
-		return nil, attempts, err
-	}
-	return resp, attempts, nil
-}
-
-// targets fetches the shard's reference catalog under the retry policy
-// (warmup path; not counted as align traffic).
-func (sh *shard) targets(ctx context.Context, pol client.RetryPolicy) (*client.TargetsResponse, error) {
-	var resp *client.TargetsResponse
-	err := pol.Do(ctx, func(actx context.Context) error {
-		r, rerr := sh.cl.Targets(actx)
-		if rerr != nil {
-			return rerr
-		}
-		resp = r
-		return nil
-	})
-	return resp, err
-}
-
-func (sh *shard) status() client.ShardStatus {
-	return client.ShardStatus{
-		ID:        sh.id,
-		Addr:      sh.addr,
-		Up:        sh.up.Load(),
-		Calls:     sh.calls.Load(),
-		Retries:   sh.retries.Load(),
-		Errors:    sh.errors.Load(),
-		Inflight:  sh.inflight.Load(),
-		CallP50Ms: sh.lat.Quantile(0.50) / 1e6,
-		CallP99Ms: sh.lat.Quantile(0.99) / 1e6,
-	}
 }
 
 // fleetCatalog is the assembled global reference view: the shards'
@@ -257,7 +218,7 @@ type Router struct {
 	logger *slog.Logger
 	ring   *telemetry.Ring
 
-	shards []*shard
+	sets []*shardSet
 
 	cat      atomic.Pointer[fleetCatalog]
 	warmNote atomic.Pointer[string] // last warmup failure, surfaced by /readyz
@@ -289,12 +250,24 @@ func New(cfg Config) (*Router, error) {
 	}
 	rt.ring = telemetry.NewRing(cfg.TraceCapacity)
 	rt.baseCtx, rt.cancel = context.WithCancel(context.Background())
-	for i, addr := range cfg.Shards {
-		opts := []client.Option{}
-		if cfg.HTTPClient != nil {
-			opts = append(opts, client.WithHTTPClient(cfg.HTTPClient))
+	opts := []client.Option{}
+	if cfg.HTTPClient != nil {
+		opts = append(opts, client.WithHTTPClient(cfg.HTTPClient))
+	}
+	for i, spec := range cfg.Shards {
+		ss := &shardSet{id: i}
+		for _, addr := range strings.Split(spec, "|") {
+			if addr = strings.TrimSpace(addr); addr == "" {
+				continue
+			}
+			ss.replicas = append(ss.replicas, &replica{
+				shard: i, idx: len(ss.replicas), addr: addr, cl: client.New(addr, opts...),
+			})
 		}
-		rt.shards = append(rt.shards, &shard{id: i, addr: addr, cl: client.New(addr, opts...)})
+		if len(ss.replicas) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no replica addresses", i)
+		}
+		rt.sets = append(rt.sets, ss)
 	}
 	rt.coal = newCoalescer(rt.baseCtx, rt.scatter, cfg.MaxBatch, cfg.MaxWait, cfg.QueueReads, rt.st)
 
@@ -309,9 +282,11 @@ func New(cfg Config) (*Router, error) {
 
 	rt.bg.Add(1)
 	go rt.warm()
-	for _, sh := range rt.shards {
-		rt.bg.Add(1)
-		go rt.health(sh)
+	for _, ss := range rt.sets {
+		for _, rep := range ss.replicas {
+			rt.bg.Add(1)
+			go rt.health(rep)
+		}
 	}
 	return rt, nil
 }
@@ -400,7 +375,7 @@ func (rt *Router) warm() {
 		if err == nil {
 			rt.cat.Store(cat)
 			rt.logger.Info("fleet catalog assembled",
-				"shards", len(rt.shards), "k", cat.k, "targets", len(cat.targets))
+				"shards", len(rt.sets), "k", cat.k, "targets", len(cat.targets))
 			return
 		}
 		msg := err.Error()
@@ -414,41 +389,45 @@ func (rt *Router) warm() {
 }
 
 // assembleCatalog fetches every shard's catalog and validates the fleet:
-// one K everywhere, and — when shard snapshots carry their SHRD identity —
-// each shard in its configured position, the full fleet present, and the
-// global target offsets consistent with the concatenation order.
+// one K everywhere, every replica of a shard serving the same slice, and —
+// when shard snapshots carry their SHRD identity — each shard in its
+// configured position, the full fleet present, and the global target
+// offsets consistent with the concatenation order.
 func (rt *Router) assembleCatalog(ctx context.Context) (*fleetCatalog, error) {
-	resps := make([]*client.TargetsResponse, len(rt.shards))
-	errs := make([]error, len(rt.shards))
+	resps := make([]*client.TargetsResponse, len(rt.sets))
+	errs := make([]error, len(rt.sets))
 	var wg sync.WaitGroup
-	for i, sh := range rt.shards {
+	for i, ss := range rt.sets {
 		wg.Add(1)
-		go func(i int, sh *shard) {
+		go func(i int, ss *shardSet) {
 			defer wg.Done()
-			resps[i], errs[i] = sh.targets(ctx, rt.cfg.Retry)
-		}(i, sh)
+			resps[i], errs[i] = ss.targets(ctx, rt.cfg.Retry)
+			if errs[i] == nil && len(ss.replicas) > 1 {
+				errs[i] = ss.validateReplicas(ctx, rt.cfg.Retry, resps[i])
+			}
+		}(i, ss)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("shard %d (%s): fetching targets: %w", i, rt.shards[i].addr, err)
+			return nil, fmt.Errorf("shard %d (%s): fetching targets: %w", i, rt.sets[i].addrs(), err)
 		}
 	}
 	cat := &fleetCatalog{k: resps[0].K}
 	targetBase := 0
 	for i, resp := range resps {
 		if resp.K != cat.k {
-			return nil, fmt.Errorf("shard %d (%s): seed length K=%d, shard 0 has K=%d — mixed-K fleet", i, rt.shards[i].addr, resp.K, cat.k)
+			return nil, fmt.Errorf("shard %d (%s): seed length K=%d, shard 0 has K=%d — mixed-K fleet", i, rt.sets[i].addrs(), resp.K, cat.k)
 		}
 		if meta := resp.Shard; meta != nil {
 			if meta.ID != i {
-				return nil, fmt.Errorf("shard %d (%s): snapshot says shard id %d — fleet out of order", i, rt.shards[i].addr, meta.ID)
+				return nil, fmt.Errorf("shard %d (%s): snapshot says shard id %d — fleet out of order", i, rt.sets[i].addrs(), meta.ID)
 			}
-			if meta.Count != len(rt.shards) {
-				return nil, fmt.Errorf("shard %d (%s): snapshot says %d shards, router has %d", i, rt.shards[i].addr, meta.Count, len(rt.shards))
+			if meta.Count != len(rt.sets) {
+				return nil, fmt.Errorf("shard %d (%s): snapshot says %d shards, router has %d", i, rt.sets[i].addrs(), meta.Count, len(rt.sets))
 			}
 			if meta.TargetBase != targetBase {
-				return nil, fmt.Errorf("shard %d (%s): snapshot says target base %d, concatenation expects %d", i, rt.shards[i].addr, meta.TargetBase, targetBase)
+				return nil, fmt.Errorf("shard %d (%s): snapshot says target base %d, concatenation expects %d", i, rt.sets[i].addrs(), meta.TargetBase, targetBase)
 			}
 		}
 		for _, t := range resp.Targets {
@@ -460,19 +439,47 @@ func (rt *Router) assembleCatalog(ctx context.Context) (*fleetCatalog, error) {
 	return cat, nil
 }
 
-// health is one shard's readiness probe loop, feeding merrouted_shard_up.
-func (rt *Router) health(sh *shard) {
+// validateReplicas checks that every reachable replica of the set serves
+// the same catalog as want: replicas are interchangeable by contract, and
+// a replica holding the wrong slice would silently corrupt merges after a
+// failover. Unreachable replicas pass — they may still be starting, and
+// the breaker keeps traffic away until they prove themselves.
+func (ss *shardSet) validateReplicas(ctx context.Context, pol client.RetryPolicy, want *client.TargetsResponse) error {
+	for _, rep := range ss.replicas {
+		var got *client.TargetsResponse
+		err := pol.Do(ctx, func(actx context.Context) error {
+			r, rerr := rep.cl.Targets(actx)
+			if rerr != nil {
+				return rerr
+			}
+			got = r
+			return nil
+		})
+		if err != nil {
+			continue
+		}
+		if got.K != want.K || len(got.Targets) != len(want.Targets) {
+			return fmt.Errorf("replica %d (%s): serves K=%d with %d targets, set expects K=%d with %d — replicas of one shard must serve the same snapshot",
+				rep.idx, rep.addr, got.K, len(got.Targets), want.K, len(want.Targets))
+		}
+		for j := range got.Targets {
+			if got.Targets[j] != want.Targets[j] {
+				return fmt.Errorf("replica %d (%s): target %d is %q (len %d), set expects %q (len %d) — replicas of one shard must serve the same snapshot",
+					rep.idx, rep.addr, j, got.Targets[j].Name, got.Targets[j].Length, want.Targets[j].Name, want.Targets[j].Length)
+			}
+		}
+	}
+	return nil
+}
+
+// health is one replica's readiness probe loop. Probes gate traffic: they
+// bias selection (class) and walk the replica's circuit breaker back from
+// open through half-open to closed.
+func (rt *Router) health(rep *replica) {
 	defer rt.bg.Done()
 	probe := func() {
 		ctx, cancel := context.WithTimeout(rt.baseCtx, rt.cfg.HealthInterval)
-		up := sh.cl.Ready(ctx) == nil
-		if sh.up.Swap(up) != up {
-			if up {
-				rt.logger.Info("shard up", "shard", sh.id, "addr", sh.addr)
-			} else {
-				rt.logger.Warn("shard down", "shard", sh.id, "addr", sh.addr)
-			}
-		}
+		rep.noteProbe(rep.cl.Ready(ctx) == nil, rt.logger)
 		cancel()
 	}
 	probe()
@@ -488,49 +495,41 @@ func (rt *Router) health(sh *shard) {
 	}
 }
 
-// scatter is the coalescer's fleet call: fan the batch to every shard,
-// screen protocol violations, apply the degraded policy, merge.
+// scatter is the coalescer's fleet call: fan the batch to one replica of
+// every shard (with failover and hedging inside alignSet), apply the
+// degraded policy, merge.
 func (rt *Router) scatter(ctx context.Context, reads []meraligner.Seq) (*gather, error) {
 	req := client.AlignRequest{Reads: client.FromSeqs(reads)}
-	resps := make([]*client.AlignResponse, len(rt.shards))
-	errs := make([]error, len(rt.shards))
-	calls := make([]rpcCall, len(rt.shards))
+	resps := make([]*client.AlignResponse, len(rt.sets))
+	errs := make([]error, len(rt.sets))
+	callLists := make([][]rpcCall, len(rt.sets))
 	var wg sync.WaitGroup
-	for i, sh := range rt.shards {
+	for i, ss := range rt.sets {
 		wg.Add(1)
-		go func(i int, sh *shard) {
+		go func(i int, ss *shardSet) {
 			defer wg.Done()
-			t0 := time.Now()
-			resp, attempts, err := sh.align(ctx, rt.cfg.Retry, req)
-			calls[i] = rpcCall{shard: sh.id, addr: sh.addr, start: t0, dur: time.Since(t0), attempts: attempts, err: err}
-			resps[i], errs[i] = resp, err
-		}(i, sh)
+			resps[i], callLists[i], errs[i] = rt.alignSet(ctx, ss, req, len(reads))
+		}(i, ss)
 	}
 	wg.Wait()
-	for i, resp := range resps {
-		if errs[i] == nil && len(resp.Reads) != len(reads) {
-			// A shard answering for a different batch shape is as lost as an
-			// unreachable one — its data cannot be trusted into a merge.
-			errs[i] = fmt.Errorf("protocol violation: %d results for %d reads", len(resp.Reads), len(reads))
-			resps[i] = nil
-			calls[i].err = errs[i]
-			rt.shards[i].errors.Add(1)
-		}
-	}
 	var failed []ShardFailure
 	for i, err := range errs {
 		if err != nil {
-			failed = append(failed, ShardFailure{ID: i, Addr: rt.shards[i].addr, Err: err})
+			failed = append(failed, ShardFailure{ID: i, Addr: rt.sets[i].addrs(), Err: err})
 		}
 	}
 	var degraded []string
 	if len(failed) > 0 {
-		if rt.cfg.Degraded != DegradedPartial || len(failed) == len(rt.shards) {
+		if rt.cfg.Degraded != DegradedPartial || len(failed) == len(rt.sets) {
 			return nil, &ShardError{Failed: failed}
 		}
 		for _, f := range failed {
 			degraded = append(degraded, f.Addr)
 		}
+	}
+	var calls []rpcCall
+	for _, cl := range callLists {
+		calls = append(calls, cl...)
 	}
 	g := &gather{results: mergeResults(reads, resps), degraded: degraded, calls: calls}
 	if sc, ok := telemetry.SpanContextFrom(ctx); ok {
@@ -603,6 +602,23 @@ func (rt *Router) handleAlign(w http.ResponseWriter, r *http.Request) {
 	}
 	tr := telemetry.TraceFrom(r.Context())
 	admitStart := time.Now()
+	if budget, ok := client.DeadlineFromHeader(r.Header); ok {
+		// Deadline admission, mirroring merserved's: refuse work the caller
+		// will have abandoned, and bound accepted scatters by the budget so
+		// the shard RPCs inherit (and re-propagate) the remaining time.
+		if rt.cfg.MinDeadline > 0 && budget < rt.cfg.MinDeadline {
+			rt.st.deadlineRejected.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds(rt.cfg.RetryAfter))
+			rt.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{
+				Error: fmt.Sprintf("deadline budget %s below the %s admission floor: rejecting doomed work", budget, rt.cfg.MinDeadline)})
+			return
+		}
+		if budget > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), budget)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+	}
 	reads, err := service.ParseReads(w, r, rt.cfg.MaxRequestBytes)
 	if err != nil {
 		rt.writeError(w, r, service.ParseStatus(err), &client.ErrorResponse{Error: err.Error()})
@@ -695,9 +711,9 @@ func (rt *Router) Stats() client.RouterStats {
 		st.Ready = true
 		st.K = cat.k
 	}
-	st.Shards = make([]client.ShardStatus, len(rt.shards))
-	for i, sh := range rt.shards {
-		st.Shards[i] = sh.status()
+	st.Shards = make([]client.ShardStatus, len(rt.sets))
+	for i, ss := range rt.sets {
+		st.Shards[i] = ss.status()
 	}
 	return st
 }
@@ -744,9 +760,9 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	body, finish := rt.maybeGzip(w, r)
-	shardLat := make([]telemetry.HistSnapshot, len(rt.shards))
-	for i, sh := range rt.shards {
-		shardLat[i] = sh.lat.Snapshot()
+	shardLat := make([]telemetry.HistSnapshot, len(rt.sets))
+	for i, ss := range rt.sets {
+		shardLat[i] = ss.lat.Snapshot()
 	}
 	writeMetrics(body, rt.Stats(), rt.st.reqLatency.Snapshot(), shardLat)
 	_ = finish()

@@ -62,8 +62,10 @@ func (w *cwindow) record(tr *telemetry.Trace) {
 		c := &w.g.calls[i]
 		tr.Add("rpc", c.start, c.dur, func(sp *telemetry.Span) {
 			sp.Shard = strconv.Itoa(c.shard)
+			sp.Replica = strconv.Itoa(c.replica)
 			sp.Addr = c.addr
 			sp.Retries = c.attempts - 1
+			sp.Hedged = c.hedged
 			sp.Link = w.g.carrier
 			if c.err != nil {
 				sp.Status = "error"

@@ -43,11 +43,13 @@ type gather struct {
 // rpcCall is one shard RPC's timing within a scatter.
 type rpcCall struct {
 	shard    int
+	replica  int
 	addr     string
 	start    time.Time
 	dur      time.Duration
 	attempts int
 	err      error
+	hedged   bool
 }
 
 // ShardFailure is one shard's terminal failure during a scatter (its

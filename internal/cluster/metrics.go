@@ -29,6 +29,12 @@ type routerStats struct {
 	degradedServed atomic.Int64 // partial responses served (partial policy)
 	failedRequests atomic.Int64 // requests failed on shard errors
 
+	primaries        atomic.Int64 // first-choice replica launches (hedge budget base)
+	failovers        atomic.Int64 // launches on another replica after a failure
+	hedges           atomic.Int64 // speculative second-replica launches
+	hedgeWins        atomic.Int64 // hedges that answered before the primary
+	deadlineRejected atomic.Int64 // requests rejected as doomed by their deadline
+
 	batches          atomic.Int64 // scatters issued by the coalescer
 	batchedReads     atomic.Int64 // reads across those scatters
 	coalescedBatches atomic.Int64 // scatters gluing >= 2 requests
@@ -66,6 +72,10 @@ func (s *routerStats) snapshot() client.RouterStats {
 		TooShort:         s.tooShort.Load(),
 		DegradedServed:   s.degradedServed.Load(),
 		FailedRequests:   s.failedRequests.Load(),
+		Failovers:        s.failovers.Load(),
+		Hedges:           s.hedges.Load(),
+		HedgeWins:        s.hedgeWins.Load(),
+		DeadlineRejected: s.deadlineRejected.Load(),
 		Batches:          s.batches.Load(),
 		BatchedReads:     s.batchedReads.Load(),
 		CoalescedBatches: s.coalescedBatches.Load(),
@@ -105,6 +115,10 @@ func writeMetrics(w io.Writer, st client.RouterStats, req telemetry.HistSnapshot
 	counter("merrouted_too_short_reads_total", "reads rejected as shorter than K", st.TooShort)
 	counter("merrouted_degraded_requests_total", "partial responses served under the partial policy", st.DegradedServed)
 	counter("merrouted_failed_requests_total", "requests failed on shard errors", st.FailedRequests)
+	counter("merrouted_failovers_total", "scatters re-launched on another replica after a failure", st.Failovers)
+	counter("merrouted_hedges_total", "speculative second-replica launches", st.Hedges)
+	counter("merrouted_hedge_wins_total", "hedged launches that answered before the primary", st.HedgeWins)
+	counter("merrouted_deadline_rejected_total", "requests rejected as already doomed by their deadline", st.DeadlineRejected)
 	counter("merrouted_batches_total", "coalesced scatters issued", st.Batches)
 	counter("merrouted_batched_reads_total", "reads across coalesced scatters", st.BatchedReads)
 	counter("merrouted_coalesced_batches_total", "scatters serving >= 2 requests", st.CoalescedBatches)
@@ -143,6 +157,36 @@ func writeMetrics(w io.Writer, st client.RouterStats, req telemetry.HistSnapshot
 		fmt.Fprintf(w, "merrouted_shard_call_latency_seconds{shard=\"%d\",addr=%q,quantile=\"0.5\"} %g\n", sh.ID, sh.Addr, sh.CallP50Ms/1e3)
 		fmt.Fprintf(w, "merrouted_shard_call_latency_seconds{shard=\"%d\",addr=%q,quantile=\"0.99\"} %g\n", sh.ID, sh.Addr, sh.CallP99Ms/1e3)
 	}
+	// Per-replica series, labeled {shard,replica,addr}. State encodes the
+	// circuit breaker: 0 closed, 1 half_open, 2 open.
+	breakerCode := func(state string) float64 {
+		switch state {
+		case client.BreakerHalfOpen:
+			return 1
+		case client.BreakerOpen:
+			return 2
+		default:
+			return 0
+		}
+	}
+	replicaSeries := func(name, help, typ string, v func(client.ReplicaStatus) float64, format string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, sh := range st.Shards {
+			for j, rep := range sh.Replicas {
+				fmt.Fprintf(w, "%s{shard=\"%d\",replica=\"%d\",addr=%q} "+format+"\n", name, sh.ID, j, rep.Addr, v(rep))
+			}
+		}
+	}
+	replicaSeries("merrouted_replica_state", "circuit-breaker state: 0 closed, 1 half_open, 2 open", "gauge",
+		func(rep client.ReplicaStatus) float64 { return breakerCode(rep.State) }, "%g")
+	replicaSeries("merrouted_replica_up", "1 when the replica's last readiness probe succeeded", "gauge",
+		func(rep client.ReplicaStatus) float64 { return b01(rep.Up) }, "%g")
+	replicaSeries("merrouted_replica_calls_total", "align RPC attempts issued to the replica", "counter",
+		func(rep client.ReplicaStatus) float64 { return float64(rep.Calls) }, "%.0f")
+	replicaSeries("merrouted_replica_errors_total", "replica align RPCs that exhausted their retries", "counter",
+		func(rep client.ReplicaStatus) float64 { return float64(rep.Errors) }, "%.0f")
+	replicaSeries("merrouted_replica_inflight", "replica align RPCs in flight right now", "gauge",
+		func(rep client.ReplicaStatus) float64 { return float64(rep.Inflight) }, "%g")
 	// Native cumulative histograms under new *_duration_seconds names (the
 	// *_latency_seconds summaries above keep their historical type).
 	telemetry.WriteHistHeader(w, "merrouted_request_duration_seconds", "request wall time histogram")

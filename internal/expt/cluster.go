@@ -10,6 +10,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,7 +60,8 @@ func Cluster(cfg Config) (*Report, error) {
 	}
 
 	cmp, err := RunClusterComparison(workers, opt, ds.Contigs, reads, ClusterLoad{
-		Shards: 3, Clients: clients, Batch: batch,
+		Shards: 3, Replicas: 2, Clients: clients, Batch: batch,
+		HedgeAfter: 250 * time.Millisecond,
 	})
 	if err != nil {
 		return nil, err
@@ -72,21 +74,24 @@ func Cluster(cfg Config) (*Report, error) {
 		fmt.Sprintf("%.2f", cmp.Single.P50Ms),
 		fmt.Sprintf("%.2f", cmp.Single.P99Ms),
 		"-")
-	rep.AddRow(fmt.Sprintf("router x%d", cmp.Shards),
+	rep.AddRow(fmt.Sprintf("router x%dx%d", cmp.Shards, cmp.Replicas),
 		fmt.Sprintf("%.0f", cmp.Routed.ReadsPerSec),
 		fmt.Sprintf("%.2f", cmp.Routed.P50Ms),
 		fmt.Sprintf("%.2f", cmp.Routed.P99Ms),
 		fmt.Sprintf("%d", cmp.ShardCalls))
 	rep.Note("%d concurrent clients posting %d-read batches, %d reads total; SAM byte-identity between the tiers verified before timing", clients, batch, len(reads))
 	rep.Note("all %d shards and the router share one host, so the fleet row measures scatter/gather overhead, not scale-out speedup — on N hosts each shard would hold 1/N of the reference (the paper's motivation: references that fit no single node)", cmp.Shards)
+	rep.Note("each shard ran as a %d-replica set (hedge-after 250ms): %d failovers, %d hedges (%d won) during the routed run", cmp.Replicas, cmp.Failovers, cmp.Hedges, cmp.HedgeWins)
 	return rep, nil
 }
 
 // ClusterLoad shapes one RunClusterComparison measurement.
 type ClusterLoad struct {
-	Shards  int // fleet size
-	Clients int // concurrent submitters
-	Batch   int // reads per request
+	Shards     int           // fleet size
+	Replicas   int           // serving replicas per shard (< 1 means 1)
+	Clients    int           // concurrent submitters
+	Batch      int           // reads per request
+	HedgeAfter time.Duration // router hedge threshold (0 disables hedging)
 }
 
 // ClusterRun is one measured serving tier (shared with the repo-level
@@ -102,10 +107,14 @@ type ClusterRun struct {
 // ClusterComparison is the full single-node vs routed-fleet measurement.
 type ClusterComparison struct {
 	Shards     int
+	Replicas   int  // serving replicas per shard
 	Identical  bool // router SAM == single-node SAM on the probe batch
 	Single     ClusterRun
 	Routed     ClusterRun
 	ShardCalls int64 // align RPC attempts the router issued fleet-wide
+	Failovers  int64 // scatters re-launched on another replica after a failure
+	Hedges     int64 // speculative second-replica launches
+	HedgeWins  int64 // hedges that answered before the primary
 }
 
 // RunClusterComparison builds one whole-reference index and a Shards-way
@@ -115,6 +124,9 @@ type ClusterComparison struct {
 func RunClusterComparison(workers int, opt core.Options, targets, reads []seqio.Seq, load ClusterLoad) (*ClusterComparison, error) {
 	if load.Shards < 2 {
 		load.Shards = 3
+	}
+	if load.Replicas < 1 {
+		load.Replicas = 1
 	}
 	if load.Clients < 1 {
 		load.Clients = 4
@@ -156,7 +168,7 @@ func RunClusterComparison(workers int, opt core.Options, targets, reads []seqio.
 		return nil, err
 	}
 	defer single.stop()
-	shardURLs := make([]string, 0, len(shardALs))
+	shardSpecs := make([]string, 0, len(shardALs))
 	var fleet []*exptServer
 	defer func() {
 		for _, s := range fleet {
@@ -164,17 +176,24 @@ func RunClusterComparison(workers int, opt core.Options, targets, reads []seqio.
 		}
 	}()
 	for _, sa := range shardALs {
-		s, err := startExptService(sa, opt.QueryOptions, workers, len(reads))
-		if err != nil {
-			return nil, err
+		// Each replica of a shard is its own loopback service instance over
+		// the shard's (read-only, share-safe) index.
+		replicaURLs := make([]string, 0, load.Replicas)
+		for r := 0; r < load.Replicas; r++ {
+			s, err := startExptService(sa, opt.QueryOptions, workers, len(reads))
+			if err != nil {
+				return nil, err
+			}
+			fleet = append(fleet, s)
+			replicaURLs = append(replicaURLs, s.base)
 		}
-		fleet = append(fleet, s)
-		shardURLs = append(shardURLs, s.base)
+		shardSpecs = append(shardSpecs, strings.Join(replicaURLs, "|"))
 	}
 
 	rt, err := cluster.New(cluster.Config{
-		Shards:     shardURLs,
+		Shards:     shardSpecs,
 		QueueReads: len(reads) + 1, // never 429 during the measurement
+		HedgeAfter: load.HedgeAfter,
 		Version:    "merbench",
 	})
 	if err != nil {
@@ -194,7 +213,7 @@ func RunClusterComparison(workers int, opt core.Options, targets, reads []seqio.
 		time.Sleep(10 * time.Millisecond)
 	}
 
-	cmp := &ClusterComparison{Shards: load.Shards}
+	cmp := &ClusterComparison{Shards: load.Shards, Replicas: load.Replicas}
 
 	// Byte-identity probe before any timing: a routed fleet that answers
 	// differently from a single node is wrong, not slow.
@@ -222,9 +241,13 @@ func RunClusterComparison(workers int, opt core.Options, targets, reads []seqio.
 	if cmp.Routed, err = driveBatches(router.base, reads, load.Clients, load.Batch); err != nil {
 		return nil, err
 	}
-	for _, sh := range rt.Stats().Shards {
+	st := rt.Stats()
+	for _, sh := range st.Shards {
 		cmp.ShardCalls += sh.Calls
 	}
+	cmp.Failovers = st.Failovers
+	cmp.Hedges = st.Hedges
+	cmp.HedgeWins = st.HedgeWins
 	return cmp, nil
 }
 

@@ -1,0 +1,238 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+// upstream starts a plain HTTP echo server and a proxy in front of it.
+func upstream(t *testing.T, seed uint64) (*httptest.Server, *Proxy) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("Content-Type", "text/plain")
+		w.Write([]byte("echo:"))
+		w.Write(body)
+	}))
+	t.Cleanup(ts.Close)
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(u.Host, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return ts, p
+}
+
+// oneShot issues one POST through the proxy on a fresh connection (no
+// keep-alive reuse, so every request exercises the accept-time fault plan).
+func oneShot(p *Proxy, timeout time.Duration, body string) (string, error) {
+	hc := &http.Client{
+		Timeout:   timeout,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	resp, err := hc.Post(p.URL(), "text/plain", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	_, p := upstream(t, 1)
+	got, err := oneShot(p, 5*time.Second, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "echo:hello" {
+		t.Fatalf("body = %q", got)
+	}
+	if st := p.Stats(); st.Accepted != 1 || st.Resets != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	_, p := upstream(t, 1)
+	p.SetLatency(80 * time.Millisecond)
+	start := time.Now()
+	if _, err := oneShot(p, 5*time.Second, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("request took %s, want >= 80ms of injected latency", d)
+	}
+}
+
+func TestProxyErrorRateResetsConnections(t *testing.T) {
+	_, p := upstream(t, 42)
+	p.SetErrorRate(1)
+	if _, err := oneShot(p, 2*time.Second, "x"); err == nil {
+		t.Fatal("request through a 100% error-rate proxy succeeded")
+	}
+	if st := p.Stats(); st.Resets == 0 {
+		t.Fatalf("stats = %+v, want a counted reset", st)
+	}
+	p.SetErrorRate(0)
+	if _, err := oneShot(p, 5*time.Second, "x"); err != nil {
+		t.Fatalf("request after clearing the error rate: %v", err)
+	}
+}
+
+func TestProxyBlackholeHangsUntilClientTimeout(t *testing.T) {
+	_, p := upstream(t, 1)
+	p.SetBlackhole(true)
+	start := time.Now()
+	_, err := oneShot(p, 100*time.Millisecond, "x")
+	if err == nil {
+		t.Fatal("request through a blackhole succeeded")
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("client gave up after %s, before its 100ms timeout — blackhole answered?", d)
+	}
+	if st := p.Stats(); st.Blackholed == 0 {
+		t.Fatalf("stats = %+v, want a counted blackhole", st)
+	}
+}
+
+func TestProxyTruncatesResponses(t *testing.T) {
+	_, p := upstream(t, 1)
+	p.SetTruncate(20) // inside the response headers: the body read must fail
+	if body, err := oneShot(p, 2*time.Second, strings.Repeat("A", 4096)); err == nil {
+		t.Fatalf("truncated response read succeeded: %d bytes", len(body))
+	}
+	if st := p.Stats(); st.Truncations == 0 {
+		t.Fatalf("stats = %+v, want a counted truncation", st)
+	}
+}
+
+func TestProxySlowLoris(t *testing.T) {
+	_, p := upstream(t, 1)
+	p.SetSlowLoris(20 * time.Millisecond)
+	start := time.Now()
+	got, err := oneShot(p, 10*time.Second, strings.Repeat("B", 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(got, strings.Repeat("B", 300)) {
+		t.Fatalf("slow-loris response corrupted: %d bytes", len(got))
+	}
+	// Headers + 305-byte body in 64-byte chunks is at least 5 chunks.
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("slow-loris response arrived in %s, want trickled delivery", d)
+	}
+}
+
+func TestProxyKillActiveResetsInflight(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+			return
+		}
+		io.WriteString(w, "late")
+	}))
+	defer slow.Close()
+	u, _ := url.Parse(slow.URL)
+	p, err := New(u.Host, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := oneShot(p, 10*time.Second, "x")
+		errc <- err
+	}()
+	// Wait for the connection to be in flight, then kill it.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().Accepted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection never arrived")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let it reach the upstream wait
+	p.KillActive()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("killed connection's request succeeded")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("killed connection's request never returned")
+	}
+	if st := p.Stats(); st.Resets == 0 {
+		t.Fatalf("stats = %+v, want a counted reset", st)
+	}
+}
+
+// TestDeterministicSchedule pins the reproducibility contract: the same
+// seed yields the same accept-order fault decisions.
+func TestDeterministicSchedule(t *testing.T) {
+	draw := func(seed uint64) []bool {
+		rng := rand.New(rand.NewPCG(seed, seed))
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = rng.Float64() < 0.3
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded schedules diverge at draw %d", i)
+		}
+	}
+
+	// And end-to-end: two proxies with the same seed and error rate reset
+	// the same subset of a serial request sequence.
+	outcome := func(seed uint64) []bool {
+		_, p := upstream(t, seed)
+		p.SetErrorRate(0.5)
+		var outs []bool
+		for i := 0; i < 12; i++ {
+			_, err := oneShot(p, 2*time.Second, "x")
+			outs = append(outs, err == nil)
+		}
+		return outs
+	}
+	x, y := outcome(99), outcome(99)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("same-seed proxies diverge at request %d: %v vs %v", i, x, y)
+		}
+	}
+}
+
+// TestProxyWithContextCancel: a caller abandoning a proxied request (ctx
+// cancel) does not wedge the proxy; later requests still pass.
+func TestProxyWithContextCancel(t *testing.T) {
+	_, p := upstream(t, 1)
+	p.SetLatency(200 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, p.URL(), nil)
+	_, err := http.DefaultClient.Do(req)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ctx deadline", err)
+	}
+	p.SetLatency(0)
+	if _, err := oneShot(p, 5*time.Second, "ok"); err != nil {
+		t.Fatalf("request after canceled predecessor: %v", err)
+	}
+}

@@ -118,6 +118,12 @@ type Config struct {
 	// RetryAfter is the backoff hint sent with 429s. Default 500ms.
 	RetryAfter time.Duration
 
+	// MinDeadline, when > 0, enables deadline admission: an align request
+	// whose propagated X-Deadline-Ms budget is below it is rejected with
+	// 503 instead of computing an answer the caller will have stopped
+	// waiting for. Requests without the header are never deadline-rejected.
+	MinDeadline time.Duration
+
 	// MaxRequestBytes bounds a request body. Default 64 MiB.
 	MaxRequestBytes int64
 
@@ -670,6 +676,23 @@ func (t *tenant) handleAlign(w http.ResponseWriter, r *http.Request) {
 		tr.SetRef(t.ref)
 	}
 	admitStart := time.Now()
+	if budget, ok := client.DeadlineFromHeader(r.Header); ok {
+		// Deadline admission: refuse work the caller will have abandoned
+		// before it finishes, and bound accepted work by the propagated
+		// budget so a doomed engine call cannot outlive its caller.
+		if s.cfg.MinDeadline > 0 && budget < s.cfg.MinDeadline {
+			t.st.deadlineRejected.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			s.writeError(w, r, http.StatusServiceUnavailable, &client.ErrorResponse{
+				Error: fmt.Sprintf("deadline budget %s below the %s admission floor: rejecting doomed work", budget, s.cfg.MinDeadline)})
+			return
+		}
+		if budget > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), budget)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+	}
 	reads, err := s.parseReads(w, r)
 	if err != nil {
 		s.writeError(w, r, ParseStatus(err), &client.ErrorResponse{Error: err.Error()})

@@ -687,3 +687,70 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestDeadlineAdmission: with MinDeadline set, an align request whose
+// propagated X-Deadline-Ms budget is below the floor is rejected with 503
+// before any parsing, counted, and exported; a comfortable budget is
+// admitted normally, and requests without the header are untouched.
+func TestDeadlineAdmission(t *testing.T) {
+	_, reads := fixture(t)
+	_, ts := newTestServer(t, func(c *Config) { c.MinDeadline = 50 * time.Millisecond })
+
+	send := func(deadlineMs string) (int, []byte) {
+		payload, err := json.Marshal(client.AlignRequest{Reads: client.FromSeqs(reads[:1])})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/align", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if deadlineMs != "" {
+			req.Header.Set(client.HeaderDeadlineMs, deadlineMs)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	code, body := send("5")
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), "doomed") {
+		t.Fatalf("doomed request = %d %q, want 503 rejection", code, body)
+	}
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st client.Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.DeadlineRejected != 1 {
+		t.Fatalf("deadline_rejected = %d, want 1", st.DeadlineRejected)
+	}
+	if code, body = send("5000"); code != http.StatusOK {
+		t.Fatalf("well-budgeted request = %d, body %s", code, body)
+	}
+	if code, body = send(""); code != http.StatusOK {
+		t.Fatalf("headerless request = %d, body %s", code, body)
+	}
+	if code, body = send("garbage"); code != http.StatusOK {
+		t.Fatalf("malformed-header request = %d, body %s (malformed must read as absent)", code, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	mbody, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(mbody), "merserved_deadline_rejected_total 1") {
+		t.Fatalf("/metrics lacks deadline rejection counter:\n%s", mbody)
+	}
+}

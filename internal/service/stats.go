@@ -22,11 +22,12 @@ import (
 type serverStats struct {
 	start time.Time
 
-	requests atomic.Int64 // align requests served to completion (any endpoint)
-	rejected atomic.Int64 // 429s
-	canceled atomic.Int64 // client disconnects (queued or mid-flight)
-	reads    atomic.Int64 // reads accepted into the engine
-	tooShort atomic.Int64 // reads rejected as shorter than K
+	requests         atomic.Int64 // align requests served to completion (any endpoint)
+	rejected         atomic.Int64 // 429s
+	canceled         atomic.Int64 // client disconnects (queued or mid-flight)
+	reads            atomic.Int64 // reads accepted into the engine
+	tooShort         atomic.Int64 // reads rejected as shorter than K
+	deadlineRejected atomic.Int64 // 503s: propagated deadline below MinDeadline
 
 	batches          atomic.Int64 // engine calls issued by the batcher
 	batchedReads     atomic.Int64 // reads across those calls
@@ -73,6 +74,7 @@ func (s *serverStats) snapshot() client.Stats {
 		Canceled:         s.canceled.Load(),
 		Reads:            s.reads.Load(),
 		TooShort:         s.tooShort.Load(),
+		DeadlineRejected: s.deadlineRejected.Load(),
 		Batches:          s.batches.Load(),
 		BatchedReads:     s.batchedReads.Load(),
 		CoalescedBatches: s.coalescedBatches.Load(),
@@ -143,6 +145,7 @@ func writeMetrics(w io.Writer, refs []refMetrics, cat *client.CatalogCounters) {
 	counter("merserved_canceled_total", "requests canceled by client disconnect", func(st client.Stats) int64 { return st.Canceled })
 	counter("merserved_reads_total", "reads accepted into the engine", func(st client.Stats) int64 { return st.Reads })
 	counter("merserved_too_short_reads_total", "reads rejected as shorter than K", func(st client.Stats) int64 { return st.TooShort })
+	counter("merserved_deadline_rejected_total", "requests rejected as already doomed by their propagated deadline", func(st client.Stats) int64 { return st.DeadlineRejected })
 	counter("merserved_batches_total", "coalesced engine calls", func(st client.Stats) int64 { return st.Batches })
 	counter("merserved_batched_reads_total", "reads across coalesced engine calls", func(st client.Stats) int64 { return st.BatchedReads })
 	counter("merserved_coalesced_batches_total", "engine calls serving >= 2 requests", func(st client.Stats) int64 { return st.CoalescedBatches })

@@ -162,8 +162,10 @@ type Span struct {
 	StartUs     int64  `json:"start_us"`
 	DurationUs  int64  `json:"duration_us"`
 	Shard       string `json:"shard,omitempty"`        // shard ID, RPC spans only
+	Replica     string `json:"replica,omitempty"`      // replica index within the shard, RPC spans only
 	Addr        string `json:"addr,omitempty"`         // shard address, RPC spans only
 	Retries     int    `json:"retries,omitempty"`      // RPC attempts beyond the first
+	Hedged      bool   `json:"hedged,omitempty"`       // this RPC was a speculative hedge launch
 	Requests    int    `json:"requests,omitempty"`     // member requests in a coalesced call
 	Reads       int    `json:"reads,omitempty"`        // reads carried by this stage
 	SWCalls     int64  `json:"sw_calls,omitempty"`     // Smith-Waterman invocations (engine spans)
