@@ -552,10 +552,12 @@ func (c *Client) Ready(ctx context.Context) error {
 // cannot finish inside it instead of computing an answer nobody will read.
 const HeaderDeadlineMs = "X-Deadline-Ms"
 
-// injectDeadline stamps HeaderDeadlineMs from ctx's deadline, if any. An
+// InjectDeadline stamps HeaderDeadlineMs from ctx's deadline, if any. An
 // already-expired deadline is stamped as 0 — the server's rejection is
 // cheaper and clearer than a mid-flight cancellation.
-func injectDeadline(ctx context.Context, h http.Header) {
+// InjectDeadline is exported for sibling network tiers (the seed-lookup
+// client) that speak the same deadline convention outside this package.
+func InjectDeadline(ctx context.Context, h http.Header) {
 	d, ok := ctx.Deadline()
 	if !ok {
 		return
@@ -588,7 +590,7 @@ func (c *Client) getJSON(ctx context.Context, url string, out any) error {
 			return err
 		}
 		telemetry.Inject(ctx, req.Header)
-		injectDeadline(ctx, req.Header)
+		InjectDeadline(ctx, req.Header)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return err
@@ -639,7 +641,7 @@ func (c *Client) post(ctx context.Context, path string, req AlignRequest, accept
 		hreq.Header.Set("Content-Type", "application/json")
 		hreq.Header.Set("Accept", accept)
 		telemetry.Inject(ctx, hreq.Header)
-		injectDeadline(ctx, hreq.Header)
+		InjectDeadline(ctx, hreq.Header)
 		resp, err := c.hc.Do(hreq)
 		if err != nil {
 			return err

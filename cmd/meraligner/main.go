@@ -25,12 +25,25 @@
 //	meraligner -targets contigs.fa -save-index contigs.merx
 //	meraligner -index contigs.merx -queries reads.fq -sam
 //	meraligner -targets contigs.fa -shard-save 3 -o shards/
+//	meraligner -targets contigs.fa -dht-save 3 -o dht/
+//	meraligner -index contigs.merx -queries reads.fq -sam \
+//	           -dht-nodes http://n0:8491,http://n1:8491,http://n2:8491
 //
 // -shard-save partitions the reference into N contiguous, base-balanced
 // shard snapshots (shard-000.merx, ...) under the -o directory, each a
 // normal single-node index over its slice plus its fleet identity (the
 // SHRD section) — the producer half of the distributed tier served by
 // merserved shards behind a merrouted router.
+//
+// -dht-save partitions the seed table by hash into N seed-shard snapshots
+// (seed-shard-000.merx, ...) under the -o directory — the producer half of
+// the distributed seed DHT. Each snapshot is served by `merserved
+// -seed-shard`; -dht-nodes lists the fleet in owner order and makes this
+// aligner resolve seed lookups remotely against it (batched, retried,
+// breaker-protected — see internal/dhtnet) while extending and scoring
+// locally, with output byte-identical to a fully local run. The local
+// -index/-targets still provides the reference sequences; its mmap'd seed
+// table pages are simply never touched.
 package main
 
 import (
@@ -47,6 +60,7 @@ import (
 
 	"github.com/lbl-repro/meraligner"
 	"github.com/lbl-repro/meraligner/internal/buildinfo"
+	"github.com/lbl-repro/meraligner/internal/dhtnet"
 	"github.com/lbl-repro/meraligner/internal/seqio"
 	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
@@ -60,6 +74,8 @@ func main() {
 		indexPath   = flag.String("index", "", "load a .merx index snapshot instead of building from -targets")
 		saveIndex   = flag.String("save-index", "", "write the sealed index as a .merx snapshot (usable without -queries/-batches)")
 		shardSave   = flag.Int("shard-save", 0, "partition -targets into N shard snapshots under the -o directory (shard-000.merx, ...) for a merrouted fleet")
+		dhtSave     = flag.Int("dht-save", 0, "hash-partition the seed table into N seed-shard snapshots under the -o directory (seed-shard-000.merx, ...) for a merserved -seed-shard fleet")
+		dhtNodes    = flag.String("dht-nodes", "", "comma-separated seed-shard base URLs in owner order; seed lookups resolve remotely against this fleet")
 		queriesPath = flag.String("queries", "", "FASTQ or SeqDB file of query reads (one batch)")
 		batchList   = flag.String("batches", "", "comma-separated FASTQ/SeqDB files aligned as successive batches against one resident index")
 		k           = flag.Int("k", 51, "seed length (1-64)")
@@ -97,8 +113,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *queriesPath == "" && *batchList == "" && *saveIndex == "" && *shardSave == 0 {
-		fmt.Fprintln(os.Stderr, "nothing to do: need -queries, -batches, -save-index, or -shard-save")
+	if *queriesPath == "" && *batchList == "" && *saveIndex == "" && *shardSave == 0 && *dhtSave == 0 {
+		fmt.Fprintln(os.Stderr, "nothing to do: need -queries, -batches, -save-index, -shard-save, or -dht-save")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -108,12 +124,34 @@ func main() {
 			log.Fatalf("-shard-save wants a positive shard count, got %d", *shardSave)
 		case *targetsPath == "":
 			log.Fatal("-shard-save builds each shard from scratch and requires -targets")
-		case *queriesPath != "" || *batchList != "" || *saveIndex != "":
-			log.Fatal("-shard-save is a standalone producer; drop -queries/-batches/-save-index")
+		case *queriesPath != "" || *batchList != "" || *saveIndex != "" || *dhtSave != 0:
+			log.Fatal("-shard-save is a standalone producer; drop -queries/-batches/-save-index/-dht-save")
 		case *engine == "sim":
 			log.Fatal("index snapshots require the threaded engine")
 		case *outPath == "":
 			log.Fatal("-shard-save needs -o naming the output directory")
+		}
+	}
+	if *dhtSave != 0 {
+		switch {
+		case *dhtSave < 0:
+			log.Fatalf("-dht-save wants a positive owner count, got %d", *dhtSave)
+		case *queriesPath != "" || *batchList != "" || *saveIndex != "":
+			log.Fatal("-dht-save is a standalone producer; drop -queries/-batches/-save-index")
+		case *engine == "sim":
+			log.Fatal("index snapshots require the threaded engine")
+		case *outPath == "":
+			log.Fatal("-dht-save needs -o naming the output directory")
+		}
+	}
+	if *dhtNodes != "" {
+		switch {
+		case *shardSave != 0 || *dhtSave != 0:
+			log.Fatal("-dht-nodes is a query-time option; it cannot be combined with the snapshot producers")
+		case *engine == "sim":
+			log.Fatal("-dht-nodes requires the threaded engine")
+		case *queriesPath == "" && *batchList == "":
+			log.Fatal("-dht-nodes needs reads to align; add -queries or -batches")
 		}
 	}
 	if *engine != "threaded" && *engine != "sim" {
@@ -142,7 +180,7 @@ func main() {
 	qopt.MinScore = *minScore
 	qopt.Permute = !*noPermute
 	qopt.CollectAlignments = true
-	if *batchList == "" && *saveIndex == "" && *indexPath == "" && *shardSave == 0 && *maxHits > 0 {
+	if *batchList == "" && *saveIndex == "" && *indexPath == "" && *shardSave == 0 && *dhtSave == 0 && *maxHits > 0 {
 		// One-shot runs know the threshold at build time; cap the stored
 		// location lists just past it. Batch mode and saved snapshots keep
 		// full lists so the resident index stays valid for any future
@@ -168,6 +206,37 @@ func main() {
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "%d shard snapshot(s) over %d targets written to %s in %.3fs\n",
 				len(paths), len(targets), *outPath, time.Since(start).Seconds())
+		}
+		return
+	}
+
+	// Seed-shard producer: hash-partition one sealed seed table into N
+	// self-contained snapshots for a merserved -seed-shard fleet. Unlike
+	// -shard-save this works from a mapped -index too: the table is
+	// partitioned, not rebuilt.
+	if *dhtSave > 0 {
+		var a *meraligner.Aligner
+		if *indexPath != "" {
+			a, err = meraligner.OpenThreads(*threads, *indexPath)
+		} else {
+			a, err = meraligner.BuildFiles(*threads, iopt, *targetsPath)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer a.Close()
+		start := time.Now()
+		paths, err := a.SaveSeedShards(*outPath, *dhtSave)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range paths {
+			fmt.Println(p)
+		}
+		if *verbose {
+			fp, _ := a.SeedPartitionFingerprint(*dhtSave)
+			fmt.Fprintf(os.Stderr, "%d seed-shard snapshot(s) (k=%d, %d internal shards, fingerprint %#x) written to %s in %.3fs\n",
+				len(paths), a.IndexOptions().K, a.SeedTableShards(), fp, *outPath, time.Since(start).Seconds())
 		}
 		return
 	}
@@ -258,6 +327,41 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "index %s in %.3fs (k=%d): %d distinct seeds, %d locations, ~%d MiB resident\n",
 			verb, a.BuildWall(), a.IndexOptions().K, st.DistinctSeeds, st.TotalLocs, a.ResidentBytes()>>20)
+	}
+	if *dhtNodes != "" {
+		var owners []string
+		for _, u := range strings.Split(*dhtNodes, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				owners = append(owners, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(owners) == 0 {
+			log.Fatal("-dht-nodes lists no base URLs")
+		}
+		fp, err := a.SeedPartitionFingerprint(len(owners))
+		if err != nil {
+			log.Fatal(err)
+		}
+		dc, err := dhtnet.New(dhtnet.Config{
+			Owners:      owners,
+			K:           a.IndexOptions().K,
+			Shards:      a.SeedTableShards(),
+			Fingerprint: fp,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dc.Close()
+		warmCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err = dc.Warm(warmCtx)
+		cancel()
+		if err != nil {
+			log.Fatalf("seed-shard fleet rejected: %v", err)
+		}
+		qopt.SeedResolver = dc
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "resolving seeds against %d seed-shard node(s) (fingerprint %#x)\n", len(owners), fp)
+		}
 	}
 	if *saveIndex != "" {
 		saveStart := time.Now()

@@ -32,7 +32,7 @@ func main() {
 	log.SetPrefix("merbench: ")
 
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig1, fig7-fig11, table1, table2, serve, service, cluster) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (fig1, fig7-fig11, table1, table2, serve, service, cluster, dhtnet) or 'all'")
 		quick      = flag.Bool("quick", false, "smoke-test workload sizes")
 		coreScale  = flag.Int("core-scale", 0, "divide the paper's core counts by this (0 = default 16)")
 		workers    = flag.Int("workers", 0, "host worker goroutines (0 = NumCPU)")

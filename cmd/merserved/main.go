@@ -14,6 +14,7 @@
 //	merserved -router -shards http://h1:8490,http://h2:8490,...
 //	          [-degraded fail|partial] [-call-timeout 15s] [-retries 3]
 //	          [-health-interval 2s] ...
+//	merserved -seed-shard seed-shard-000.merx [-addr :8491] ...
 //	merserved ... [-log-level info] [-log-format text|json]
 //	          [-slow-request-ms 0] [-debug-addr 127.0.0.1:0]
 //
@@ -36,6 +37,13 @@
 // -shard-save` snapshot), fanning every request to all shards and merging
 // results byte-identically to a single whole-reference node (see
 // internal/cluster; cmd/merrouted is the same tier as its own binary).
+//
+// With -seed-shard the server is a node of the distributed seed DHT: it
+// memory-maps one seed-shard snapshot written by `meraligner -dht-save`
+// and answers batched binary seed lookups (POST /v1/lookup, GET
+// /v1/shardinfo) for the hash partition it owns — no reads, no extension,
+// no SAM. Query nodes (`meraligner -dht-nodes`) resolve seeds against the
+// fleet and align locally with byte-identical output (see internal/dhtnet).
 //
 // The listener binds and logs "listening on" immediately; until the index
 // is built/mapped (or the router's fleet catalog assembled), every
@@ -79,6 +87,7 @@ import (
 	"github.com/lbl-repro/meraligner/client"
 	"github.com/lbl-repro/meraligner/internal/buildinfo"
 	"github.com/lbl-repro/meraligner/internal/cluster"
+	"github.com/lbl-repro/meraligner/internal/core"
 	"github.com/lbl-repro/meraligner/internal/service"
 	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
@@ -109,6 +118,7 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "private debug listener with /debug/pprof/ and /debug/requests (bind to localhost only; empty disables)")
 
 		routerMode  = flag.Bool("router", false, "scatter/gather router mode over a shard fleet (requires -shards)")
+		seedShard   = flag.String("seed-shard", "", "serve a seed-shard .merx snapshot (from `meraligner -dht-save`) as a batched seed-lookup node")
 		shardsFlag  = flag.String("shards", "", "comma-separated shard base URLs in shard order, each optionally a |-separated replica set (router mode)")
 		degraded    = flag.String("degraded", cluster.DegradedFail, "shard-failure policy: fail (502) or partial (serve surviving shards, annotated)")
 		callTimeout = flag.Duration("call-timeout", 15*time.Second, "per-attempt timeout of one shard RPC (router mode)")
@@ -140,23 +150,25 @@ func main() {
 	}
 
 	modes := 0
-	for _, set := range []bool{*targetsPath != "", *indexPath != "", *indexDir != "", *routerMode} {
+	for _, set := range []bool{*targetsPath != "", *indexPath != "", *indexDir != "", *routerMode, *seedShard != ""} {
 		if set {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(os.Stderr, "need exactly one of -targets (build the index) / -index (map a .merx snapshot) / -index-dir (serve a snapshot catalog) / -router (scatter/gather over -shards)")
+		fmt.Fprintln(os.Stderr, "need exactly one of -targets (build the index) / -index (map a .merx snapshot) / -index-dir (serve a snapshot catalog) / -router (scatter/gather over -shards) / -seed-shard (serve a seed-shard snapshot)")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *indexPath != "" || *indexDir != "" || *routerMode {
+	if *indexPath != "" || *indexDir != "" || *routerMode || *seedShard != "" {
 		mode := "-index"
 		switch {
 		case *indexDir != "":
 			mode = "-index-dir"
 		case *routerMode:
 			mode = "-router"
+		case *seedShard != "":
+			mode = "-seed-shard"
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "k" || f.Name == "no-exact" {
@@ -193,7 +205,22 @@ func main() {
 		Drain(context.Context) error
 	}
 	var ring *telemetry.Ring
-	if *routerMode {
+	if *seedShard != "" {
+		sh, err := core.LoadSeedShard(*seedShard)
+		if err != nil {
+			fatal(err)
+		}
+		defer sh.Close()
+		srv, err := service.NewSeedShard(service.SeedShardConfig{Shard: sh, Logger: logger})
+		if err != nil {
+			fatal(err)
+		}
+		info := sh.Info()
+		logger.Info(fmt.Sprintf("seed-shard mode: serving shard %d/%d (k=%d, %d internal shards, fingerprint %#x, ~%d MiB mapped)",
+			info.ID, info.Count, info.K, info.Shards, info.Fingerprint, sh.ResidentBytes()>>20))
+		sw.set(srv)
+		app = srv
+	} else if *routerMode {
 		shards := splitShards(*shardsFlag)
 		if len(shards) == 0 {
 			fatal(fmt.Errorf("-router requires -shards with at least one base URL"))

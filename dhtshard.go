@@ -1,0 +1,46 @@
+package meraligner
+
+import "github.com/lbl-repro/meraligner/internal/core"
+
+// Seed-hash sharding: the producer half of the distributed seed DHT.
+// Where SaveShards cuts the *reference* into slices (each shard a complete
+// aligner over part of the reference), SaveSeedShards cuts the *seed table*
+// by hash: every snapshot carries the whole reference but only the seed
+// entries whose internal shard hashes to its owner position — the paper's
+// distributed hash table materialized as N .merx files. Each file is served
+// by `merserved -seed-shard` as a batched binary lookup endpoint; a query
+// node (meraligner -dht-nodes) aligns with its local reference while
+// resolving seeds remotely through internal/dhtnet, producing byte-identical
+// output. The DHTP section spec lives in docs/INDEX_FORMAT.md.
+
+// SeedShardInfo is one seed shard's identity within a partitioned DHT:
+// owner position, fleet size, seed length, internal shard count, and the
+// partition fingerprint every sibling must share.
+type SeedShardInfo = core.SeedShardInfo
+
+// SeedShardPath names seed shard id within dir, the layout SaveSeedShards
+// produces (seed-shard-000.merx, ...).
+func SeedShardPath(dir string, id int) string { return core.SeedShardPath(dir, id) }
+
+// SaveSeedShards hash-partitions the resident index's seed table across
+// count owner nodes and writes one self-contained snapshot per owner under
+// dir, returning the paths in owner order. Writes are atomic per file; a
+// failure partway leaves the finished shards on disk.
+func (a *Aligner) SaveSeedShards(dir string, count int) ([]string, error) {
+	if err := a.acquire(); err != nil {
+		return nil, err
+	}
+	defer a.release()
+	return a.ix.SaveSeedShards(dir, count)
+}
+
+// SeedTableShards returns the internal shard count of the resident seed
+// table — the routing input a seed-lookup client needs alongside K.
+func (a *Aligner) SeedTableShards() int { return a.ix.SeedTableShards() }
+
+// SeedPartitionFingerprint returns the fingerprint a count-way seed-shard
+// fleet built from this index must report; a query node verifies it against
+// every node before trusting remote answers.
+func (a *Aligner) SeedPartitionFingerprint(count int) (uint64, error) {
+	return a.ix.SeedPartitionFingerprint(count)
+}

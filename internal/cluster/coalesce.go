@@ -2,31 +2,26 @@ package cluster
 
 import (
 	"context"
-	"errors"
 	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	meraligner "github.com/lbl-repro/meraligner"
+	"github.com/lbl-repro/meraligner/internal/coalesce"
 	"github.com/lbl-repro/meraligner/internal/telemetry"
 )
 
-// The router's micro-batcher: the same continuous coalescing scheme as
-// internal/service's batcher, pointed at the fleet instead of a local
-// engine. Concurrent single-read requests glue into shared scatters, so the
-// per-scatter cost — one HTTP round-trip per shard — is paid once per
-// batching window instead of once per request. The structure mirrors
-// service/batcher.go deliberately (dispatcher loop, batching window,
-// admission bound, group context); what it drops is the refcounting, which
-// existed to pin mapped index memory during rendering — a gather is plain
-// heap data, so member windows just hold a pointer.
+// The router's micro-batcher: the generic internal/coalesce queue pointed at
+// the fleet. Concurrent single-read requests glue into shared scatters, so
+// the per-scatter cost — one HTTP round-trip per shard — is paid once per
+// batching window instead of once per request. What remains here is the
+// router-specific dressing: the scatter span-context carrier, and the
+// trace-replay of a window into a request's telemetry.
 
 // Sentinel errors the handlers translate to HTTP statuses (same statuses as
 // the single node: 429 + Retry-After, 503 draining).
 var (
-	errOverloaded = errors.New("cluster: admission queue full")
-	errDraining   = errors.New("cluster: draining")
+	errOverloaded = coalesce.ErrOverloaded
+	errDraining   = coalesce.ErrDraining
 )
 
 // scatterFunc runs one coalesced scatter across the fleet and returns the
@@ -75,271 +70,47 @@ func (w *cwindow) record(tr *telemetry.Trace) {
 	}
 }
 
-// cpending is one queued request.
-type cpending struct {
-	ctx   context.Context
-	reads []meraligner.Seq
-	enq   time.Time
-	win   *cwindow
-	err   error
-	done  chan struct{}
-}
-
 // coalescerStats are the coalescer's observation hooks.
 type coalescerStats interface {
 	observeBatch(requests, reads int)
 	observeCanceled()
 }
 
+// statsAdapter bridges the router's unexported hooks to coalesce.Stats.
+type statsAdapter struct{ st coalescerStats }
+
+func (a statsAdapter) ObserveBatch(requests, items int) { a.st.observeBatch(requests, items) }
+func (a statsAdapter) ObserveCanceled()                 { a.st.observeCanceled() }
+
+// coalescer wraps the generic queue with the router's read/gather types.
 type coalescer struct {
-	scatter  scatterFunc
-	maxBatch int
-	maxWait  time.Duration
-	capacity int // admission bound on queued reads
-	base     context.Context
-	st       coalescerStats
-
-	mu       sync.Mutex
-	cond     *sync.Cond // broadcast on queue/inflight transitions
-	queue    []*cpending
-	queued   int // reads queued
-	inflight int // scatters running
-	closed   bool
-
-	wake    chan struct{} // 1-buffered dispatcher kick
-	stopped chan struct{} // dispatcher exited
+	q *coalesce.Coalescer[meraligner.Seq, *gather]
 }
 
 func newCoalescer(base context.Context, scatter scatterFunc, maxBatch int, maxWait time.Duration, capacity int, st coalescerStats) *coalescer {
-	c := &coalescer{
-		scatter:  scatter,
-		maxBatch: maxBatch,
-		maxWait:  maxWait,
-		capacity: capacity,
-		base:     base,
-		st:       st,
-		wake:     make(chan struct{}, 1),
-		stopped:  make(chan struct{}),
+	var stats coalesce.Stats
+	if st != nil {
+		stats = statsAdapter{st}
 	}
-	c.cond = sync.NewCond(&c.mu)
-	go c.run()
-	return c
+	q := coalesce.New(base, coalesce.Config[meraligner.Seq, *gather]{
+		Call:     coalesce.Func[meraligner.Seq, *gather](scatter),
+		MaxBatch: maxBatch,
+		MaxWait:  maxWait,
+		Capacity: capacity,
+		Stats:    stats,
+		Prepare:  scatterCarrier,
+	})
+	return &coalescer{q: q}
 }
 
-// queuedReads reports the reads currently waiting (for stats).
-func (c *coalescer) queuedReads() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.queued
-}
-
-// isClosed reports whether drain has started.
-func (c *coalescer) isClosed() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.closed
-}
-
-// enterDirect/exitDirect bracket a scatter the coalescer did not dispatch
-// (the big-request direct path): the shared inflight count lets queued
-// small requests coalesce behind a big direct scatter, and makes drain wait
-// for direct scatters too.
-func (c *coalescer) enterDirect() {
-	c.mu.Lock()
-	c.inflight++
-	c.mu.Unlock()
-}
-
-func (c *coalescer) exitDirect() {
-	c.mu.Lock()
-	c.inflight--
-	c.cond.Broadcast()
-	c.mu.Unlock()
-	c.kick()
-}
-
-// submit enqueues one request's reads and blocks until its scatter
-// completes or ctx is done.
-func (c *coalescer) submit(ctx context.Context, reads []meraligner.Seq) (*cwindow, error) {
-	p := &cpending{ctx: ctx, reads: reads, enq: time.Now(), done: make(chan struct{})}
-	c.mu.Lock()
-	switch {
-	case c.closed:
-		c.mu.Unlock()
-		return nil, errDraining
-	case c.queued+len(reads) > c.capacity:
-		c.mu.Unlock()
-		return nil, errOverloaded
-	}
-	c.queue = append(c.queue, p)
-	c.queued += len(reads)
-	c.mu.Unlock()
-	c.kick()
-
-	select {
-	case <-p.done:
-		return p.win, p.err
-	case <-ctx.Done():
-		// The dispatcher observes the dead ctx at take or demux time and
-		// discards this request's share; batchmates are unaffected. No
-		// cleanup needed here — a gather holds no pinned resources.
-		return nil, ctx.Err()
-	}
-}
-
-// kick nudges the dispatcher without blocking.
-func (c *coalescer) kick() {
-	select {
-	case c.wake <- struct{}{}:
-	default:
-	}
-}
-
-// closeNow stops admission without waiting; the dispatcher flushes any
-// remaining queue and exits. Safe to call more than once.
-func (c *coalescer) closeNow() {
-	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
-	c.kick()
-}
-
-// drain stops admission and flushes: queued requests still execute, then
-// in-flight scatters finish. Returns when empty or ctx expires.
-func (c *coalescer) drain(ctx context.Context) error {
-	c.closeNow()
-
-	idle := make(chan struct{})
-	go func() {
-		c.mu.Lock()
-		for len(c.queue) > 0 || c.inflight > 0 {
-			c.cond.Wait()
-		}
-		c.mu.Unlock()
-		close(idle)
-	}()
-	select {
-	case <-idle:
-		<-c.stopped
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-// run is the dispatcher: one goroutine owning batch formation; executions
-// are spawned so arrivals accumulate while a scatter is in flight.
-func (c *coalescer) run() {
-	defer close(c.stopped)
-	for {
-		if !c.waitForWork() {
-			return
-		}
-		c.waitWindow()
-		batch, reads := c.take()
-		if len(batch) > 0 {
-			go c.execute(batch, reads)
-		}
-	}
-}
-
-// waitForWork blocks until the queue is nonempty; false means closed with
-// an empty queue.
-func (c *coalescer) waitForWork() bool {
-	for {
-		c.mu.Lock()
-		n, closed := len(c.queue), c.closed
-		c.mu.Unlock()
-		if n > 0 {
-			return true
-		}
-		if closed {
-			return false
-		}
-		<-c.wake
-	}
-}
-
-// waitWindow holds the queue open for coalescing while a scatter is in
-// flight, returning when the fleet is idle, maxBatch reads are queued,
-// maxWait elapsed, or drain started.
-func (c *coalescer) waitWindow() {
-	if c.maxWait <= 0 {
-		return
-	}
-	timer := time.NewTimer(c.maxWait)
-	defer timer.Stop()
-	for {
-		c.mu.Lock()
-		ready := c.queued >= c.maxBatch || c.closed || c.inflight == 0
-		c.mu.Unlock()
-		if ready {
-			return
-		}
-		select {
-		case <-timer.C:
-			return
-		case <-c.wake:
-		}
-	}
-}
-
-// take pops the next coalesced batch: pendings in arrival order up to
-// maxBatch reads (a lone oversized request still goes whole); dead-ctx
-// requests complete with their error and never scatter.
-func (c *coalescer) take() ([]*cpending, int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var batch []*cpending
-	reads := 0
-	for len(c.queue) > 0 {
-		p := c.queue[0]
-		if err := p.ctx.Err(); err != nil {
-			c.pop()
-			p.err = err
-			close(p.done)
-			if c.st != nil {
-				c.st.observeCanceled()
-			}
-			continue
-		}
-		if reads > 0 && reads+len(p.reads) > c.maxBatch {
-			break
-		}
-		c.pop()
-		batch = append(batch, p)
-		reads += len(p.reads)
-	}
-	if len(batch) > 0 {
-		c.inflight++
-	}
-	c.cond.Broadcast()
-	return batch, reads
-}
-
-// pop removes the queue head (caller holds mu).
-func (c *coalescer) pop() {
-	p := c.queue[0]
-	c.queue[0] = nil
-	c.queue = c.queue[1:]
-	c.queued -= len(p.reads)
-}
-
-// execute runs one coalesced scatter and demuxes the shared gather to every
-// member by read range.
-func (c *coalescer) execute(batch []*cpending, reads int) {
-	all := make([]meraligner.Seq, 0, reads)
-	for _, p := range batch {
-		all = append(all, p.reads...)
-	}
-	ctx, cancel := groupContext(c.base, batch)
-	// Stamp a carrier span context on the scatter so shard-side logs can be
-	// correlated: a lone member's own trace travels to the shards intact; a
-	// multi-request batch gets a fresh carrier trace, recorded as Link on
-	// each member's rpc spans.
+// scatterCarrier stamps a carrier span context on the scatter so shard-side
+// logs can be correlated: a lone member's own trace travels to the shards
+// intact; a multi-request batch gets a fresh carrier trace, recorded as Link
+// on each member's rpc spans.
+func scatterCarrier(ctx context.Context, members []context.Context) context.Context {
 	var carrier telemetry.SpanContext
-	if len(batch) == 1 {
-		if tr := telemetry.TraceFrom(batch[0].ctx); tr != nil {
+	if len(members) == 1 {
+		if tr := telemetry.TraceFrom(members[0]); tr != nil {
 			carrier = tr.SpanContext().ChildOf()
 		} else {
 			carrier = telemetry.NewSpanContext()
@@ -347,57 +118,34 @@ func (c *coalescer) execute(batch []*cpending, reads int) {
 	} else {
 		carrier = telemetry.NewSpanContext()
 	}
-	ctx = telemetry.WithSpanContext(ctx, carrier)
-	disp := time.Now()
-	g, err := c.scatter(ctx, all)
-	finished := time.Now()
-	cancel()
-	if err == nil && c.st != nil {
-		c.st.observeBatch(len(batch), reads)
-	}
-
-	lo := 0
-	for _, p := range batch {
-		hi := lo + len(p.reads)
-		switch {
-		case err != nil:
-			p.err = err
-		case p.ctx.Err() != nil:
-			p.err = p.ctx.Err()
-			if c.st != nil {
-				c.st.observeCanceled()
-			}
-		default:
-			p.win = &cwindow{g: g, lo: lo, hi: hi, enq: p.enq, disp: disp, done: finished, requests: len(batch)}
-		}
-		close(p.done)
-		lo = hi
-	}
-
-	c.mu.Lock()
-	c.inflight--
-	c.cond.Broadcast()
-	c.mu.Unlock()
-	c.kick()
+	return telemetry.WithSpanContext(ctx, carrier)
 }
 
-// groupContext derives the scatter context of one coalesced call: done when
-// the router's base context is, or when every member's own context is — a
-// lone disconnect never kills its batchmates' scatter.
-func groupContext(base context.Context, batch []*cpending) (context.Context, context.CancelFunc) {
-	ctx, cancel := context.WithCancel(base)
-	var left atomic.Int32
-	left.Store(int32(len(batch)))
-	for _, p := range batch {
-		go func(done <-chan struct{}) {
-			select {
-			case <-done:
-				if left.Add(-1) == 0 {
-					cancel()
-				}
-			case <-ctx.Done():
-			}
-		}(p.ctx.Done())
+// queuedReads reports the reads currently waiting (for stats).
+func (c *coalescer) queuedReads() int { return c.q.QueuedItems() }
+
+// isClosed reports whether drain has started.
+func (c *coalescer) isClosed() bool { return c.q.Closed() }
+
+func (c *coalescer) enterDirect() { c.q.EnterDirect() }
+func (c *coalescer) exitDirect()  { c.q.ExitDirect() }
+
+// submit enqueues one request's reads and blocks until its scatter
+// completes or ctx is done.
+func (c *coalescer) submit(ctx context.Context, reads []meraligner.Seq) (*cwindow, error) {
+	w, err := c.q.Submit(ctx, reads)
+	if err != nil {
+		return nil, err
 	}
-	return ctx, cancel
+	return &cwindow{
+		g: w.Result, lo: w.Lo, hi: w.Hi,
+		enq: w.Enq, disp: w.Disp, done: w.Done, requests: w.Requests,
+	}, nil
 }
+
+// closeNow stops admission without waiting.
+func (c *coalescer) closeNow() { c.q.Close() }
+
+// drain stops admission and flushes: queued requests still execute, then
+// in-flight scatters finish. Returns when empty or ctx expires.
+func (c *coalescer) drain(ctx context.Context) error { return c.q.Drain(ctx) }

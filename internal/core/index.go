@@ -219,26 +219,51 @@ func (ix *ThreadedIndex) Query(ctx context.Context, workers int, opt QueryOption
 		// slots are written without contention.
 		perQuery = make([]QueryStat, len(queries))
 	}
+	// On the remote-DHT path a resolver failure on any worker aborts the
+	// whole call: the failing worker cancels qctx so its peers stop claiming
+	// chunks, and the resolver error (not the derived cancellation) is
+	// surfaced.
+	qctx := ctx
+	var cancel context.CancelFunc
+	if opt.SeedResolver != nil {
+		qctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
 	perThread := make([]threadStats, workers)
 	rec.run(PhaseAlign, threads, func() {
 		qps := make([]*queryProcessor, workers)
-		runPoolCtx(ctx, workers, len(queries), alignBatch, func(w, lo, hi int) {
+		runPoolCtx(qctx, workers, len(queries), alignBatch, func(w, lo, hi int) {
+			st := &perThread[w]
+			if st.err != nil {
+				return
+			}
 			if qps[w] == nil {
 				qps[w] = newQueryProcessor(costs, full, threadedAccess{sx: ix.sx}, ix.ft)
+				if opt.SeedResolver != nil {
+					qps[w].setResolver(qctx, opt.SeedResolver)
+				}
 			}
-			st := &perThread[w]
 			if opt.CollectAlignments && st.alignments == nil {
 				st.alignments = []Alignment{}
 			}
 			for qi := lo; qi < hi; qi++ {
 				if perQuery == nil {
 					qps[w].process(threads[w], st, int32(qi), queries[qi].Seq)
-					continue
+				} else {
+					processStat(qps[w], threads[w], st, int32(qi), queries[qi].Seq, ix.opt.K, &perQuery[qi])
 				}
-				processStat(qps[w], threads[w], st, int32(qi), queries[qi].Seq, ix.opt.K, &perQuery[qi])
+				if st.err != nil {
+					cancel()
+					return
+				}
 			}
 		})
 	})
+	for i := range perThread {
+		if err := perThread[i].err; err != nil {
+			return nil, err
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -296,6 +321,9 @@ func (ix *ThreadedIndex) QuerySerial(ctx context.Context, opt QueryOptions, quer
 	perThread := make([]threadStats, 1)
 	rec.run(PhaseAlign, []*upc.Thread{th}, func() {
 		qp := newQueryProcessor(costs, full, threadedAccess{sx: ix.sx}, ix.ft)
+		if opt.SeedResolver != nil {
+			qp.setResolver(ctx, opt.SeedResolver)
+		}
 		st := &perThread[0]
 		if opt.CollectAlignments {
 			st.alignments = []Alignment{}
@@ -309,11 +337,17 @@ func (ix *ThreadedIndex) QuerySerial(ctx context.Context, opt QueryOptions, quer
 			}
 			if perQuery == nil {
 				qp.process(th, st, int32(qi), queries[qi].Seq)
-				continue
+			} else {
+				processStat(qp, th, st, int32(qi), queries[qi].Seq, ix.opt.K, &perQuery[qi])
 			}
-			processStat(qp, th, st, int32(qi), queries[qi].Seq, ix.opt.K, &perQuery[qi])
+			if st.err != nil {
+				return
+			}
 		}
 	})
+	if err := perThread[0].err; err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -192,6 +192,12 @@ type threadStats struct {
 	swCalls         int64
 	alignments      []Alignment
 	tooShort        []int32 // query indices shorter than K
+
+	// err is the first remote-resolution failure this thread hit; once set
+	// the thread stops aligning and the whole call fails with it (the
+	// remote path has no partial-results mode — a lost seed shard must
+	// never silently degrade into missed alignments).
+	err error
 }
 
 // mergeThreadStats folds per-thread aligning-phase results into res and, when

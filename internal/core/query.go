@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/lbl-repro/meraligner/internal/align"
 	"github.com/lbl-repro/meraligner/internal/cache"
 	"github.com/lbl-repro/meraligner/internal/dht"
@@ -87,10 +89,69 @@ type queryProcessor struct {
 	foundKeys []foundKey     // their dedupe keys (packed, scanned linearly)
 	foundRC   []bool
 	foundTg   []int32
+
+	// Remote-DHT state, active only when setResolver was called (the
+	// threaded engine with QueryOptions.SeedResolver set): each query's
+	// seeds are collected into seedBuf, resolved in one ResolveSeeds call,
+	// and consumed from ansBuf in lookup order.
+	resolver SeedResolver
+	rctx     context.Context
+	seedBuf  []kmer.Kmer
+	ansBuf   []SeedAnswer
+	ansIdx   int
 }
 
 func newQueryProcessor(mach upc.MachineConfig, opt Options, acc indexAccess, ft *FragmentTable) *queryProcessor {
 	return &queryProcessor{opt: opt, acc: acc, ft: ft, costs: mach}
+}
+
+// setResolver activates the remote-DHT path: seed lookups resolve through r
+// under ctx instead of probing the local index. Only the threaded engine
+// calls this; the simulated engine always probes locally.
+func (qp *queryProcessor) setResolver(ctx context.Context, r SeedResolver) {
+	qp.resolver, qp.rctx = r, ctx
+}
+
+// prefetchSeeds collects every canonical seed the current query will look
+// up — the first position, then every later position on the stride — and
+// resolves them in one ResolveSeeds call. The collection order IS the
+// consumption order of process, so lookupSeed can pop answers positionally.
+func (qp *queryProcessor) prefetchSeeds(q dna.Packed, stride int) error {
+	qp.seedBuf = qp.seedBuf[:0]
+	var sc kmer.Scanner
+	sc.Reset(q, qp.opt.K)
+	sc.Next()
+	canon, _ := sc.Canonical()
+	qp.seedBuf = append(qp.seedBuf, canon)
+	for sc.Next() {
+		if sc.Offset()%stride != 0 {
+			continue
+		}
+		canon, _ := sc.Canonical()
+		qp.seedBuf = append(qp.seedBuf, canon)
+	}
+	n := len(qp.seedBuf)
+	if cap(qp.ansBuf) < n {
+		qp.ansBuf = make([]SeedAnswer, n)
+	}
+	qp.ansBuf = qp.ansBuf[:n]
+	clear(qp.ansBuf)
+	qp.ansIdx = 0
+	return qp.resolver.ResolveSeeds(qp.rctx, qp.seedBuf, qp.ansBuf)
+}
+
+// lookupSeed is the one seed-lookup site of the aligning phase: the local
+// index probe, or — on the remote path — the next prefetched answer. The
+// thread's lookup counter advances either way, so per-query statistics are
+// identical across the two paths.
+func (qp *queryProcessor) lookupSeed(th *upc.Thread, s kmer.Kmer) (dht.LookupResult, bool) {
+	if qp.resolver == nil {
+		return qp.acc.Lookup(th, s)
+	}
+	a := qp.ansBuf[qp.ansIdx]
+	qp.ansIdx++
+	th.Counters.SeedLookups++
+	return a.Res, a.OK
 }
 
 // process aligns one query (Algorithm 1, lines 8-12, plus §IV
@@ -107,6 +168,14 @@ func (qp *queryProcessor) process(th *upc.Thread, st *threadStats, qi int32, q d
 		return
 	}
 	mach := &qp.costs
+	if qp.resolver != nil {
+		// Remote path: resolve every seed of this query in one batched
+		// call before the per-seed loop consumes the answers positionally.
+		if err := qp.prefetchSeeds(q, opt.stride()); err != nil {
+			st.err = err
+			return
+		}
+	}
 	qp.fwd = q.AppendCodes(qp.fwd[:0])
 	qp.rc = qp.rc[:0]
 	qp.seenList = qp.seenList[:0]
@@ -133,7 +202,7 @@ func (qp *queryProcessor) process(th *upc.Thread, st *threadStats, qi int32, q d
 		th.Compute(mach.SeedExtractCost)
 		var firstCanon kmer.Kmer
 		firstCanon, firstQRC = qp.scan.Canonical()
-		firstRes, firstOK = qp.acc.Lookup(th, firstCanon)
+		firstRes, firstOK = qp.lookupSeed(th, firstCanon)
 		firstSeedChecked = true
 		if firstOK && firstRes.Count == 1 && len(firstRes.Locs) == 1 {
 			loc := firstRes.Locs[0]
@@ -160,7 +229,7 @@ func (qp *queryProcessor) process(th *upc.Thread, st *threadStats, qi int32, q d
 	} else {
 		th.Compute(mach.SeedExtractCost)
 		canon, qrc := qp.scan.Canonical()
-		res, ok := qp.acc.Lookup(th, canon)
+		res, ok := qp.lookupSeed(th, canon)
 		qp.seedHits(th, st, res, ok, qrc, 0, L)
 	}
 	for qp.scan.Next() {
@@ -170,7 +239,7 @@ func (qp *queryProcessor) process(th *upc.Thread, st *threadStats, qi int32, q d
 		}
 		th.Compute(mach.SeedExtractCost)
 		canon, qrc := qp.scan.Canonical()
-		res, ok := qp.acc.Lookup(th, canon)
+		res, ok := qp.lookupSeed(th, canon)
 		qp.seedHits(th, st, res, ok, qrc, qoff, L)
 	}
 

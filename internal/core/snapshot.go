@@ -27,12 +27,15 @@ import (
 // section is specified in docs/INDEX_FORMAT.md.
 
 // Section tags of an index snapshot. SHRD is optional: present only on
-// snapshots produced by the shard producer, carrying the ShardInfo JSON.
+// snapshots produced by the reference-shard producer, carrying the
+// ShardInfo JSON. DHTP is optional: present only on seed-shard snapshots
+// produced by SaveSeedShards, carrying the SeedShardInfo JSON.
 const (
 	sectionMeta    = "META"
 	sectionTargets = "TARG"
 	sectionDHT     = "DHTS"
 	sectionShard   = "SHRD"
+	sectionDHTPart = "DHTP"
 )
 
 // snapLayout is the struct-size fingerprint stamped into every snapshot
@@ -62,7 +65,35 @@ type snapshotMeta struct {
 // bytes go to a temporary file in the same directory that is renamed over
 // path only after a successful sync, so a crashed or failed Save never
 // leaves a half-written snapshot where a loader might find it.
-func (ix *ThreadedIndex) Save(path string) (err error) {
+func (ix *ThreadedIndex) Save(path string) error {
+	meta := snapshotMeta{
+		Tool:         "meraligner",
+		Index:        ix.opt,
+		Shards:       ix.sx.Shards(),
+		NumTargets:   len(ix.targets),
+		NumFragments: ix.ft.NumFragments(),
+		Stats:        ix.stats,
+	}
+	return writeSnapshot(path, meta, ix.targets, ix.sx, ix.shard, nil)
+}
+
+// jsonSection writes v as indented JSON — the encoding of every metadata
+// section (META, SHRD, DHTP), chosen so the fingerprints stay debuggable
+// with any inspection tool.
+func jsonSection(sw io.Writer, v any) error {
+	enc, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return err
+	}
+	_, werr := sw.Write(append(enc, '\n'))
+	return werr
+}
+
+// writeSnapshot is the shared section-writing path of every snapshot
+// flavor: whole-reference and reference-shard saves (Save) and seed-shard
+// saves (SaveSeedShards) differ only in which table they serialize and
+// which optional identity sections ride along.
+func writeSnapshot(path string, meta snapshotMeta, targets []seqio.Seq, sx *dht.Sharded, shard *ShardInfo, part *SeedShardInfo) (err error) {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".merx-tmp-*")
 	if err != nil {
 		return fmt.Errorf("core: saving index: %w", err)
@@ -77,43 +108,32 @@ func (ix *ThreadedIndex) Save(path string) (err error) {
 	if err != nil {
 		return err
 	}
-	meta := snapshotMeta{
-		Tool:         "meraligner",
-		Index:        ix.opt,
-		Shards:       ix.sx.Shards(),
-		NumTargets:   len(ix.targets),
-		NumFragments: ix.ft.NumFragments(),
-		Stats:        ix.stats,
-	}
 	if err = w.Section(sectionMeta, func(sw io.Writer) error {
-		enc, merr := json.MarshalIndent(meta, "", " ")
-		if merr != nil {
-			return merr
-		}
-		_, werr := sw.Write(append(enc, '\n'))
-		return werr
+		return jsonSection(sw, meta)
 	}); err != nil {
 		return err
 	}
 	if err = w.Section(sectionTargets, func(sw io.Writer) error {
-		return writeTargets(sw, ix.targets)
+		return writeTargets(sw, targets)
 	}); err != nil {
 		return err
 	}
 	if err = w.Section(sectionDHT, func(sw io.Writer) error {
-		_, werr := ix.sx.WriteTo(sw)
+		_, werr := sx.WriteTo(sw)
 		return werr
 	}); err != nil {
 		return err
 	}
-	if ix.shard != nil {
+	if shard != nil {
 		if err = w.Section(sectionShard, func(sw io.Writer) error {
-			enc, merr := json.MarshalIndent(*ix.shard, "", " ")
-			if merr != nil {
-				return merr
-			}
-			_, werr := sw.Write(append(enc, '\n'))
-			return werr
+			return jsonSection(sw, *shard)
+		}); err != nil {
+			return err
+		}
+	}
+	if part != nil {
+		if err = w.Section(sectionDHTPart, func(sw io.Writer) error {
+			return jsonSection(sw, *part)
 		}); err != nil {
 			return err
 		}

@@ -13,11 +13,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/lbl-repro/meraligner/internal/align"
 	"github.com/lbl-repro/meraligner/internal/cache"
 	"github.com/lbl-repro/meraligner/internal/dht"
+	"github.com/lbl-repro/meraligner/internal/kmer"
 	"github.com/lbl-repro/meraligner/internal/upc"
 )
 
@@ -96,6 +98,32 @@ type QueryOptions struct {
 	// any other local alignment software tool"). nil uses the built-in
 	// striped Smith-Waterman via align.ExtendSeed.
 	Extend ExtendFunc
+
+	// SeedResolver replaces the local seed-index probe with a remote
+	// resolver — the distributed-DHT seam. When set on a threaded-engine
+	// call, every query's seed lookups are collected up front and resolved
+	// in one ResolveSeeds call (which the network tier batches per owning
+	// node); extension and Smith-Waterman still run locally, and the
+	// results are bit-identical to local lookups against the same table.
+	// The simulated engine ignores it. Like Extend, this field is runtime
+	// wiring, not serialized configuration.
+	SeedResolver SeedResolver
+}
+
+// SeedAnswer is one resolved seed lookup: the location list and the
+// present/absent flag, exactly what dht.Sharded.Lookup returns locally.
+type SeedAnswer struct {
+	Res dht.LookupResult
+	OK  bool
+}
+
+// SeedResolver resolves a batch of canonical seeds to their location lists.
+// Implementations must fill out[i] for every seeds[i] (len(out) ==
+// len(seeds)) or return an error; a missing seed is out[i].OK == false, so
+// "unknown" is never silently conflated with "absent". The engine calls it
+// once per query with every seed the query will look up, in lookup order.
+type SeedResolver interface {
+	ResolveSeeds(ctx context.Context, seeds []kmer.Kmer, out []SeedAnswer) error
 }
 
 // Options configures a one-shot merAligner run: both halves of the

@@ -1,0 +1,177 @@
+package dht
+
+import (
+	"testing"
+
+	"github.com/lbl-repro/meraligner/internal/kmer"
+)
+
+// TestOwnerGolden pins the seed→owner mapping with precomputed values: the
+// djb2 hash, the internal shard for a 64-shard table, and the owner for
+// fleets of 2, 3, and 4 nodes. These numbers are part of the on-disk
+// contract — seed-shard snapshots saved under this mapping are queried by
+// other processes computing the same mapping — so if this test fails, the
+// change silently re-partitions every saved fleet: bump the snapshot
+// format instead of updating the goldens.
+func TestOwnerGolden(t *testing.T) {
+	cases := []struct {
+		seed                   string
+		hash                   uint64
+		shard64                int
+		owner2, owner3, owner4 int
+	}{
+		{"ACGTACGTACGTACGTACGTA", 219215706704965625, 57, 1, 0, 1},
+		{"TTTTTTTTTTTTTTTTTTTTT", 11365062924789256099, 35, 1, 2, 3},
+		{"AAAAAAAAAAAAAAAAAAAAA", 2470524917658648325, 5, 1, 2, 1},
+		{"GATTACAGATTACAGATTACA", 6610038376152527239, 7, 1, 1, 3},
+		{"CCCCGGGGCCCCGGGGCCCCG", 7025357428163531450, 58, 0, 1, 2},
+		{"ACACACACACACACACACACA", 1151827641630021849, 25, 1, 1, 1},
+		{"TGCATGCATGCATGCATGCAT", 13616372135742938799, 47, 1, 2, 3},
+		{"AGGTTGGAACCTTGGAACCTT", 17226463517800597614, 46, 0, 1, 2},
+	}
+	for _, c := range cases {
+		km := kmer.MustFromString(c.seed)
+		if h := km.Hash(); h != c.hash {
+			t.Errorf("%s: Hash() = %d, golden %d", c.seed, h, c.hash)
+		}
+		if s := int(km.Hash() % 64); s != c.shard64 {
+			t.Errorf("%s: shard = %d, golden %d", c.seed, s, c.shard64)
+		}
+		for _, oc := range []struct{ count, want int }{{2, c.owner2}, {3, c.owner3}, {4, c.owner4}} {
+			if got := OwnerOf(km, 64, oc.count); got != oc.want {
+				t.Errorf("%s: OwnerOf(shards=64, count=%d) = %d, golden %d", c.seed, oc.count, got, oc.want)
+			}
+			if got := ShardOwner(c.shard64, oc.count); got != oc.want {
+				t.Errorf("%s: ShardOwner(%d, %d) = %d, golden %d", c.seed, c.shard64, oc.count, got, oc.want)
+			}
+		}
+	}
+}
+
+// TestOwnerSkewBound checks the hash distributes seeds evenly enough across
+// owners that no node carries a pathological share: over a large random
+// seed set, every owner's load stays within 20% of the even split.
+func TestOwnerSkewBound(t *testing.T) {
+	es := randomEntries(7, 32, 400, 8000, 21)
+	const shards, owners = 64, 4
+	counts := make([]int, owners)
+	for _, e := range es {
+		counts[OwnerOf(e.Seed, shards, owners)]++
+	}
+	even := float64(len(es)) / owners
+	for o, n := range counts {
+		if ratio := float64(n) / even; ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("owner %d holds %d of %d seeds (%.2fx the even share)", o, n, len(es), ratio)
+		}
+	}
+}
+
+// TestPartitionCoversTable checks that partitioning a sealed table across N
+// owners is exact: every seed resolves bit-identically at exactly its
+// owner's partition and misses everywhere else, and the single-copy flags
+// survive in every partition.
+func TestPartitionCoversTable(t *testing.T) {
+	const numFrags = 16
+	es := randomEntries(11, numFrags, 200, 600, 21)
+	cfg := ShardedConfig{K: 21, S: 64, Shards: 16}
+	sx := buildSharded(t, cfg, es, numFrags, 3)
+	sx.Seal()
+
+	for _, count := range []int{1, 2, 4} {
+		parts := make([]*Sharded, count)
+		for id := range parts {
+			p, err := sx.Partition(id, count)
+			if err != nil {
+				t.Fatalf("Partition(%d, %d): %v", id, count, err)
+			}
+			parts[id] = p
+		}
+		seen := map[kmer.Kmer]bool{}
+		for _, e := range es {
+			if seen[e.Seed] {
+				continue
+			}
+			seen[e.Seed] = true
+			want, ok := sx.Lookup(e.Seed)
+			if !ok {
+				t.Fatalf("seed missing from full table")
+			}
+			owner := OwnerOf(e.Seed, sx.Shards(), count)
+			for id, p := range parts {
+				got, ok := p.Lookup(e.Seed)
+				if id == owner {
+					if !ok {
+						t.Fatalf("count=%d: owner %d misses its own seed", count, id)
+					}
+					if got.Count != want.Count || len(got.Locs) != len(want.Locs) {
+						t.Fatalf("count=%d: owner %d result differs: %+v vs %+v", count, id, got, want)
+					}
+					for i := range got.Locs {
+						if got.Locs[i] != want.Locs[i] {
+							t.Fatalf("count=%d: owner %d loc %d differs", count, id, i)
+						}
+					}
+				} else if ok {
+					t.Fatalf("count=%d: non-owner %d answered for owner %d's seed", count, id, owner)
+				}
+			}
+		}
+		for id, p := range parts {
+			for f := 0; f < numFrags; f++ {
+				if p.SingleCopy(f) != sx.SingleCopy(f) {
+					t.Fatalf("count=%d: partition %d single-copy flag %d differs", count, id, f)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionFingerprint checks the interop fingerprint: stable across
+// partitions of one build, different across owner counts and across builds
+// with different content shape.
+func TestPartitionFingerprint(t *testing.T) {
+	const numFrags = 8
+	cfg := ShardedConfig{K: 21, S: 64, Shards: 16}
+	es := randomEntries(3, numFrags, 100, 300, 21)
+	sx := buildSharded(t, cfg, es, numFrags, 2)
+	sx.Seal()
+
+	fp3, err := sx.PartitionFingerprint(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := sx.PartitionFingerprint(3); again != fp3 {
+		t.Fatalf("fingerprint not deterministic: %d vs %d", fp3, again)
+	}
+	if fp4, _ := sx.PartitionFingerprint(4); fp4 == fp3 {
+		t.Fatalf("fingerprint ignores owner count")
+	}
+
+	other := buildSharded(t, cfg, randomEntries(4, numFrags, 100, 300, 21), numFrags, 2)
+	other.Seal()
+	if ofp, _ := other.PartitionFingerprint(3); ofp == fp3 {
+		t.Fatalf("fingerprint ignores table content shape")
+	}
+
+	if _, err := sx.PartitionFingerprint(0); err == nil {
+		t.Fatalf("fingerprint accepted count 0")
+	}
+}
+
+// TestPartitionErrors checks range and seal validation.
+func TestPartitionErrors(t *testing.T) {
+	const numFrags = 4
+	cfg := ShardedConfig{K: 21, S: 64, Shards: 16}
+	es := randomEntries(5, numFrags, 50, 100, 21)
+	sx := buildSharded(t, cfg, es, numFrags, 1)
+
+	if _, err := sx.Partition(0, 1); err == nil {
+		t.Fatalf("Partition accepted an unsealed index")
+	}
+	sx.Seal()
+	for _, c := range []struct{ id, count int }{{-1, 2}, {2, 2}, {0, 0}, {0, -3}} {
+		if _, err := sx.Partition(c.id, c.count); err == nil {
+			t.Fatalf("Partition(%d, %d) accepted out-of-range arguments", c.id, c.count)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package dhtnet
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/lbl-repro/meraligner/internal/dht"
+	"github.com/lbl-repro/meraligner/internal/kmer"
+)
+
+// Protocol fuzzing: both decoders face bytes from the network — a crashed
+// peer, a proxy truncation, a hostile client — so their contract is strict:
+// any input either decodes or returns a *ProtocolError matching
+// ErrProtocol; never a panic, never an over-read, and (for the request
+// side) whatever decodes must re-encode to the identical frame.
+
+// FuzzLookupDecode is the server-side target: arbitrary bytes through the
+// request decoder.
+func FuzzLookupDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("MLKQ"))
+	f.Add(AppendLookupRequest(nil, 21, nil))
+	f.Add(AppendLookupRequest(nil, 21, []kmer.Kmer{{Lo: 0x1b, Hi: 0}, {Lo: ^uint64(0), Hi: 7}}))
+	f.Add(AppendLookupRequest(nil, 51, []kmer.Kmer{{Lo: 0xdead, Hi: 0xbeef}}))
+	trunc := AppendLookupRequest(nil, 21, []kmer.Kmer{{Lo: 1}})
+	f.Add(trunc[:len(trunc)-5])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		k, seeds, err := DecodeLookupRequest(b)
+		if err != nil {
+			if !errors.Is(err, ErrProtocol) {
+				t.Fatalf("decode error is not ErrProtocol: %v", err)
+			}
+			return
+		}
+		// A valid frame must survive a re-encode byte-for-byte.
+		re := AppendLookupRequest(nil, k, seeds)
+		if string(re) != string(b) {
+			t.Fatalf("re-encode differs: %x vs %x", re, b)
+		}
+	})
+}
+
+// FuzzLookupResponse is the client-side target: arbitrary bytes through the
+// response decoder, across a range of expected answer counts.
+func FuzzLookupResponse(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add([]byte("MLKR"), 1)
+	f.Add(AppendLookupResponse(nil, nil), 0)
+	f.Add(AppendLookupResponse(nil, []LookupAnswer{{}}), 1)
+	f.Add(AppendLookupResponse(nil, []LookupAnswer{
+		{Res: dht.LookupResult{Locs: []dht.Loc{{Frag: 3, Off: 99, RC: true}}, Count: 12}, OK: true},
+		{},
+	}), 2)
+	full := AppendLookupResponse(nil, []LookupAnswer{
+		{Res: dht.LookupResult{Locs: []dht.Loc{{Frag: 1, Off: 2}, {Frag: 3, Off: 4, RC: true}}, Count: 2}, OK: true},
+	})
+	f.Add(full, 1)
+	f.Add(full[:len(full)-3], 1)
+	f.Fuzz(func(t *testing.T, b []byte, n int) {
+		if n < 0 || n > 1<<12 {
+			return
+		}
+		out := make([]LookupAnswer, n)
+		if err := DecodeLookupResponse(b, out); err != nil {
+			if !errors.Is(err, ErrProtocol) {
+				t.Fatalf("decode error is not ErrProtocol: %v", err)
+			}
+			return
+		}
+		re := AppendLookupResponse(nil, out)
+		if string(re) != string(b) {
+			t.Fatalf("re-encode differs: %x vs %x", re, b)
+		}
+	})
+}

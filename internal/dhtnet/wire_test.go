@@ -1,0 +1,156 @@
+package dhtnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/lbl-repro/meraligner/internal/dht"
+	"github.com/lbl-repro/meraligner/internal/kmer"
+)
+
+func mustKmer(t testing.TB, s string) kmer.Kmer {
+	t.Helper()
+	k, err := kmer.FromString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func sampleSeeds(t testing.TB) []kmer.Kmer {
+	return []kmer.Kmer{
+		mustKmer(t, "ACGTACGTACGTACGTACGTA"),
+		mustKmer(t, "TTTTTTTTTTTTTTTTTTTTT"),
+		mustKmer(t, "GATTACAGATTACAGATTACA"),
+	}
+}
+
+func TestLookupRequestRoundTrip(t *testing.T) {
+	seeds := sampleSeeds(t)
+	frame := AppendLookupRequest(nil, 21, seeds)
+	if len(frame) != reqHeaderSize+len(seeds)*seedWireBytes {
+		t.Fatalf("frame length %d", len(frame))
+	}
+	k, got, err := DecodeLookupRequest(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 21 || !reflect.DeepEqual(got, seeds) {
+		t.Fatalf("round trip: k=%d seeds=%v", k, got)
+	}
+	// Empty batch is legal (the server answers an empty frame).
+	k, got, err = DecodeLookupRequest(AppendLookupRequest(nil, 51, nil))
+	if err != nil || k != 51 || len(got) != 0 {
+		t.Fatalf("empty round trip: k=%d n=%d err=%v", k, len(got), err)
+	}
+}
+
+func TestLookupResponseRoundTrip(t *testing.T) {
+	answers := []LookupAnswer{
+		{Res: dht.LookupResult{Locs: []dht.Loc{{Frag: 7, Off: 42, RC: false}, {Frag: 9, Off: 0, RC: true}}, Count: 5}, OK: true},
+		{}, // miss
+		{Res: dht.LookupResult{Locs: []dht.Loc{{Frag: 0, Off: 13, RC: true}}, Count: 1}, OK: true},
+	}
+	frame := AppendLookupResponse(nil, answers)
+	out := make([]LookupAnswer, len(answers))
+	if err := DecodeLookupResponse(frame, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, answers) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", out, answers)
+	}
+}
+
+// TestLookupRequestMalformed: every malformed request decodes to a typed
+// *ProtocolError matching ErrProtocol, never a panic.
+func TestLookupRequestMalformed(t *testing.T) {
+	good := AppendLookupRequest(nil, 21, sampleSeeds(t))
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good[:reqHeaderSize-1],
+		"bad magic":   append([]byte("XXXX"), good[4:]...),
+		"bad version": append([]byte("MLKQ\x09"), good[5:]...),
+		"truncated":   good[:len(good)-3],
+		"trailing":    append(append([]byte{}, good...), 0),
+		"resp magic":  append([]byte(respMagic), good[4:]...),
+	}
+	// k out of range.
+	badK := append([]byte{}, good...)
+	badK[5] = 0
+	cases["k zero"] = badK
+	// reserved bytes nonzero.
+	badRes := append([]byte{}, good...)
+	badRes[6] = 1
+	cases["reserved"] = badRes
+	// count beyond the batch bound with a matching (huge, absent) payload.
+	badCount := append([]byte{}, good[:reqHeaderSize]...)
+	binary.LittleEndian.PutUint32(badCount[8:], MaxLookupBatch+1)
+	cases["count bound"] = badCount
+
+	for name, frame := range cases {
+		if _, _, err := DecodeLookupRequest(frame); !errors.Is(err, ErrProtocol) {
+			t.Errorf("%s: err = %v, want ErrProtocol", name, err)
+		}
+		var pe *ProtocolError
+		if _, _, err := DecodeLookupRequest(frame); !errors.As(err, &pe) {
+			t.Errorf("%s: not a *ProtocolError", name)
+		}
+	}
+}
+
+// TestLookupResponseMalformed: the client-side decoder rejects every
+// malformed response with a typed error — including count lies that a
+// naive decoder would over-read on.
+func TestLookupResponseMalformed(t *testing.T) {
+	answers := []LookupAnswer{
+		{Res: dht.LookupResult{Locs: []dht.Loc{{Frag: 1, Off: 2}}, Count: 1}, OK: true},
+		{},
+	}
+	good := AppendLookupResponse(nil, answers)
+	out := make([]LookupAnswer, len(answers))
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good[:respHeaderSize-1],
+		"bad magic":   append([]byte("XXXX"), good[4:]...),
+		"bad version": append([]byte("MLKR\x02"), good[5:]...),
+		"truncated":   good[:len(good)-1],
+		"trailing":    append(append([]byte{}, good...), 0),
+	}
+	// Location count claiming more than the frame holds.
+	lie := append([]byte{}, good...)
+	binary.LittleEndian.PutUint32(lie[respHeaderSize:], 1<<30)
+	cases["loc count lie"] = lie
+	// Bad strand byte.
+	strand := append([]byte{}, good...)
+	strand[respHeaderSize+ansHeaderBytes+8] = 2
+	cases["bad strand"] = strand
+	// Nonzero location padding.
+	pad := append([]byte{}, good...)
+	pad[respHeaderSize+ansHeaderBytes+9] = 1
+	cases["loc padding"] = pad
+	// Reserved header bytes.
+	res := append([]byte{}, good...)
+	res[5] = 1
+	cases["reserved"] = res
+
+	for name, frame := range cases {
+		if err := DecodeLookupResponse(frame, out); !errors.Is(err, ErrProtocol) {
+			t.Errorf("%s: err = %v, want ErrProtocol", name, err)
+		}
+	}
+	// Answer-count mismatch against the caller's expectation.
+	if err := DecodeLookupResponse(good, make([]LookupAnswer, 3)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("count mismatch: err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestProtocolErrorText(t *testing.T) {
+	_, _, err := DecodeLookupRequest([]byte("XXXXxxxxxxxx"))
+	if err == nil || !strings.Contains(err.Error(), "malformed lookup request") {
+		t.Fatalf("error text %v", err)
+	}
+}

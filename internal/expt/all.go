@@ -19,6 +19,7 @@ var Experiments = []struct {
 	{"serve", Serve, "build-once/serve-many vs rebuild-per-batch (post-paper)"},
 	{"service", Service, "merserved micro-batching: coalesced vs per-request serving (post-paper)"},
 	{"cluster", Cluster, "sharded fleet behind a scatter/gather router vs one node (post-paper)"},
+	{"dhtnet", DHTNet, "network seed DHT: remote seed-shard fleet vs the local seed table (post-paper)"},
 }
 
 // Run executes the experiment with the given id.

@@ -450,8 +450,8 @@ func (f *File) SectionData(tag string) ([]byte, error) {
 func (f *File) Sections() []Section { return f.sections }
 
 // HasSection reports whether the snapshot carries the tagged section — the
-// probe for optional sections (like "SHRD") whose absence is a valid state,
-// not the corruption SectionData reports it as.
+// probe for optional sections (the "SHRD" and "DHTP" identities) whose
+// absence is a valid state, not the corruption SectionData reports it as.
 func (f *File) HasSection(tag string) bool {
 	for _, s := range f.sections {
 		if s.Tag == tag {

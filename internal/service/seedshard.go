@@ -1,0 +1,245 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/lbl-repro/meraligner/client"
+	"github.com/lbl-repro/meraligner/internal/core"
+	"github.com/lbl-repro/meraligner/internal/dhtnet"
+	"github.com/lbl-repro/meraligner/internal/telemetry"
+)
+
+// SeedShardServer serves one seed-shard snapshot's share of the distributed
+// seed table (merserved -seed-shard): batched binary lookups against the
+// mmap'd partition, nothing else. It is deliberately a fraction of the
+// align Server — a lookup node resolves seeds, it never parses reads,
+// extends, or renders SAM — but it keeps the fleet conventions: request-id
+// tracing, deadline propagation, drain via in-flight accounting, and a
+// Prometheus endpoint (merserved_seedshard_*).
+//
+//	POST /v1/lookup     batched binary seed lookup (dhtnet frames)
+//	GET  /v1/shardinfo  JSON identity (id, count, k, shards, fingerprint)
+//	GET  /healthz       200 while serving, 503 while draining
+//	GET  /readyz        readiness (same states; warming is fronted upstream)
+//	GET  /metrics       Prometheus text exposition
+type SeedShardServer struct {
+	shard  *core.SeedShard
+	logger *slog.Logger
+	mux    *http.ServeMux
+
+	maxBody int64
+
+	draining atomic.Bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int
+
+	lookups  atomic.Int64 // lookup calls served to completion
+	seeds    atomic.Int64 // seeds resolved across those calls
+	misses   atomic.Int64 // seeds that resolved absent
+	rejected atomic.Int64 // 400s: malformed frames, k mismatches, misrouted seeds
+}
+
+// SeedShardConfig assembles a SeedShardServer.
+type SeedShardConfig struct {
+	// Shard is the mapped seed-shard snapshot to serve. Required; the
+	// server does not own it — the caller closes it after Drain.
+	Shard *core.SeedShard
+
+	// Logger receives request logs. Nil discards.
+	Logger *slog.Logger
+
+	// MaxBodyBytes bounds the lookup request body. Default: exactly one
+	// full frame of dhtnet.MaxLookupBatch seeds.
+	MaxBodyBytes int64
+}
+
+// NewSeedShard builds the server for one seed shard.
+func NewSeedShard(cfg SeedShardConfig) (*SeedShardServer, error) {
+	if cfg.Shard == nil {
+		return nil, fmt.Errorf("service: seed-shard server needs a shard")
+	}
+	s := &SeedShardServer{
+		shard:   cfg.Shard,
+		logger:  cfg.Logger,
+		maxBody: cfg.MaxBodyBytes,
+	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = 16 + int64(dhtnet.MaxLookupBatch)*16
+	}
+	s.cond = sync.NewCond(&s.mu)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lookup", s.traced(s.handleLookup))
+	mux.HandleFunc("GET /v1/shardinfo", s.handleShardInfo)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *SeedShardServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Draining reports whether Drain has started.
+func (s *SeedShardServer) Draining() bool { return s.draining.Load() }
+
+// Drain stops admission (new lookups answer 503) and waits for in-flight
+// lookups to finish, or for ctx to expire.
+func (s *SeedShardServer) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	idle := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.inflight > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *SeedShardServer) enter() bool {
+	if s.draining.Load() {
+		return false
+	}
+	s.mu.Lock()
+	s.inflight++
+	s.mu.Unlock()
+	return true
+}
+
+func (s *SeedShardServer) exit() {
+	s.mu.Lock()
+	s.inflight--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// traced echoes the request id and logs one line per lookup call; span
+// recording stays with the align tier — a lookup node's unit of work is
+// microseconds, a full trace per call would cost more than the lookup.
+func (s *SeedShardServer) traced(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sc, _ := telemetry.Extract(r.Header)
+		w.Header().Set(telemetry.HeaderRequestID, sc.RequestID())
+		sw := &telemetry.StatusRecorder{ResponseWriter: w, Code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.logger.Debug("lookup",
+			"request_id", sc.RequestID(),
+			"status", sw.Code,
+			"duration_us", time.Since(start).Microseconds())
+	}
+}
+
+func (s *SeedShardServer) error(w http.ResponseWriter, code int, msg string) {
+	if code == http.StatusBadRequest {
+		s.rejected.Add(1)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	io.WriteString(w, msg+"\n")
+}
+
+// handleLookup answers one batched lookup frame. Malformed frames, seed
+// length mismatches, and misrouted seeds (a seed this shard does not own)
+// are 400s — a misrouted seed answered "absent" would silently drop
+// alignments, so the server refuses instead.
+func (s *SeedShardServer) handleLookup(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		s.error(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer s.exit()
+	if budget, ok := client.DeadlineFromHeader(r.Header); ok {
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		s.error(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("lookup body exceeds %d bytes", s.maxBody))
+		return
+	}
+	k, seeds, err := dhtnet.DecodeLookupRequest(body)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	info := s.shard.Info()
+	if k != info.K {
+		s.error(w, http.StatusBadRequest, fmt.Sprintf("lookup with k=%d against a k=%d shard", k, info.K))
+		return
+	}
+	answers := make([]dhtnet.LookupAnswer, len(seeds))
+	misses := 0
+	for i, seed := range seeds {
+		if r.Context().Err() != nil {
+			s.error(w, http.StatusServiceUnavailable, "deadline exhausted")
+			return
+		}
+		if !s.shard.Owns(seed) {
+			s.error(w, http.StatusBadRequest, fmt.Sprintf(
+				"seed %d is not owned by shard %d/%d: misrouted lookup (client and fleet disagree on the partition)", i, info.ID, info.Count))
+			return
+		}
+		res, ok := s.shard.Lookup(seed)
+		answers[i] = dhtnet.LookupAnswer{Res: res, OK: ok}
+		if !ok {
+			misses++
+		}
+	}
+	s.lookups.Add(1)
+	s.seeds.Add(int64(len(seeds)))
+	s.misses.Add(int64(misses))
+	resp := dhtnet.AppendLookupResponse(make([]byte, 0, 12+len(answers)*8), answers)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(resp)
+}
+
+func (s *SeedShardServer) handleShardInfo(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.shard.Info())
+}
+
+func (s *SeedShardServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (s *SeedShardServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	info := s.shard.Info()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# TYPE merserved_seedshard_lookup_requests_total counter\nmerserved_seedshard_lookup_requests_total{shard=\"%d\"} %d\n", info.ID, s.lookups.Load())
+	fmt.Fprintf(w, "# TYPE merserved_seedshard_seeds_total counter\nmerserved_seedshard_seeds_total{shard=\"%d\"} %d\n", info.ID, s.seeds.Load())
+	fmt.Fprintf(w, "# TYPE merserved_seedshard_misses_total counter\nmerserved_seedshard_misses_total{shard=\"%d\"} %d\n", info.ID, s.misses.Load())
+	fmt.Fprintf(w, "# TYPE merserved_seedshard_rejected_total counter\nmerserved_seedshard_rejected_total{shard=\"%d\"} %d\n", info.ID, s.rejected.Load())
+	fmt.Fprintf(w, "# TYPE merserved_seedshard_resident_bytes gauge\nmerserved_seedshard_resident_bytes{shard=\"%d\"} %d\n", info.ID, s.shard.ResidentBytes())
+	draining := 0
+	if s.draining.Load() {
+		draining = 1
+	}
+	fmt.Fprintf(w, "# TYPE merserved_seedshard_draining gauge\nmerserved_seedshard_draining{shard=\"%d\"} %d\n", info.ID, draining)
+}
